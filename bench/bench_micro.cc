@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: RR-set
+// sampling (standard / marginal / weighted), UIC world simulation, bundle
+// utility tables, greedy coverage selection, and graph generation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "exp/configs.h"
+#include "exp/networks.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "model/allocation.h"
+#include "rrset/node_selection.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "simulate/uic_simulator.h"
+
+namespace cwm {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph g = WithWeightedCascade(NetHeptLike());
+  return g;
+}
+
+void BM_SampleStandardRr(benchmark::State& state) {
+  RrSampler sampler(BenchGraph());
+  Rng rng(3);
+  std::vector<NodeId> out;
+  std::size_t members = 0;
+  for (auto _ : state) {
+    sampler.SampleStandard(rng, &out);
+    members += out.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["avg_members"] =
+      static_cast<double>(members) / state.iterations();
+}
+BENCHMARK(BM_SampleStandardRr);
+
+void BM_SampleMarginalRr(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  RrSampler sampler(g);
+  Rng rng(5);
+  std::vector<char> blocked(g.num_nodes(), 0);
+  for (NodeId v = 0; v < 50; ++v) blocked[v * 100] = 1;
+  std::vector<NodeId> out;
+  for (auto _ : state) {
+    sampler.SampleMarginal(rng, blocked, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleMarginalRr);
+
+void BM_SampleWeightedRr(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const UtilityConfig config = MakeConfigC6();
+  Allocation sp(2);
+  for (NodeId v = 0; v < 50; ++v) sp.Add(v * 100, 1);
+  const auto fixed = FixedAllocationIndex::Build(g.num_nodes(), config, sp);
+  const double wmax = config.ExpectedTruncatedUtility(0);
+  RrSampler sampler(g);
+  Rng rng(7);
+  std::vector<NodeId> out;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += sampler.SampleWeighted(rng, fixed, wmax, &out);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleWeightedRr);
+
+void BM_UicWorldC1(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const UtilityConfig config = MakeConfigC1();
+  UicSimulator sim(g, config);
+  Allocation alloc(2);
+  for (NodeId v = 0; v < 25; ++v) {
+    alloc.Add(v * 3, 0);
+    alloc.Add(v * 3 + 1, 1);
+  }
+  Rng rng(9);
+  uint64_t world = 0;
+  for (auto _ : state) {
+    const WorldUtilityTable table(config, rng);
+    benchmark::DoNotOptimize(
+        sim.RunWorld(alloc, EdgeWorld{++world}, table));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UicWorldC1);
+
+void BM_UicWorldLastFm(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const UtilityConfig config = MakeLastFmConfig();
+  UicSimulator sim(g, config);
+  Allocation alloc(4);
+  for (NodeId v = 0; v < 40; ++v) alloc.Add(v * 7, static_cast<ItemId>(v % 4));
+  Rng rng(11);
+  uint64_t world = 0;
+  for (auto _ : state) {
+    const WorldUtilityTable table(config, rng);
+    benchmark::DoNotOptimize(
+        sim.RunWorld(alloc, EdgeWorld{++world}, table));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UicWorldLastFm);
+
+void BM_WorldUtilityTable(benchmark::State& state) {
+  const UtilityConfig config =
+      MakeUniformPureCompetition(static_cast<int>(state.range(0)));
+  Rng rng(13);
+  for (auto _ : state) {
+    const WorldUtilityTable table(config, rng);
+    benchmark::DoNotOptimize(table.Utility(1));
+  }
+}
+BENCHMARK(BM_WorldUtilityTable)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_BestAdoption(benchmark::State& state) {
+  const UtilityConfig config = MakeLastFmConfig();
+  const WorldUtilityTable table(config, {0.0, 0.0, 0.0, 0.0});
+  ItemSet desire = 0;
+  double acc = 0;
+  for (auto _ : state) {
+    desire = static_cast<ItemSet>((desire + 5) & 0xF);
+    acc += table.BestAdoption(desire, 0);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BestAdoption);
+
+void BM_SelectMaxCoverage(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  RrSampler sampler(g);
+  Rng rng(17);
+  RrCollection rr(g.num_nodes());
+  std::vector<NodeId> out;
+  for (int i = 0; i < 20000; ++i) {
+    sampler.SampleStandard(rng, &out);
+    rr.Add(out, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectMaxCoverage(rr, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SelectMaxCoverage)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_GenerateNetHeptLike(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NetHeptLike(++seed).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateNetHeptLike);
+
+}  // namespace
+}  // namespace cwm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 2 stand-in: prints the statistics of the synthetic network catalog
+// used by every other bench, next to the figures the paper reports for the
+// real datasets.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/networks.h"
+#include "support/timer.h"
+
+int main() {
+  using namespace cwm;
+  using namespace cwm::bench;
+  PrintHeader("Network catalog (synthetic stand-ins for Table 2)",
+              "Table 2: NetHEPT / Douban-Book / Douban-Movie / Orkut / "
+              "Twitter statistics");
+
+  std::printf("paper:  NetHEPT       15.2K nodes  31.4K undirected edges  "
+              "avg deg 4.13\n");
+  std::printf("paper:  Douban-Book   23.3K nodes  141K  directed edges    "
+              "avg deg 6.5\n");
+  std::printf("paper:  Douban-Movie  34.9K nodes  274K  directed edges    "
+              "avg deg 7.9\n");
+  std::printf("paper:  Orkut         3.07M nodes  117M  undirected edges  "
+              "avg deg 77.5 (scaled here)\n");
+  std::printf("paper:  Twitter       41.7M nodes  1.47G directed edges    "
+              "avg deg 70.5 (scaled here)\n\n");
+
+  Timer t;
+  const Graph nethept = NetHeptLike();
+  std::printf("%s  (%.2fs)\n", NetworkStatsRow("nethept-like", nethept).c_str(),
+              t.Seconds());
+  t.Reset();
+  const Graph book = DoubanBookLike();
+  std::printf("%s  (%.2fs)\n",
+              NetworkStatsRow("douban-book-like", book).c_str(), t.Seconds());
+  t.Reset();
+  const Graph movie = DoubanMovieLike();
+  std::printf("%s  (%.2fs)\n",
+              NetworkStatsRow("douban-movie-like", movie).c_str(),
+              t.Seconds());
+  t.Reset();
+  const Graph orkut = OrkutLike(OrkutNodes());
+  std::printf("%s  (%.2fs)\n", NetworkStatsRow("orkut-like", orkut).c_str(),
+              t.Seconds());
+  t.Reset();
+  const Graph twitter = TwitterLike(TwitterNodes());
+  std::printf("%s  (%.2fs)\n",
+              NetworkStatsRow("twitter-like", twitter).c_str(), t.Seconds());
+  std::printf("\nRaise CWM_BENCH_SCALE to grow the Orkut/Twitter stand-ins "
+              "toward paper scale.\n");
+  return 0;
+}

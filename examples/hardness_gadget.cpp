@@ -1,0 +1,88 @@
+// Why CWelMax is inapproximable: an executable tour of the Theorem 2
+// reduction (Fig. 2 + Table 1).
+//
+// Builds the SET-COVER gadget for a YES instance and a NO instance, runs
+// the deterministic UIC diffusion, and prints the welfare achieved by
+// cover seeds vs non-cover seeds vs direct g-node seeding — reproducing
+// the c * N^2 * U({i1,i4}) separation that powers the hardness proof.
+//
+// Build & run:  ./build/examples/hardness_gadget
+#include <cstdio>
+
+#include "exp/reduction.h"
+#include "simulate/estimator.h"
+
+namespace {
+
+using namespace cwm;
+
+double Welfare(const Theorem2Gadget& gadget, const Allocation& i1_seeds) {
+  // Edge probabilities are 1 and the Table 1 utilities are noiseless:
+  // one possible world is exact.
+  WelfareEstimator est(gadget.graph, gadget.utility,
+                       {.num_worlds = 1, .seed = 1});
+  return est.Welfare(Allocation::Union(i1_seeds, gadget.fixed_sp));
+}
+
+}  // namespace
+
+int main() {
+  // YES instance: elements {0,1,2}; sets {0,1}, {2}, {0,2}; k = 2.
+  SetCoverInstance yes;
+  yes.num_elements = 3;
+  yes.sets = {{0, 1}, {2}, {0, 2}};
+  yes.k = 2;
+
+  const std::size_t N = 60;  // the proof needs N > 8n/c = 60
+  const Theorem2Gadget gadget = BuildTheorem2Gadget(yes, N);
+  std::printf("gadget: %zu nodes, %zu edges, %zu d-nodes, N = %zu copies\n",
+              gadget.graph.num_nodes(), gadget.graph.num_edges(),
+              gadget.num_d_nodes, N);
+  std::printf("utility landmarks: U(i1)=%.1f U({i2,i3})=%.1f U(i4)=%.1f "
+              "U({i1,i4})=%.1f\n",
+              gadget.utility.DetUtility(0x1), gadget.utility.DetUtility(0x6),
+              gadget.utility.DetUtility(0x8), gadget.utility.DetUtility(0x9));
+
+  const double n2_u = static_cast<double>(N * N) *
+                      gadget.utility.DetUtility(0x9);
+  std::printf("\nhardness threshold c*N^2*U({i1,i4}) = %.0f (c = 0.4)\n",
+              0.4 * n2_u);
+
+  // Cover seeds: S0 + S1 cover every element. i1 sweeps the g/f/d layers
+  // before {i2,i3} can assemble; d-nodes then add i4: welfare explodes.
+  Allocation cover(4);
+  cover.Add(gadget.s_nodes[0], 0);
+  cover.Add(gadget.s_nodes[1], 0);
+  const double w_cover = Welfare(gadget, cover);
+  std::printf("\ncover seeds {S0, S1}:       welfare = %10.0f  (> N^2*U = "
+              "%.0f: Claim 1 holds)\n",
+              w_cover, n2_u);
+
+  // Non-cover seeds: element 1 stays uncovered; its g-node adopts i2; the
+  // {i2,i3} bundle outruns i1 at every f-node and blocks i4 at every
+  // d-node.
+  Allocation non_cover(4);
+  non_cover.Add(gadget.s_nodes[1], 0);
+  non_cover.Add(gadget.s_nodes[2], 0);
+  const double w_non = Welfare(gadget, non_cover);
+  std::printf("non-cover seeds {S1, S2}:   welfare = %10.0f  (blocked by "
+              "the {i2,i3} bundle)\n",
+              w_non);
+
+  // The proof's best NO-instance strategy: seed g-nodes directly — only k
+  // of the N copies are saved.
+  Allocation gseed(4);
+  gseed.Add(gadget.g_nodes[0], 0);
+  gseed.Add(gadget.g_nodes[1], 0);
+  const double w_g = Welfare(gadget, gseed);
+  std::printf("direct g-node seeds:        welfare = %10.0f  (saves only k "
+              "of N copies)\n",
+              w_g);
+
+  std::printf("\nseparation: non-cover/cover = %.2f, g-seed/cover = %.2f "
+              "(both < c = 0.4)\n",
+              w_non / w_cover, w_g / w_cover);
+  std::printf("=> any constant-factor approximation would decide SET "
+              "COVER (Theorem 2).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Music-platform scenario (the paper's §1 and §6.4 motivation): a
+// streaming host promotes four competing genres whose utilities were
+// learned from Last.fm listening logs (Table 5). The host controls every
+// recommendation and wants engaged, satisfied users — i.e., maximum social
+// welfare — not merely maximum play counts.
+//
+// This example contrasts a welfare-aware allocation (SeqGRD-NM) with a
+// naive round-robin over the same influential users, showing the Table 6
+// effect: same total adoptions, better welfare, adoptions shifted toward
+// the genres users actually value.
+//
+// Build & run:  ./build/examples/music_platform
+#include <cstdio>
+
+#include "baselines/simple_alloc.h"
+#include "exp/configs.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+
+int main() {
+  using namespace cwm;
+
+  // A listener-follows-listener network (directed, heavy-tailed).
+  const Graph graph = WithWeightedCascade(
+      DirectedPreferentialAttachment(20000, 6, 0.15, /*seed=*/11));
+
+  // Genre utilities reconstructed from the published discrete-choice fits:
+  // U(genre) = ln(10000 * p_genre); bundles are strictly worse than their
+  // best genre (pure competition), matching the Last.fm co-adoption data.
+  const UtilityConfig genres = MakeLastFmConfig();
+  std::printf("genre utilities (Table 5):\n");
+  for (ItemId i = 0; i < genres.num_items(); ++i) {
+    std::printf("  %-18s %.2f\n", kLastFmGenres[i],
+                genres.DetUtility(SingletonSet(i)));
+  }
+
+  // The host budget: 25 promoted users per genre. One shared ranking of
+  // influential users (PRIMA+ greedy order), then two assignment policies.
+  const int kBudget = 25;
+  const std::vector<ItemId> items{0, 1, 2, 3};
+  const BudgetVector budgets(4, kBudget);
+  const ImmResult ranking =
+      PrimaPlus(graph, {}, budgets, 4 * kBudget,
+                {.epsilon = 0.5, .ell = 1.0, .seed = 21});
+
+  const Allocation naive =
+      RoundRobinAllocate(4, ranking.seeds, items, budgets);
+  const Allocation welfare_aware = BlockAllocate(
+      4, ranking.seeds, genres.ItemsByTruncatedUtilityDesc(), budgets);
+
+  WelfareEstimator estimator(graph, genres, {.num_worlds = 800, .seed = 23});
+  const WelfareStats s_naive = estimator.Stats(naive);
+  const WelfareStats s_aware = estimator.Stats(welfare_aware);
+
+  auto print = [&](const char* name, const WelfareStats& s) {
+    double total = 0;
+    for (double a : s.adopters_per_item) total += a;
+    std::printf("\n%s:\n  welfare = %.1f, total adoptions = %.1f\n", name,
+                s.welfare, total);
+    for (ItemId i = 0; i < 4; ++i) {
+      std::printf("  %-18s %.1f adopters\n", kLastFmGenres[i],
+                  s.adopters_per_item[i]);
+    }
+  };
+  print("round-robin promotion", s_naive);
+  print("welfare-aware promotion (SeqGRD-NM assignment)", s_aware);
+
+  std::printf("\nwelfare gain: %+.1f%%\n",
+              100.0 * (s_aware.welfare - s_naive.welfare) / s_naive.welfare);
+  std::printf("Note how total adoptions barely move while adoptions shift "
+              "toward preferred genres — the Table 6 effect.\n");
+  return 0;
+}

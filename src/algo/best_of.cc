@@ -1,0 +1,33 @@
+#include "algo/best_of.h"
+
+#include "algo/max_grd.h"
+#include "algo/seq_grd.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+
+Allocation BestOfSeqMax(const Graph& graph, const UtilityConfig& config,
+                        const Allocation& sp,
+                        const std::vector<ItemId>& items,
+                        const BudgetVector& budgets, const AlgoParams& params,
+                        const char** chosen) {
+  const Allocation sp_or_empty =
+      sp.num_items() == 0 ? Allocation(config.num_items()) : sp;
+  Allocation seq =
+      SeqGrd(graph, config, sp_or_empty, items, budgets, params);
+  Allocation max =
+      MaxGrd(graph, config, sp_or_empty, items, budgets, params);
+  WelfareEstimator estimator(graph, config, params.estimator);
+  const double seq_welfare =
+      estimator.Welfare(Allocation::Union(seq, sp_or_empty));
+  const double max_welfare =
+      estimator.Welfare(Allocation::Union(max, sp_or_empty));
+  if (seq_welfare >= max_welfare) {
+    if (chosen != nullptr) *chosen = "SeqGRD";
+    return seq;
+  }
+  if (chosen != nullptr) *chosen = "MaxGRD";
+  return max;
+}
+
+}  // namespace cwm

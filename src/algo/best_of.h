@@ -1,0 +1,27 @@
+// BestOf combiner (§5.2): run SeqGRD and MaxGRD, return the allocation
+// with the higher estimated welfare. With S_P = ∅ this achieves a
+// max{umin/umax, 1/m}(1 - 1/e - eps)-approximation (Theorems 3 + 4).
+#ifndef CWM_ALGO_BEST_OF_H_
+#define CWM_ALGO_BEST_OF_H_
+
+#include <vector>
+
+#include "algo/params.h"
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// Runs SeqGRD and MaxGRD and returns the better of the two allocations
+/// (by Monte-Carlo welfare on top of `sp`). `chosen`, if non-null, is set
+/// to "SeqGRD" or "MaxGRD".
+Allocation BestOfSeqMax(const Graph& graph, const UtilityConfig& config,
+                        const Allocation& sp,
+                        const std::vector<ItemId>& items,
+                        const BudgetVector& budgets, const AlgoParams& params,
+                        const char** chosen = nullptr);
+
+}  // namespace cwm
+
+#endif  // CWM_ALGO_BEST_OF_H_

@@ -1,0 +1,59 @@
+#include "algo/max_grd.h"
+
+#include <algorithm>
+
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+
+Allocation MaxGrd(const Graph& graph, const UtilityConfig& config,
+                  const Allocation& sp, const std::vector<ItemId>& items,
+                  const BudgetVector& budgets, const AlgoParams& params,
+                  AlgoDiagnostics* diagnostics) {
+  CWM_CHECK(!items.empty());
+  CWM_CHECK(budgets.size() == static_cast<std::size_t>(config.num_items()));
+  const Allocation sp_or_empty =
+      sp.num_items() == 0 ? Allocation(config.num_items()) : sp;
+
+  int max_b = 0;
+  std::vector<int> levels;
+  for (ItemId i : items) {
+    CWM_CHECK(budgets[i] >= 1);
+    max_b = std::max(max_b, budgets[i]);
+    levels.push_back(budgets[i]);
+  }
+
+  // Line 1: PRIMA+ seed set of size b = max budget; prefix preservation
+  // makes every first-b_i block near-optimal for its own budget.
+  const ImmResult prima = PrimaPlus(graph, sp_or_empty.SeedNodes(), levels,
+                                    max_b, params.imm);
+  if (diagnostics != nullptr) {
+    diagnostics->rr_count = prima.rr_count;
+    diagnostics->internal_estimate = prima.coverage_estimate;
+  }
+
+  // Line 3: pick the item whose prefix allocation yields the best marginal
+  // welfare. With S_P = ∅ this is E[U+(i)] * sigma(S_i) (single-item
+  // allocations diffuse independently), estimated by Monte Carlo for
+  // consistency with S_P != ∅ runs.
+  WelfareEstimator estimator(graph, config, params.estimator);
+  double best_welfare = -1.0;
+  Allocation best(config.num_items());
+  for (ItemId i : items) {
+    Allocation candidate(config.num_items());
+    const std::size_t bi = static_cast<std::size_t>(budgets[i]);
+    for (std::size_t k = 0; k < bi; ++k) candidate.Add(prima.seeds[k], i);
+    const double welfare =
+        sp_or_empty.Empty()
+            ? estimator.Welfare(candidate)
+            : estimator.MarginalWelfare(sp_or_empty, candidate);
+    if (welfare > best_welfare) {
+      best_welfare = welfare;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace cwm

@@ -1,0 +1,33 @@
+// MaxGRD (§5.2, Algorithm 2).
+//
+// Selects a PRIMA+ seed set of size b = max item budget, then — for every
+// item — evaluates the marginal welfare of giving that item the first b_i
+// seeds, and returns the single best (item, prefix) allocation.
+//
+// Guarantee (Theorem 4, requires S_P = ∅):
+//   rho(S_Max) >= (1/m)(1 - 1/e - eps) * rho(S_A) for any feasible S_A,
+// relying on PRIMA+'s prefix preservation (Definition 1) and the
+// subadditivity of welfare across items under competition (Lemma 3).
+// The algorithm itself also runs with S_P != ∅ (no guarantee then).
+#ifndef CWM_ALGO_MAX_GRD_H_
+#define CWM_ALGO_MAX_GRD_H_
+
+#include <vector>
+
+#include "algo/params.h"
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// Runs MaxGRD; same calling convention as SeqGrd. The returned allocation
+/// assigns exactly one item (the argmax of line 3).
+Allocation MaxGrd(const Graph& graph, const UtilityConfig& config,
+                  const Allocation& sp, const std::vector<ItemId>& items,
+                  const BudgetVector& budgets, const AlgoParams& params,
+                  AlgoDiagnostics* diagnostics = nullptr);
+
+}  // namespace cwm
+
+#endif  // CWM_ALGO_MAX_GRD_H_

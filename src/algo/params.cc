@@ -1,0 +1,4 @@
+#include "algo/params.h"
+
+// Aggregates only; translation unit anchors the module.
+namespace cwm {}  // namespace cwm

@@ -1,0 +1,84 @@
+#include "algo/seq_grd.h"
+
+#include <algorithm>
+
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+
+Allocation SeqGrd(const Graph& graph, const UtilityConfig& config,
+                  const Allocation& sp, const std::vector<ItemId>& items,
+                  const BudgetVector& budgets, const AlgoParams& params,
+                  const SeqGrdOptions& options,
+                  AlgoDiagnostics* diagnostics) {
+  CWM_CHECK(!items.empty());
+  CWM_CHECK(budgets.size() == static_cast<std::size_t>(config.num_items()));
+  const Allocation sp_or_empty =
+      sp.num_items() == 0 ? Allocation(config.num_items()) : sp;
+  CWM_CHECK(sp_or_empty.num_items() == config.num_items());
+
+  int total_b = 0;
+  std::vector<int> levels;
+  for (ItemId i : items) {
+    CWM_CHECK(budgets[i] >= 1);
+    total_b += budgets[i];
+    levels.push_back(budgets[i]);
+  }
+
+  // Line 2: pooled PRIMA+ seed set of size b = sum of budgets.
+  const ImmResult prima = PrimaPlus(graph, sp_or_empty.SeedNodes(), levels,
+                                    total_b, params.imm);
+  if (diagnostics != nullptr) {
+    diagnostics->rr_count = prima.rr_count;
+    diagnostics->internal_estimate = prima.coverage_estimate;
+  }
+
+  // Line 4: items in decreasing expected truncated utility.
+  std::vector<ItemId> order = items;
+  std::stable_sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    return config.ExpectedTruncatedUtility(a) >
+           config.ExpectedTruncatedUtility(b);
+  });
+
+  WelfareEstimator estimator(graph, config, params.estimator);
+  Allocation result(config.num_items());
+  std::size_t cursor = 0;  // next unused position in the greedy order
+  std::vector<ItemId> skipped;
+
+  for (ItemId i : order) {
+    const std::size_t bi = static_cast<std::size_t>(budgets[i]);
+    CWM_CHECK(cursor + bi <= prima.seeds.size());
+    Allocation candidate(config.num_items());
+    for (std::size_t k = 0; k < bi; ++k) {
+      candidate.Add(prima.seeds[cursor + k], i);
+    }
+    bool accept = true;
+    if (options.marginal_check) {
+      // Line 8: commit only if the block adds positive marginal welfare on
+      // top of everything allocated so far (including S_P).
+      const Allocation base = Allocation::Union(result, sp_or_empty);
+      accept = estimator.MarginalWelfare(base, candidate) > 0.0;
+    }
+    if (accept) {
+      result = Allocation::Union(result, candidate);
+      cursor += bi;  // consume these seeds
+    } else {
+      skipped.push_back(i);
+    }
+  }
+
+  // Lines 14-18: append the skipped items (arbitrary order — we reuse the
+  // utility order) so every budget is exhausted.
+  for (ItemId i : skipped) {
+    const std::size_t bi = static_cast<std::size_t>(budgets[i]);
+    CWM_CHECK(cursor + bi <= prima.seeds.size());
+    for (std::size_t k = 0; k < bi; ++k) {
+      result.Add(prima.seeds[cursor + k], i);
+    }
+    cursor += bi;
+  }
+  return result;
+}
+
+}  // namespace cwm

@@ -1,0 +1,58 @@
+// SeqGRD and SeqGRD-NM (§5.1, Algorithm 1).
+//
+// SeqGRD selects one pooled seed set of size b = sum of item budgets with
+// PRIMA+ (approximately optimal marginal spread over the fixed allocation
+// S_P), then assigns items to contiguous blocks of the greedy order in
+// decreasing expected-truncated-utility order. With the marginal check on,
+// an item's block is committed only if it adds positive marginal welfare;
+// rejected items are appended at the end so budgets are always exhausted
+// (required for the Theorem 3 guarantee).
+//
+// Guarantee: rho(S_Seq ∪ S_P) >= (umin/umax)(1 - 1/e - eps) * rho(S_A ∪ S_P)
+// for any feasible allocation S_A, w.p. >= 1 - n^-ell.
+//
+// SeqGRD-NM is the no-marginal-check variant: same guarantee, much faster
+// (no Monte-Carlo marginals), but vulnerable to item blocking (§6.3.2).
+#ifndef CWM_ALGO_SEQ_GRD_H_
+#define CWM_ALGO_SEQ_GRD_H_
+
+#include <vector>
+
+#include "algo/params.h"
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// Options for SeqGrd.
+struct SeqGrdOptions {
+  /// Perform the positive-marginal-welfare check (line 8 of Algorithm 1).
+  /// false == SeqGRD-NM.
+  bool marginal_check = true;
+};
+
+/// Runs SeqGRD. `items` lists I_2 (the items to allocate); `budgets` is
+/// indexed by global ItemId and read only for items in I_2. `sp` is the
+/// fixed allocation S_P (may be empty). Returns the allocation for I_2
+/// only (union with `sp` to obtain the deployed allocation).
+Allocation SeqGrd(const Graph& graph, const UtilityConfig& config,
+                  const Allocation& sp, const std::vector<ItemId>& items,
+                  const BudgetVector& budgets, const AlgoParams& params,
+                  const SeqGrdOptions& options = {},
+                  AlgoDiagnostics* diagnostics = nullptr);
+
+/// Convenience wrapper for SeqGRD-NM.
+inline Allocation SeqGrdNm(const Graph& graph, const UtilityConfig& config,
+                           const Allocation& sp,
+                           const std::vector<ItemId>& items,
+                           const BudgetVector& budgets,
+                           const AlgoParams& params,
+                           AlgoDiagnostics* diagnostics = nullptr) {
+  return SeqGrd(graph, config, sp, items, budgets, params,
+                {.marginal_check = false}, diagnostics);
+}
+
+}  // namespace cwm
+
+#endif  // CWM_ALGO_SEQ_GRD_H_

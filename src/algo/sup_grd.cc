@@ -1,0 +1,70 @@
+#include "algo/sup_grd.h"
+
+#include <memory>
+
+#include "rrset/rr_sampler.h"
+
+namespace cwm {
+
+Status CanRunSupGrd(const UtilityConfig& config, const Allocation& sp) {
+  const auto superior = config.SuperiorItem();
+  if (!superior.has_value()) {
+    return Status::InvalidArgument(
+        "no superior item (needs bounded noise and a strictly dominant "
+        "item)");
+  }
+  if (!config.IsPureCompetition()) {
+    return Status::InvalidArgument("items are not purely competitive");
+  }
+  if (sp.num_items() != config.num_items()) {
+    return Status::InvalidArgument("S_P item universe mismatch");
+  }
+  if (!sp.SeedsOf(*superior).empty()) {
+    return Status::InvalidArgument(
+        "superior item must not be pre-allocated in S_P");
+  }
+  return Status::OK();
+}
+
+Allocation SupGrd(const Graph& graph, const UtilityConfig& config,
+                  const Allocation& sp, int budget, const AlgoParams& params,
+                  AlgoDiagnostics* diagnostics) {
+  CWM_CHECK(budget >= 1);
+  {
+    const Status status = CanRunSupGrd(config, sp);
+    CWM_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+  const ItemId im = *config.SuperiorItem();
+  const double wmax = config.ExpectedTruncatedUtility(im);
+  Allocation result(config.num_items());
+  if (wmax <= 0.0) {
+    // The superior item can never yield positive welfare; any allocation
+    // is optimal. Return the first `budget` nodes.
+    for (NodeId v = 0; v < static_cast<NodeId>(budget); ++v) {
+      result.Add(v, im);
+    }
+    return result;
+  }
+
+  auto fixed = std::make_shared<FixedAllocationIndex>(
+      FixedAllocationIndex::Build(graph.num_nodes(), config, sp));
+  auto sampler = std::make_shared<RrSampler>(graph);
+  auto scratch = std::make_shared<std::vector<NodeId>>();
+  const RrAdder adder = [sampler, scratch, fixed, wmax](Rng& rng,
+                                                        RrCollection* out) {
+    const double w = sampler->SampleWeighted(rng, *fixed, wmax, scratch.get());
+    out->Add(*scratch, w / wmax);  // normalized weight in [0, 1]
+  };
+
+  const ImmResult imm =
+      RunImmDriver(graph.num_nodes(), {budget}, params.imm, adder);
+  if (diagnostics != nullptr) {
+    diagnostics->rr_count = imm.rr_count;
+    // Rescale from normalized coverage to welfare units.
+    diagnostics->internal_estimate = imm.coverage_estimate * wmax;
+  }
+  for (NodeId v : imm.seeds) result.Add(v, im);
+  return result;
+}
+
+}  // namespace cwm

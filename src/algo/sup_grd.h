@@ -1,0 +1,40 @@
+// SupGRD (§5.3): (1 - 1/e - eps)-approximate welfare maximization for the
+// superior item.
+//
+// Preconditions (checked by CanRunSupGrd):
+//  (i)   the configuration has a superior item i_m — its lowest possible
+//        utility beats every other item's highest possible utility (needs
+//        bounded noise);
+//  (ii)  every inferior item's seeds are fixed in S_P, and I_2 = {i_m};
+//  (iii) items are purely competitive (no bundle ever beats its best
+//        single item), so each node adopts exactly one item.
+//
+// Under these conditions welfare is monotone submodular in i_m's seed set
+// (Lemmas 4-5), and the weighted-RR-set estimator (Definition 2, Lemma 6)
+// is unbiased for marginal welfare, so the IMM driver yields a
+// (1 - 1/e - eps)-approximation (Theorem 5).
+#ifndef CWM_ALGO_SUP_GRD_H_
+#define CWM_ALGO_SUP_GRD_H_
+
+#include "algo/params.h"
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Verifies the SupGRD preconditions for allocating `budget` seeds of the
+/// configuration's superior item on top of `sp`. OK iff all three
+/// conditions hold.
+Status CanRunSupGrd(const UtilityConfig& config, const Allocation& sp);
+
+/// Runs SupGRD; allocates `budget` seeds of the superior item. Aborts if
+/// the preconditions fail (call CanRunSupGrd first on fallible paths).
+Allocation SupGrd(const Graph& graph, const UtilityConfig& config,
+                  const Allocation& sp, int budget, const AlgoParams& params,
+                  AlgoDiagnostics* diagnostics = nullptr);
+
+}  // namespace cwm
+
+#endif  // CWM_ALGO_SUP_GRD_H_

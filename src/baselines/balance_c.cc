@@ -1,0 +1,75 @@
+#include "baselines/balance_c.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "baselines/greedy_wm.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+
+Allocation BalanceC(const Graph& graph, const UtilityConfig& config,
+                    const Allocation& sp, const std::vector<ItemId>& items,
+                    const BudgetVector& budgets, const AlgoParams& params,
+                    const BalanceCOptions& options) {
+  CWM_CHECK_MSG(items.size() == 2 && items[0] == 0 && items[1] == 1,
+                "Balance-C handles exactly the two items {0, 1}");
+  const Allocation sp_or_empty =
+      sp.num_items() == 0 ? Allocation(config.num_items()) : sp;
+  WelfareEstimator estimator(graph, config, params.estimator);
+  const std::vector<NodeId> pool =
+      TopSpreadNodes(graph, options.candidate_pool, params.imm);
+
+  std::vector<int> remaining(config.num_items(), 0);
+  int total_remaining = 0;
+  for (ItemId i : items) {
+    remaining[i] = budgets[i];
+    total_remaining += budgets[i];
+    CWM_CHECK(pool.size() >= static_cast<std::size_t>(budgets[i]));
+  }
+
+  struct Entry {
+    double gain;
+    int round;
+    NodeId node;
+    ItemId item;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (a.node != b.node) return a.node > b.node;
+    return a.item > b.item;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  Allocation result(config.num_items());
+  auto marginal = [&](NodeId v, ItemId i) {
+    Allocation extra(config.num_items());
+    extra.Add(v, i);
+    return estimator.MarginalBalancedExposure(
+        Allocation::Union(result, sp_or_empty), extra);
+  };
+
+  for (NodeId v : pool) {
+    for (ItemId i : items) heap.push({marginal(v, i), 0, v, i});
+  }
+
+  int round = 0;
+  while (total_remaining > 0 && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (remaining[top.item] == 0) continue;
+    if (top.round != round) {
+      top.gain = marginal(top.node, top.item);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    result.Add(top.node, top.item);
+    --remaining[top.item];
+    --total_remaining;
+    ++round;
+  }
+  return result;
+}
+
+}  // namespace cwm

@@ -1,0 +1,36 @@
+// Balance-C baseline (§6.1.2), after Garimella et al. [23].
+//
+// For exactly two items, greedily selects (node, item) pairs maximizing
+// the *balanced exposure* objective: the expected number of nodes that are
+// exposed (desire set) to both items or to neither at the end of the
+// propagation. It ignores utilities entirely — the paper uses it to show
+// what welfare a balance-driven host forgoes. Like greedyWM it relies on
+// Monte-Carlo marginals and is deliberately slow; the same candidate-pool
+// restriction keeps it runnable.
+#ifndef CWM_BASELINES_BALANCE_C_H_
+#define CWM_BASELINES_BALANCE_C_H_
+
+#include <vector>
+
+#include "algo/params.h"
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// Options for BalanceC.
+struct BalanceCOptions {
+  /// Candidate pool (top spread-maximizing nodes); 0 = all nodes.
+  std::size_t candidate_pool = 200;
+};
+
+/// Runs Balance-C. `items` must contain exactly the two items {0, 1}.
+Allocation BalanceC(const Graph& graph, const UtilityConfig& config,
+                    const Allocation& sp, const std::vector<ItemId>& items,
+                    const BudgetVector& budgets, const AlgoParams& params,
+                    const BalanceCOptions& options = {});
+
+}  // namespace cwm
+
+#endif  // CWM_BASELINES_BALANCE_C_H_

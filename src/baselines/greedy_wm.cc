@@ -1,0 +1,106 @@
+#include "baselines/greedy_wm.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+
+std::vector<NodeId> TopOutDegreeNodes(const Graph& graph, std::size_t pool) {
+  std::vector<NodeId> nodes(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) nodes[v] = v;
+  if (pool == 0 || pool >= graph.num_nodes()) return nodes;
+  std::partial_sort(nodes.begin(), nodes.begin() + pool, nodes.end(),
+                    [&](NodeId a, NodeId b) {
+                      const auto da = graph.OutDegree(a);
+                      const auto db = graph.OutDegree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  nodes.resize(pool);
+  return nodes;
+}
+
+std::vector<NodeId> TopSpreadNodes(const Graph& graph, std::size_t pool,
+                                   const ImmParams& params) {
+  if (pool == 0 || pool >= graph.num_nodes()) {
+    return TopOutDegreeNodes(graph, 0);
+  }
+  return PrimaPlus(graph, {}, {static_cast<int>(pool)},
+                   static_cast<int>(pool), params)
+      .seeds;
+}
+
+Allocation GreedyWm(const Graph& graph, const UtilityConfig& config,
+                    const Allocation& sp, const std::vector<ItemId>& items,
+                    const BudgetVector& budgets, const AlgoParams& params,
+                    const GreedyWmOptions& options) {
+  CWM_CHECK(!items.empty());
+  const Allocation sp_or_empty =
+      sp.num_items() == 0 ? Allocation(config.num_items()) : sp;
+  WelfareEstimator estimator(graph, config, params.estimator);
+  const std::vector<NodeId> pool =
+      TopSpreadNodes(graph, options.candidate_pool, params.imm);
+
+  std::vector<int> remaining(config.num_items(), 0);
+  int total_remaining = 0;
+  int max_budget = 0;
+  for (ItemId i : items) {
+    remaining[i] = budgets[i];
+    total_remaining += budgets[i];
+    max_budget = std::max(max_budget, budgets[i]);
+  }
+  // Every item draws its seeds from the pool, so the pool must cover the
+  // largest single budget.
+  CWM_CHECK(pool.size() >= static_cast<std::size_t>(max_budget));
+
+  // CELF entries: (gain, evaluation round, node, item). An entry is fresh
+  // if it was evaluated in the current round (== picks made so far).
+  struct Entry {
+    double gain;
+    int round;
+    NodeId node;
+    ItemId item;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (a.node != b.node) return a.node > b.node;
+    return a.item > b.item;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  Allocation result(config.num_items());
+  auto marginal = [&](NodeId v, ItemId i) {
+    Allocation extra(config.num_items());
+    extra.Add(v, i);
+    return estimator.MarginalWelfare(Allocation::Union(result, sp_or_empty),
+                                     extra);
+  };
+
+  for (NodeId v : pool) {
+    for (ItemId i : items) {
+      heap.push({marginal(v, i), 0, v, i});
+    }
+  }
+
+  int round = 0;
+  while (total_remaining > 0 && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (remaining[top.item] == 0) continue;  // budget exhausted
+    if (top.round != round) {
+      top.gain = marginal(top.node, top.item);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    result.Add(top.node, top.item);
+    --remaining[top.item];
+    --total_remaining;
+    ++round;
+  }
+  return result;
+}
+
+}  // namespace cwm

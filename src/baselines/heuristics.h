@@ -1,0 +1,44 @@
+// Classic influence-maximization seed heuristics, used as cheap
+// comparison rankings (§2 cites Chen et al. [18], where DegreeDiscount
+// was introduced). They produce *rankings*, which combine with the
+// positional allocators (baselines/simple_alloc.h) exactly like the
+// PRIMA+ greedy order, and serve as sanity baselines in the ablation
+// bench: the RR-set algorithms must dominate them.
+#ifndef CWM_BASELINES_HEURISTICS_H_
+#define CWM_BASELINES_HEURISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// Top-k nodes by out-degree (ties toward smaller id). The oldest IM
+/// heuristic; ignores overlap entirely.
+std::vector<NodeId> HighDegreeRank(const Graph& graph, std::size_t k);
+
+/// DegreeDiscountIC (Chen-Wang-Yang, KDD'09/'10): degree ranking where a
+/// selected node discounts its neighbours' effective degrees by the
+/// expected overlap 2*t + (d - t)*t*p, with t = #selected in-neighbours.
+/// `p` is the nominal propagation probability the discount assumes
+/// (classically 0.01; pass the graph's constant probability if uniform).
+std::vector<NodeId> DegreeDiscountRank(const Graph& graph, std::size_t k,
+                                       double p = 0.01);
+
+/// PageRank on the *reverse* graph (a node is influential when many
+/// influenceable nodes point at it through reversed edges), computed by
+/// power iteration with damping `alpha`; returns the top-k nodes.
+/// Standard IM practice ranks by PageRank of the transpose so that score
+/// flows against influence direction.
+std::vector<NodeId> PageRankRank(const Graph& graph, std::size_t k,
+                                 double alpha = 0.85, int iterations = 40);
+
+/// Full PageRank vector of the reverse graph (sums to 1); exposed for
+/// tests and custom rankings.
+std::vector<double> ReversePageRank(const Graph& graph, double alpha = 0.85,
+                                    int iterations = 40);
+
+}  // namespace cwm
+
+#endif  // CWM_BASELINES_HEURISTICS_H_

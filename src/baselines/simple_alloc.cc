@@ -1,0 +1,86 @@
+#include "baselines/simple_alloc.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cwm {
+
+namespace {
+
+int TotalBudget(const std::vector<ItemId>& items,
+                const BudgetVector& budgets) {
+  int total = 0;
+  for (ItemId i : items) {
+    CWM_CHECK(budgets[i] >= 0);
+    total += budgets[i];
+  }
+  return total;
+}
+
+}  // namespace
+
+Allocation BlockAllocate(int num_items,
+                         const std::vector<NodeId>& ordered_seeds,
+                         const std::vector<ItemId>& items,
+                         const BudgetVector& budgets) {
+  const int total = TotalBudget(items, budgets);
+  CWM_CHECK(ordered_seeds.size() >= static_cast<std::size_t>(total));
+  Allocation out(num_items);
+  std::size_t cursor = 0;
+  for (ItemId i : items) {
+    for (int k = 0; k < budgets[i]; ++k) out.Add(ordered_seeds[cursor++], i);
+  }
+  return out;
+}
+
+Allocation RoundRobinAllocate(int num_items,
+                              const std::vector<NodeId>& ordered_seeds,
+                              const std::vector<ItemId>& items,
+                              const BudgetVector& budgets) {
+  const int total = TotalBudget(items, budgets);
+  CWM_CHECK(ordered_seeds.size() >= static_cast<std::size_t>(total));
+  Allocation out(num_items);
+  std::vector<int> remaining(num_items, 0);
+  for (ItemId i : items) remaining[i] = budgets[i];
+  std::size_t cursor = 0;
+  int assigned = 0;
+  while (assigned < total) {
+    for (ItemId i : items) {
+      if (remaining[i] == 0) continue;
+      out.Add(ordered_seeds[cursor++], i);
+      --remaining[i];
+      ++assigned;
+    }
+  }
+  return out;
+}
+
+Allocation SnakeAllocate(int num_items,
+                         const std::vector<NodeId>& ordered_seeds,
+                         const std::vector<ItemId>& items,
+                         const BudgetVector& budgets) {
+  const int total = TotalBudget(items, budgets);
+  CWM_CHECK(ordered_seeds.size() >= static_cast<std::size_t>(total));
+  Allocation out(num_items);
+  std::vector<int> remaining(num_items, 0);
+  for (ItemId i : items) remaining[i] = budgets[i];
+  std::size_t cursor = 0;
+  int assigned = 0;
+  bool forward = true;
+  std::vector<ItemId> pass(items);
+  while (assigned < total) {
+    pass = items;
+    if (!forward) std::reverse(pass.begin(), pass.end());
+    for (ItemId i : pass) {
+      if (remaining[i] == 0) continue;
+      out.Add(ordered_seeds[cursor++], i);
+      --remaining[i];
+      ++assigned;
+    }
+    forward = !forward;
+  }
+  return out;
+}
+
+}  // namespace cwm

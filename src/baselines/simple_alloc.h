@@ -1,0 +1,40 @@
+// Positional allocation baselines for the adoption-vs-welfare study
+// (Table 6): given one ranked seed list (e.g. the PRIMA+ greedy order),
+// assign items to positions by simple patterns.
+//
+//  * Block       — contiguous blocks per item in the given item order;
+//                  this is exactly how SeqGRD-NM assigns its pooled seeds.
+//  * Round-robin — s1:i, s2:j, s3:i, s4:j, ...
+//  * Snake       — s1:i, s2:j, s3:j, s4:i, ... (order flips every pass).
+#ifndef CWM_BASELINES_SIMPLE_ALLOC_H_
+#define CWM_BASELINES_SIMPLE_ALLOC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// Contiguous blocks: the first b_{items[0]} seeds get items[0], etc.
+Allocation BlockAllocate(int num_items,
+                         const std::vector<NodeId>& ordered_seeds,
+                         const std::vector<ItemId>& items,
+                         const BudgetVector& budgets);
+
+/// Cyclic assignment; items with exhausted budgets are skipped.
+Allocation RoundRobinAllocate(int num_items,
+                              const std::vector<NodeId>& ordered_seeds,
+                              const std::vector<ItemId>& items,
+                              const BudgetVector& budgets);
+
+/// Like round-robin but the item order reverses on every pass.
+Allocation SnakeAllocate(int num_items,
+                         const std::vector<NodeId>& ordered_seeds,
+                         const std::vector<ItemId>& items,
+                         const BudgetVector& budgets);
+
+}  // namespace cwm
+
+#endif  // CWM_BASELINES_SIMPLE_ALLOC_H_

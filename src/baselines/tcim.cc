@@ -1,0 +1,30 @@
+#include "baselines/tcim.h"
+
+#include <algorithm>
+
+#include "rrset/imm.h"
+
+namespace cwm {
+
+Allocation Tcim(const Graph& graph, const UtilityConfig& config,
+                const Allocation& sp, const std::vector<ItemId>& items,
+                const BudgetVector& budgets, const AlgoParams& params) {
+  CWM_CHECK(!items.empty());
+  (void)sp;  // fixed competitors stay where they are; see header comment
+  int max_b = 0;
+  for (ItemId i : items) {
+    CWM_CHECK(budgets[i] >= 1);
+    max_b = std::max(max_b, budgets[i]);
+  }
+  // One spread-maximizing ranking; every item contests its prefix.
+  const ImmResult imm = Imm(graph, max_b, params.imm);
+  Allocation result(config.num_items());
+  for (ItemId i : items) {
+    for (int k = 0; k < budgets[i]; ++k) {
+      result.Add(imm.seeds[static_cast<std::size_t>(k)], i);
+    }
+  }
+  return result;
+}
+
+}  // namespace cwm

@@ -1,0 +1,40 @@
+// TCIM baseline (§6.1.2), after Lin & Lui [34].
+//
+// TCIM maximizes one item's *adoption count* under competition, given the
+// other items' seeds fixed; the paper runs it item by item and keeps the
+// allocation with the best welfare. Under Lin & Lui's proportional-
+// adoption GCIC model, contesting the highest-spread nodes is optimal for
+// an item's own count even when competitors already sit there (a shared
+// top node yields a share of a huge region, which beats owning a small
+// region outright on heavy-tailed graphs). The paper observes exactly
+// that: "TCIM ... ends up allocating both the items in same seed nodes"
+// (§6.2.2), which is what costs it welfare under UIC's utility-driven
+// tie-breaking.
+//
+// We therefore reproduce TCIM's *observable* seed placement: every item
+// greedily takes the top spread-maximizing nodes of one IMM ranking
+// (items with larger budgets extend the same prefix), i.e. all items
+// contest the same top seeds. Welfare is evaluated under UIC by the
+// caller, as in the paper.
+#ifndef CWM_BASELINES_TCIM_H_
+#define CWM_BASELINES_TCIM_H_
+
+#include <vector>
+
+#include "algo/params.h"
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// Runs the TCIM baseline; same calling convention as SeqGrd. Existing
+/// seeds in `sp` are honoured as fixed competitors (they do not move),
+/// and every item in `items` stacks onto the shared top-spread prefix.
+Allocation Tcim(const Graph& graph, const UtilityConfig& config,
+                const Allocation& sp, const std::vector<ItemId>& items,
+                const BudgetVector& budgets, const AlgoParams& params);
+
+}  // namespace cwm
+
+#endif  // CWM_BASELINES_TCIM_H_

@@ -1,0 +1,178 @@
+#include "exp/configs.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace cwm {
+
+namespace {
+
+UtilityConfig MustBuild(UtilityConfigBuilder&& builder) {
+  StatusOr<UtilityConfig> result = std::move(builder).Build();
+  CWM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+// Shared two-item skeleton of Table 3: prices P(i)=3, P(j)=4.
+UtilityConfigBuilder TwoItemSkeleton(const char* name, double vi, double vj,
+                                     double vij) {
+  UtilityConfigBuilder builder(2);
+  builder.SetName(name)
+      .SetItemValue(0, vi)
+      .SetItemValue(1, vj)
+      .SetItemPrice(0, 3.0)
+      .SetItemPrice(1, 4.0)
+      .SetBundleValue(0x3, vij);
+  return builder;
+}
+
+}  // namespace
+
+UtilityConfig MakeConfigC1() {
+  auto builder = TwoItemSkeleton("C1", 4.0, 4.9, 4.9);
+  builder.SetAllNoise(NoiseDistribution::Normal(1.0));
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeConfigC2() {
+  auto builder = TwoItemSkeleton("C2", 4.0, 4.1, 4.1);
+  builder.SetAllNoise(NoiseDistribution::Normal(1.0));
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeConfigC3() {
+  auto builder = TwoItemSkeleton("C3", 4.0, 4.9, 8.7);
+  builder.SetAllNoise(NoiseDistribution::Normal(1.0));
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeConfigC5() {
+  // C1 utilities (U(i)=1 vs U(j)=0.9); the noise bound must be below half
+  // the utility gap (0.1) for i to be superior. sigma = bound / 3 keeps
+  // actual clamping rare.
+  auto builder = TwoItemSkeleton("C5", 4.0, 4.9, 4.9);
+  builder.SetAllNoise(NoiseDistribution::ClampedNormal(0.04 / 3.0, 0.04));
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeConfigC6() {
+  // C2 utilities (U(i)=1 vs U(j)=0.1); gap 0.9 allows bound 0.40.
+  auto builder = TwoItemSkeleton("C6", 4.0, 4.1, 4.1);
+  builder.SetAllNoise(NoiseDistribution::ClampedNormal(0.40 / 3.0, 0.40));
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeThreeItemConfig() {
+  // Realizes Table 4: U(i)=2, U(j)=0.11, U(k)=0.1, U({i,k})=2.1, every
+  // other bundle < 0, via additive prices of 10 per item.
+  UtilityConfigBuilder builder(3);
+  builder.SetName("ThreeItem")
+      .SetItemValue(0, 12.0)    // i
+      .SetItemValue(1, 10.11)   // j
+      .SetItemValue(2, 10.1)    // k
+      .SetItemPrice(0, 10.0)
+      .SetItemPrice(1, 10.0)
+      .SetItemPrice(2, 10.0)
+      .SetBundleValue(0x3, 19.9)    // {i,j}:  U = -0.1
+      .SetBundleValue(0x5, 22.1)    // {i,k}:  U = +2.1 (soft competition)
+      .SetBundleValue(0x6, 19.9)    // {j,k}:  U = -0.1
+      .SetBundleValue(0x7, 29.69);  // {i,j,k}: U = -0.31
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeUniformPureCompetition(int num_items) {
+  UtilityConfigBuilder builder(num_items);
+  builder.SetName("Uniform-m" + std::to_string(num_items));
+  for (ItemId i = 0; i < num_items; ++i) {
+    builder.SetItemValue(i, 2.0).SetItemPrice(i, 1.0);
+  }
+  // Default bundle completion V(I) = max singleton = 2 already gives
+  // U(I) = 2 - |I| < 1: pure competition.
+  return MustBuild(std::move(builder));
+}
+
+const char* const kLastFmGenres[4] = {"indie", "rock", "industrial",
+                                      "progressive metal"};
+
+UtilityConfig MakeLastFmConfig() {
+  // Learned adoption probabilities from Table 5 (Benson et al.'s discrete
+  // choice model on the Last.fm log); utilities per §6.4.1:
+  // U(i) = ln(10000 * p_i).
+  static constexpr double kProbs[4] = {0.107, 0.091, 0.015, 0.011};
+  // An additive price of 3 per item (values shifted up by 3) makes every
+  // bundle strictly worse than its best singleton, matching the paper's
+  // observation that the learned bundles indicate pure competition.
+  static constexpr double kPrice = 3.0;
+  UtilityConfigBuilder builder(4);
+  builder.SetName("LastFM");
+  for (ItemId i = 0; i < 4; ++i) {
+    const double u = std::log(10000.0 * kProbs[i]);
+    builder.SetItemValue(i, u + kPrice).SetItemPrice(i, kPrice);
+  }
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeTheorem1Config() {
+  // Utilities: U(i1)=4, U(i2)=3, U(i3)=3.5; U({i1,i2})=3 (tie: a node
+  // holding i2 does not add i1), U({i1,i3})=4.5, U({i2,i3})=2.5,
+  // U(all)=2. Matches every adoption step of the Theorem 1 proof.
+  UtilityConfigBuilder builder(3);
+  builder.SetName("Theorem1")
+      .SetItemValue(0, 6.0)   // i1, price 2 -> U = 4
+      .SetItemValue(1, 7.0)   // i2, price 4 -> U = 3
+      .SetItemValue(2, 6.5)   // i3, price 3 -> U = 3.5
+      .SetItemPrice(0, 2.0)
+      .SetItemPrice(1, 4.0)
+      .SetItemPrice(2, 3.0)
+      .SetBundleValue(0x3, 9.0)    // {i1,i2}: U = 3
+      .SetBundleValue(0x5, 9.5)    // {i1,i3}: U = 4.5
+      .SetBundleValue(0x6, 9.5)    // {i2,i3}: U = 2.5
+      .SetBundleValue(0x7, 11.0);  // all:     U = 2
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeMixedComplementConfig() {
+  UtilityConfigBuilder builder(3);
+  builder.SetName("MixedComplement")
+      .SetValidation(BundleValidation::kMonotoneOnly)
+      .SetItemValue(0, 5.0)    // phone,  price 4 -> U = 1.0
+      .SetItemValue(1, 2.2)    // case,   price 2 -> U = 0.2
+      .SetItemValue(2, 4.9)    // phone2, price 4 -> U = 0.9
+      .SetItemPrice(0, 4.0)
+      .SetItemPrice(1, 2.0)
+      .SetItemPrice(2, 4.0)
+      .SetBundleValue(0x3, 7.8)   // {phone, case}:   U = 1.8 (complement)
+      .SetBundleValue(0x5, 5.5)   // {phone, phone2}: U = -2.5 (competition)
+      .SetBundleValue(0x6, 7.3)   // {phone2, case}:  U = 1.3 (complement)
+      .SetBundleValue(0x7, 8.3);  // all:             U = -1.7
+  return MustBuild(std::move(builder));
+}
+
+UtilityConfig MakeTheorem2Config() {
+  // Table 1 verbatim (c = 0.4). Items i1..i4 are ItemIds 0..3.
+  UtilityConfigBuilder builder(4);
+  builder.SetName("Theorem2")
+      .SetItemValue(0, 15.1)
+      .SetItemValue(1, 105.0)
+      .SetItemValue(2, 105.0)
+      .SetItemValue(3, 101.0)
+      .SetItemPrice(0, 10.0)
+      .SetItemPrice(1, 100.0)
+      .SetItemPrice(2, 100.0)
+      .SetItemPrice(3, 1.0)
+      .SetBundleValue(0x3, 114.9)   // {i1,i2}
+      .SetBundleValue(0x5, 114.9)   // {i1,i3}
+      .SetBundleValue(0x9, 116.1)   // {i1,i4}
+      .SetBundleValue(0x6, 210.0)   // {i2,i3}
+      .SetBundleValue(0xA, 206.0)   // {i2,i4}
+      .SetBundleValue(0xC, 206.0)   // {i3,i4}
+      .SetBundleValue(0x7, 214.6)   // {i1,i2,i3}
+      .SetBundleValue(0xB, 214.0)   // {i1,i2,i4}
+      .SetBundleValue(0xD, 214.0)   // {i1,i3,i4}
+      .SetBundleValue(0xE, 210.5)   // {i2,i3,i4}
+      .SetBundleValue(0xF, 214.6);  // all
+  return MustBuild(std::move(builder));
+}
+
+}  // namespace cwm

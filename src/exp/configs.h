@@ -1,0 +1,76 @@
+// The paper's utility configurations.
+//
+//  * C1-C4   — two-item synthetic configurations of Table 3 (shared prices
+//              P(i)=3, P(j)=4; values differ; N(0,1) noise). C1/C2 are pure
+//              competition, C3/C4 soft competition (C4 = C3 with
+//              non-uniform budgets, which is a bench-side concern).
+//  * C5/C6   — §6.2.3: the C1/C2 utilities with *clamped* normal noise so
+//              item i is a superior item (SupGRD's precondition); the
+//              inferior item's seeds are fixed to the top IMM nodes.
+//  * Three-item configuration of Table 4 (§6.3.2, blocking study).
+//  * Uniform pure competition with m items (§6.3.1, Fig 6(a,b)).
+//  * Last.fm genre configuration of Table 5, reconstructed exactly as
+//    §6.4.1 prescribes from the published learned adoption probabilities:
+//    U(i) = ln(10000 * p_i); bundles priced so competition is pure.
+//  * Theorem 1 (Fig 1(a)) and Theorem 2 (Table 1) theory configurations.
+//
+// Every factory returns a validated (monotone submodular) configuration.
+#ifndef CWM_EXP_CONFIGS_H_
+#define CWM_EXP_CONFIGS_H_
+
+#include "model/utility.h"
+
+namespace cwm {
+
+/// C1: comparable utilities, pure competition. U(i)=1, U(j)=0.9,
+/// U({i,j}) = -2.1; noise N(0,1).
+UtilityConfig MakeConfigC1();
+
+/// C2: high utility gap, pure competition. U(i)=1, U(j)=0.1,
+/// U({i,j}) = -2.9; noise N(0,1).
+UtilityConfig MakeConfigC2();
+
+/// C3 (and C4): soft competition. U(i)=1, U(j)=0.9, U({i,j}) = 1.7;
+/// noise N(0,1).
+UtilityConfig MakeConfigC3();
+
+/// C5: C1 utilities, clamped noise (bound 0.04) making i superior.
+UtilityConfig MakeConfigC5();
+
+/// C6: C2 utilities, clamped noise (bound 0.40) making i superior.
+UtilityConfig MakeConfigC6();
+
+/// Table 4: U(i)=2, U(j)=0.11, U(k)=0.1, U({i,k})=2.1, all other bundles
+/// negative. Mix of pure and soft competition; drives the item-blocking
+/// study of §6.3.2.
+UtilityConfig MakeThreeItemConfig();
+
+/// Fig 6(a,b): m unit-utility items in pure competition (V=2, P=1 each;
+/// V(bundle) = 2).
+UtilityConfig MakeUniformPureCompetition(int num_items);
+
+/// Table 5 reconstruction: items {indie, rock, industrial, progressive
+/// metal} with deterministic utilities {~7.0, ~6.8, ~5.0, ~4.7}; pure
+/// competition. Item order matches Table 5.
+UtilityConfig MakeLastFmConfig();
+
+/// Item names for MakeLastFmConfig(), aligned by ItemId.
+extern const char* const kLastFmGenres[4];
+
+/// Fig 1(a): the 3-item configuration of the Theorem 1 counterexamples
+/// (U(i1)=4, U(i2)=3, U(i3)=3.5, U({i1,i3})=4.5, other bundles dominated).
+UtilityConfig MakeTheorem1Config();
+
+/// Table 1: the 4-item configuration of the Theorem 2 reduction (c = 0.4).
+UtilityConfig MakeTheorem2Config();
+
+/// Mixed competition/complementarity (§7 future work): two competing
+/// phones (items 0, 2) and a case (item 1) that complements either phone.
+/// U(phone)=1, U(case)=0.2, U(phone2)=0.9; U({phone,case})=1.8 and
+/// U({phone2,case})=1.3 are supermodular; the phone pair is purely
+/// competitive. Built with BundleValidation::kMonotoneOnly.
+UtilityConfig MakeMixedComplementConfig();
+
+}  // namespace cwm
+
+#endif  // CWM_EXP_CONFIGS_H_

@@ -1,0 +1,50 @@
+// Synthetic stand-ins for the paper's evaluation networks (Table 2).
+//
+// The real datasets (NetHEPT; Douban-Book/Movie; SNAP Orkut and Twitter)
+// cannot be shipped; these factories synthesize graphs with the same node
+// count, directedness and average degree, and heavy-tailed degree
+// distributions from preferential attachment — the properties that drive
+// RR-set and diffusion behaviour under weighted-cascade probabilities.
+// Orkut and Twitter are built at a reduced, configurable node count (the
+// paper's 3.07M/41.7M-node runs used a 128 GB server); density is
+// preserved. Anyone holding the real edge lists can substitute them via
+// graph/loader.h.
+//
+// All factories return *topology only*; apply an edge-probability model
+// (graph/edge_prob.h) before running algorithms.
+#ifndef CWM_EXP_NETWORKS_H_
+#define CWM_EXP_NETWORKS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// NetHEPT-like: 15.2K nodes, ~31.4K undirected edges (avg degree ~4.1),
+/// collaboration-network power law.
+Graph NetHeptLike(uint64_t seed = 11);
+
+/// Douban-Book-like: 23.3K nodes, ~141K directed edges (avg degree ~6.5).
+Graph DoubanBookLike(uint64_t seed = 12);
+
+/// Douban-Movie-like: 34.9K nodes, ~274K directed edges (avg degree ~7.9).
+Graph DoubanMovieLike(uint64_t seed = 13);
+
+/// Orkut-like at `num_nodes` nodes (paper: 3.07M): undirected friendship
+/// network, average degree ~76 like the SNAP original. Dense — size runs
+/// accordingly.
+Graph OrkutLike(std::size_t num_nodes, uint64_t seed = 14);
+
+/// Twitter-like at `num_nodes` nodes (paper: 41.7M): directed follower
+/// network, average out-degree ~35 (SNAP twitter-2010 density).
+Graph TwitterLike(std::size_t num_nodes, uint64_t seed = 15);
+
+/// One row of Table 2 for `g`, e.g.
+/// "nethept-like  15200 nodes  62342 directed edges  avg deg 4.10".
+std::string NetworkStatsRow(const std::string& name, const Graph& g);
+
+}  // namespace cwm
+
+#endif  // CWM_EXP_NETWORKS_H_

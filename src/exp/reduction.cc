@@ -1,0 +1,119 @@
+#include "exp/reduction.h"
+
+#include "exp/configs.h"
+#include "graph/graph_builder.h"
+#include "support/check.h"
+
+namespace cwm {
+
+Theorem2Gadget BuildTheorem2Gadget(const SetCoverInstance& instance,
+                                   std::size_t num_copies) {
+  const std::size_t n = static_cast<std::size_t>(instance.num_elements);
+  const std::size_t r = instance.sets.size();
+  CWM_CHECK(n >= 1 && r >= 1);
+  CWM_CHECK(num_copies >= 1 && num_copies % n == 0);
+  const std::size_t d_per_group = num_copies / n;
+
+  // Shared nodes: s (r), a (n), b (n), j (n). Per copy: g, e, f, l, m, o
+  // (n each) and N d-nodes.
+  const std::size_t shared = r + 3 * n;
+  const std::size_t per_copy = 6 * n + num_copies;
+  const std::size_t total = shared + num_copies * per_copy;
+
+  Theorem2Gadget out;
+  out.num_copies = num_copies;
+  out.num_d_nodes = num_copies * num_copies;
+  out.utility = MakeTheorem2Config();
+  out.budgets = {instance.k, static_cast<int>(n), static_cast<int>(n),
+                 static_cast<int>(n)};
+
+  const NodeId s0 = 0;
+  const NodeId a0 = static_cast<NodeId>(r);
+  const NodeId b0 = static_cast<NodeId>(r + n);
+  const NodeId j0 = static_cast<NodeId>(r + 2 * n);
+  auto copy_base = [&](std::size_t c) {
+    return static_cast<NodeId>(shared + c * per_copy);
+  };
+  // Within a copy: g [0,n), e [n,2n), f [2n,3n), l [3n,4n), m [4n,5n),
+  // o [5n,6n), d [6n, 6n+N).
+  auto g_of = [&](std::size_t c, std::size_t i) {
+    return static_cast<NodeId>(copy_base(c) + i);
+  };
+  auto e_of = [&](std::size_t c, std::size_t i) {
+    return static_cast<NodeId>(copy_base(c) + n + i);
+  };
+  auto f_of = [&](std::size_t c, std::size_t i) {
+    return static_cast<NodeId>(copy_base(c) + 2 * n + i);
+  };
+  auto l_of = [&](std::size_t c, std::size_t i) {
+    return static_cast<NodeId>(copy_base(c) + 3 * n + i);
+  };
+  auto m_of = [&](std::size_t c, std::size_t i) {
+    return static_cast<NodeId>(copy_base(c) + 4 * n + i);
+  };
+  auto o_of = [&](std::size_t c, std::size_t i) {
+    return static_cast<NodeId>(copy_base(c) + 5 * n + i);
+  };
+  auto d_of = [&](std::size_t c, std::size_t idx) {
+    return static_cast<NodeId>(copy_base(c) + 6 * n + idx);
+  };
+
+  GraphBuilder builder(total);
+  for (std::size_t c = 0; c < num_copies; ++c) {
+    // Set-cover bipartite part: s_t -> g_i iff element i in S_t.
+    for (std::size_t t = 0; t < r; ++t) {
+      for (int elem : instance.sets[t]) {
+        CWM_CHECK(elem >= 0 && elem < instance.num_elements);
+        builder.AddEdge(static_cast<NodeId>(s0 + t),
+                        g_of(c, static_cast<std::size_t>(elem)), 1.0);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // a_i -> g_i; b_i -> e_i -> f_i; j_i -> l_i -> m_i -> o_i.
+      builder.AddEdge(static_cast<NodeId>(a0 + i), g_of(c, i), 1.0);
+      builder.AddEdge(static_cast<NodeId>(b0 + i), e_of(c, i), 1.0);
+      builder.AddEdge(e_of(c, i), f_of(c, i), 1.0);
+      builder.AddEdge(static_cast<NodeId>(j0 + i), l_of(c, i), 1.0);
+      builder.AddEdge(l_of(c, i), m_of(c, i), 1.0);
+      builder.AddEdge(m_of(c, i), o_of(c, i), 1.0);
+      // g -> f is complete bipartite: one g adopting i1 at t=1/2 reaches
+      // every f before {i2, i3} can assemble, and one g adopting i2 makes
+      // every f (which also hears i3 from its e) adopt the {i2,i3} bundle.
+      for (std::size_t q = 0; q < n; ++q) {
+        builder.AddEdge(g_of(c, i), f_of(c, q), 1.0);
+      }
+      // f_i and o_i feed the i-th group of N/n d-nodes.
+      for (std::size_t q = 0; q < d_per_group; ++q) {
+        builder.AddEdge(f_of(c, i), d_of(c, i * d_per_group + q), 1.0);
+        builder.AddEdge(o_of(c, i), d_of(c, i * d_per_group + q), 1.0);
+      }
+    }
+  }
+  out.graph = std::move(builder).Build();
+
+  // Fixed allocation: a -> i2, b -> i3, j -> i4 (shared nodes, so they act
+  // in every copy).
+  Allocation sp(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    sp.Add(static_cast<NodeId>(a0 + i), 1);
+    sp.Add(static_cast<NodeId>(b0 + i), 2);
+    sp.Add(static_cast<NodeId>(j0 + i), 3);
+  }
+  out.fixed_sp = std::move(sp);
+
+  out.s_nodes.resize(r);
+  for (std::size_t t = 0; t < r; ++t) {
+    out.s_nodes[t] = static_cast<NodeId>(s0 + t);
+  }
+  out.g_nodes.reserve(num_copies * n);
+  out.d_nodes.reserve(out.num_d_nodes);
+  for (std::size_t c = 0; c < num_copies; ++c) {
+    for (std::size_t i = 0; i < n; ++i) out.g_nodes.push_back(g_of(c, i));
+    for (std::size_t idx = 0; idx < num_copies; ++idx) {
+      out.d_nodes.push_back(d_of(c, idx));
+    }
+  }
+  return out;
+}
+
+}  // namespace cwm

@@ -1,0 +1,54 @@
+// The Theorem 2 gap-introducing reduction from SET COVER (Fig. 2, Table 1).
+//
+// Builds the CWelMax instance J: N copies of the gadget J' sharing the
+// s/a/b/j nodes, with the Table 1 utility configuration and the fixed
+// allocation {a -> i2, b -> i3, j -> i4}. For a YES instance of SET COVER
+// (k sets covering all elements), seeding i1 on those k s-nodes makes all
+// N^2 d-nodes adopt {i1, i4} (utility 105.1 each); for a NO instance every
+// choice of k i1-seeds leaves welfare below c * N^2 * U({i1,i4}) with
+// c = 0.4. Used by integration tests and the hardness_gadget example to
+// validate the reduction's Claims 1-3 empirically.
+#ifndef CWM_EXP_REDUCTION_H_
+#define CWM_EXP_REDUCTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+
+namespace cwm {
+
+/// A SET COVER instance (F, X, k): `sets[t]` lists the element ids (in
+/// [0, num_elements)) of subset S_t; the question is whether k subsets
+/// cover X.
+struct SetCoverInstance {
+  int num_elements = 0;
+  std::vector<std::vector<int>> sets;
+  int k = 0;
+};
+
+/// The constructed CWelMax instance.
+struct Theorem2Gadget {
+  Graph graph;
+  UtilityConfig utility;      ///< Table 1 configuration (c = 0.4).
+  Allocation fixed_sp;        ///< a -> i2, b -> i3, j -> i4 (shared nodes).
+  BudgetVector budgets;       ///< {k, n, n, n}.
+  std::vector<NodeId> s_nodes;  ///< shared set-nodes: i1 seed candidates.
+  /// g_nodes[c * n + i] = node g_i of copy c.
+  std::vector<NodeId> g_nodes;
+  std::size_t num_copies = 0;   ///< N.
+  std::size_t num_d_nodes = 0;  ///< N * N in total.
+  std::vector<NodeId> d_nodes;  ///< all d nodes, copy-major.
+};
+
+/// Builds the instance with N copies. `num_copies` must be a positive
+/// multiple of instance.num_elements (the d-nodes split into n groups of
+/// N/n per copy). All edge probabilities are 1 (deterministic diffusion).
+Theorem2Gadget BuildTheorem2Gadget(const SetCoverInstance& instance,
+                                   std::size_t num_copies);
+
+}  // namespace cwm
+
+#endif  // CWM_EXP_REDUCTION_H_

@@ -1,0 +1,50 @@
+#include "exp/runner.h"
+
+#include <cstdlib>
+
+#include "support/timer.h"
+
+namespace cwm {
+
+ExperimentRunner::ExperimentRunner(const Graph& graph,
+                                   const UtilityConfig& config,
+                                   EstimatorOptions eval_options)
+    : graph_(graph),
+      config_(config),
+      evaluator_(graph, config, eval_options) {}
+
+RunRecord ExperimentRunner::Run(const std::string& name,
+                                const std::function<Allocation()>& algo,
+                                const Allocation& sp) const {
+  RunRecord record;
+  record.algorithm = name;
+  Timer timer;
+  record.allocation = algo();
+  record.seconds = timer.Seconds();
+  const Allocation sp_or_empty =
+      sp.num_items() == 0 ? Allocation(config_.num_items()) : sp;
+  record.stats =
+      evaluator_.Stats(Allocation::Union(record.allocation, sp_or_empty));
+  record.welfare = record.stats.welfare;
+  return record;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || parsed <= 0) return fallback;
+  return static_cast<int>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || parsed <= 0.0) return fallback;
+  return parsed;
+}
+
+}  // namespace cwm

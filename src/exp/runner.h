@@ -1,0 +1,56 @@
+// Experiment harness helpers shared by the bench binaries: run an
+// algorithm, time it (the paper's running-time figures), evaluate the
+// resulting allocation's welfare with one common high-precision estimator
+// (so algorithms are compared on the same possible worlds), and print
+// aligned rows.
+#ifndef CWM_EXP_RUNNER_H_
+#define CWM_EXP_RUNNER_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+
+/// One (algorithm, configuration) measurement.
+struct RunRecord {
+  std::string algorithm;
+  double seconds = 0.0;    ///< wall-clock seed-selection time
+  double welfare = 0.0;    ///< rho(alloc ∪ sp), common evaluator
+  WelfareStats stats;      ///< adoption counts etc.
+  Allocation allocation;   ///< the algorithm's allocation (without sp)
+};
+
+/// Times `algo` and evaluates its allocation on top of `sp` with a shared
+/// evaluator.
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const Graph& graph, const UtilityConfig& config,
+                   EstimatorOptions eval_options);
+
+  /// Runs one algorithm; `sp` may be an empty allocation.
+  RunRecord Run(const std::string& name,
+                const std::function<Allocation()>& algo,
+                const Allocation& sp) const;
+
+  const WelfareEstimator& evaluator() const { return evaluator_; }
+
+ private:
+  const Graph& graph_;
+  const UtilityConfig& config_;
+  WelfareEstimator evaluator_;
+};
+
+/// Integer environment knob (e.g. CWM_SIMS); `fallback` when unset/invalid.
+int EnvInt(const char* name, int fallback);
+
+/// Double environment knob (e.g. CWM_BENCH_SCALE).
+double EnvDouble(const char* name, double fallback);
+
+}  // namespace cwm
+
+#endif  // CWM_EXP_RUNNER_H_

@@ -1,0 +1,45 @@
+#include "graph/edge_prob.h"
+
+#include "graph/graph_builder.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+namespace {
+
+template <typename ProbFn>
+Graph Reassign(const Graph& g, ProbFn prob_of) {
+  GraphBuilder builder(g.num_nodes());
+  builder.Reserve(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::size_t k = 0;
+    for (const InEdge& e : g.InEdges(v)) {
+      builder.AddEdge(e.from, v, prob_of(e.from, v, e.id, k));
+      ++k;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Graph WithWeightedCascade(const Graph& g) {
+  return Reassign(g, [&g](NodeId, NodeId v, EdgeId, std::size_t) {
+    return 1.0 / static_cast<double>(g.InDegree(v));
+  });
+}
+
+Graph WithConstantProb(const Graph& g, double p) {
+  CWM_CHECK(p >= 0.0 && p <= 1.0);
+  return Reassign(g, [p](NodeId, NodeId, EdgeId, std::size_t) { return p; });
+}
+
+Graph WithTrivalency(const Graph& g, uint64_t seed) {
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  return Reassign(g, [seed](NodeId, NodeId, EdgeId id, std::size_t) {
+    const uint64_t h = MixHash(seed, id);
+    return kLevels[h % 3];
+  });
+}
+
+}  // namespace cwm

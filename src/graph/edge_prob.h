@@ -1,0 +1,29 @@
+// Influence-probability assignment models.
+//
+// The paper (§6.1.3, following IMM/SSA practice) sets p(u,v) = 1/din(v) —
+// the weighted-cascade (WC) model. Fig 6(d) additionally uses a constant
+// p = 0.01. The trivalency model ({0.1, 0.01, 0.001} uniformly at random)
+// is the third standard in the IM literature and is provided for
+// completeness and ablations.
+#ifndef CWM_GRAPH_EDGE_PROB_H_
+#define CWM_GRAPH_EDGE_PROB_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// Returns a copy of `g` with p(u,v) = 1 / din(v) (weighted cascade).
+Graph WithWeightedCascade(const Graph& g);
+
+/// Returns a copy of `g` with every probability set to `p`.
+Graph WithConstantProb(const Graph& g, double p);
+
+/// Returns a copy of `g` with each edge assigned one of {0.1, 0.01, 0.001}
+/// uniformly at random (trivalency model), deterministically from `seed`.
+Graph WithTrivalency(const Graph& g, uint64_t seed);
+
+}  // namespace cwm
+
+#endif  // CWM_GRAPH_EDGE_PROB_H_

@@ -1,0 +1,189 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+Graph ErdosRenyi(std::size_t num_nodes, std::size_t num_edges,
+                 uint64_t seed) {
+  CWM_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(num_edges);
+  // Duplicate draws are merged by the builder; over-draw slightly to land
+  // near the requested count, then rely on merge semantics. For the sparse
+  // graphs used here collisions are rare.
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (v == u) v = (v + 1) % num_nodes;
+    builder.AddEdge(u, v, 0.0);
+  }
+  return std::move(builder).Build();
+}
+
+Graph BarabasiAlbert(std::size_t num_nodes, std::size_t edges_per_node,
+                     uint64_t seed) {
+  CWM_CHECK(num_nodes > edges_per_node && edges_per_node >= 1);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(2 * num_nodes * edges_per_node);
+  // `endpoints` holds every half-edge endpoint seen so far; drawing a
+  // uniform element implements degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * num_nodes * edges_per_node);
+  // Seed clique over the first edges_per_node+1 nodes.
+  const std::size_t core = edges_per_node + 1;
+  for (std::size_t u = 0; u < core; ++u) {
+    for (std::size_t v = u + 1; v < core; ++v) {
+      builder.AddUndirectedEdge(static_cast<NodeId>(u),
+                                static_cast<NodeId>(v), 0.0);
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(static_cast<NodeId>(v));
+    }
+  }
+  std::vector<NodeId> picked;
+  for (std::size_t u = core; u < num_nodes; ++u) {
+    picked.clear();
+    for (std::size_t e = 0; e < edges_per_node; ++e) {
+      // Retry a few times on self/duplicate targets so the realized degree
+      // tracks edges_per_node even for dense graphs.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId target = endpoints[rng.NextBounded(endpoints.size())];
+        if (target == static_cast<NodeId>(u)) continue;
+        if (std::find(picked.begin(), picked.end(), target) != picked.end()) {
+          continue;
+        }
+        picked.push_back(target);
+        builder.AddUndirectedEdge(static_cast<NodeId>(u), target, 0.0);
+        endpoints.push_back(static_cast<NodeId>(u));
+        endpoints.push_back(target);
+        break;
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph DirectedPreferentialAttachment(std::size_t num_nodes,
+                                     std::size_t out_per_node,
+                                     double random_frac, uint64_t seed,
+                                     double influencer_frac) {
+  CWM_CHECK(num_nodes > out_per_node && out_per_node >= 1);
+  CWM_CHECK(random_frac >= 0.0 && random_frac <= 1.0);
+  CWM_CHECK(influencer_frac >= 0.0 && influencer_frac <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(num_nodes * out_per_node);
+  std::vector<NodeId> targets_pool;  // multiset of past picks (popularity)
+  targets_pool.reserve(num_nodes * out_per_node);
+  const std::size_t core = out_per_node + 1;
+  for (std::size_t u = 1; u < core; ++u) {
+    for (std::size_t v = 0; v < u; ++v) {
+      builder.AddEdge(static_cast<NodeId>(v), static_cast<NodeId>(u), 0.0);
+      targets_pool.push_back(static_cast<NodeId>(v));
+    }
+  }
+  std::vector<NodeId> picked;
+  for (std::size_t u = core; u < num_nodes; ++u) {
+    picked.clear();
+    for (std::size_t e = 0; e < out_per_node; ++e) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        NodeId target;
+        if (rng.NextDouble() < random_frac || targets_pool.empty()) {
+          target = static_cast<NodeId>(rng.NextBounded(u));
+        } else {
+          target = targets_pool[rng.NextBounded(targets_pool.size())];
+        }
+        if (target == static_cast<NodeId>(u)) continue;
+        if (std::find(picked.begin(), picked.end(), target) != picked.end()) {
+          continue;
+        }
+        picked.push_back(target);
+        // With probability influencer_frac the popular endpoint influences
+        // the newcomer (followed -> follower); otherwise the edge points
+        // the other way. The mix controls how viral weighted-cascade
+        // diffusion is: all-influencer graphs are supercritical (hubs with
+        // huge out-degree and low-in-degree followers), all-reverse graphs
+        // barely spread. Popularity accrues to the target either way.
+        if (rng.NextDouble() < influencer_frac) {
+          builder.AddEdge(target, static_cast<NodeId>(u), 0.0);
+        } else {
+          builder.AddEdge(static_cast<NodeId>(u), target, 0.0);
+        }
+        targets_pool.push_back(target);
+        break;
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph WattsStrogatz(std::size_t num_nodes, std::size_t k, double beta,
+                    uint64_t seed) {
+  CWM_CHECK(num_nodes > 2 * k && k >= 1);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(2 * num_nodes * k);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng.NextDouble() < beta) {
+        v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+        if (v == static_cast<NodeId>(u)) v = (v + 1) % num_nodes;
+      }
+      builder.AddUndirectedEdge(static_cast<NodeId>(u), v, 0.0);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph InducedBfsSubgraph(const Graph& g, double fraction, uint64_t seed) {
+  CWM_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const std::size_t n = g.num_nodes();
+  const std::size_t want =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(fraction * n)));
+  Rng rng(seed);
+  std::vector<NodeId> new_id(n, static_cast<NodeId>(-1));
+  std::vector<NodeId> order;
+  order.reserve(want);
+  std::queue<NodeId> frontier;
+  while (order.size() < want) {
+    // Pick an undiscovered random root; continue BFS (out-edges) from it.
+    NodeId root = static_cast<NodeId>(rng.NextBounded(n));
+    while (new_id[root] != static_cast<NodeId>(-1)) {
+      root = (root + 1) % n;
+    }
+    new_id[root] = static_cast<NodeId>(order.size());
+    order.push_back(root);
+    frontier.push(root);
+    while (!frontier.empty() && order.size() < want) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const OutEdge& e : g.OutEdges(u)) {
+        if (new_id[e.to] != static_cast<NodeId>(-1)) continue;
+        new_id[e.to] = static_cast<NodeId>(order.size());
+        order.push_back(e.to);
+        frontier.push(e.to);
+        if (order.size() >= want) break;
+      }
+    }
+  }
+  GraphBuilder builder(order.size());
+  for (NodeId old_u : order) {
+    for (const OutEdge& e : g.OutEdges(old_u)) {
+      if (new_id[e.to] == static_cast<NodeId>(-1)) continue;
+      builder.AddEdge(new_id[old_u], new_id[e.to], e.prob);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace cwm

@@ -1,0 +1,58 @@
+// Synthetic network generators.
+//
+// The paper evaluates on five SNAP/IM-benchmark networks (Table 2). Those
+// datasets cannot be redistributed here, so the experiment catalog
+// (exp/networks.h) synthesizes stand-ins with matching size, directedness
+// and heavy-tailed degree structure from the generators below. All
+// generators are deterministic in `seed` and return topology-only graphs
+// (probability 0 on every edge); apply a model from graph/edge_prob.h next.
+#ifndef CWM_GRAPH_GENERATORS_H_
+#define CWM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// G(n, m) Erdős–Rényi: `num_edges` distinct directed edges drawn uniformly.
+Graph ErdosRenyi(std::size_t num_nodes, std::size_t num_edges, uint64_t seed);
+
+/// Barabási–Albert preferential attachment, undirected (each edge added in
+/// both directions). Each new node attaches `edges_per_node` edges to
+/// existing nodes with probability proportional to their current degree
+/// (repeated-endpoint implementation). Produces the power-law degree
+/// distribution characteristic of collaboration networks like NetHEPT and
+/// friendship networks like Orkut.
+Graph BarabasiAlbert(std::size_t num_nodes, std::size_t edges_per_node,
+                     uint64_t seed);
+
+/// Directed preferential attachment (Bollobás et al. style): each new node
+/// picks `out_per_node` influencers, preferentially by popularity (a
+/// fraction `random_frac` uniformly instead); the influence edge points
+/// influencer -> newcomer, as in follower networks where the followed
+/// node influences the follower. Out-degree is heavy-tailed (hubs),
+/// in-degree concentrates near out_per_node. Models directed social /
+/// rating networks (Douban, Twitter).
+/// `influencer_frac` orients each edge: with that probability it points
+/// influencer -> newcomer (viral direction), otherwise newcomer ->
+/// influencer. Around 0.25-0.4 reproduces the moderate cascade sizes of
+/// the paper's rating networks under weighted-cascade probabilities.
+Graph DirectedPreferentialAttachment(std::size_t num_nodes,
+                                     std::size_t out_per_node,
+                                     double random_frac, uint64_t seed,
+                                     double influencer_frac = 0.3);
+
+/// Watts–Strogatz small world, undirected: ring of `num_nodes` nodes each
+/// linked to `k` nearest neighbours, each edge rewired with prob `beta`.
+Graph WattsStrogatz(std::size_t num_nodes, std::size_t k, double beta,
+                    uint64_t seed);
+
+/// Node-induced subgraph containing the first ceil(fraction * n) nodes
+/// discovered by a BFS from random roots (§6.3.3 / Fig 6(d) methodology).
+/// Node ids are re-densified; edge probabilities are preserved.
+Graph InducedBfsSubgraph(const Graph& g, double fraction, uint64_t seed);
+
+}  // namespace cwm
+
+#endif  // CWM_GRAPH_GENERATORS_H_

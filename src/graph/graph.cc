@@ -1,0 +1,5 @@
+#include "graph/graph.h"
+
+// Graph is a header-only CSR container; this translation unit anchors the
+// module in the build.
+namespace cwm {}  // namespace cwm

@@ -1,0 +1,96 @@
+// Immutable directed influence graph in compressed-sparse-row form.
+//
+// The graph G = (V, E, p) of §2: nodes are users, a directed edge (u, v)
+// with probability p_uv means u's adoptions tempt v. Both forward (out)
+// and reverse (in) adjacency are materialized: forward for diffusion
+// simulation, reverse for reverse-reachable-set sampling.
+//
+// Every edge has a stable EdgeId (its position in the canonical forward
+// ordering). The id keys the lazy possible-world coins (simulate/world.h),
+// which is what makes one sampled "edge world" consistent across all items
+// and all queries, as required by the possible-world model of §3.
+#ifndef CWM_GRAPH_GRAPH_H_
+#define CWM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.h"
+
+namespace cwm {
+
+/// Node identifier: dense in [0, num_nodes).
+using NodeId = uint32_t;
+/// Edge identifier: dense in [0, num_edges), canonical forward order.
+using EdgeId = uint32_t;
+
+/// Outgoing half-edge. Its EdgeId is implicit: the index into the forward
+/// CSR arrays at which it is stored.
+struct OutEdge {
+  NodeId to;
+  float prob;
+};
+
+/// Incoming half-edge; carries the forward EdgeId explicitly so reverse
+/// traversals can flip the same possible-world coin as forward ones.
+struct InEdge {
+  NodeId from;
+  float prob;
+  EdgeId id;
+};
+
+/// Immutable CSR digraph with per-edge influence probabilities.
+/// Construct via GraphBuilder (graph/graph_builder.h).
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_nodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+  std::size_t num_edges() const { return out_edges_.size(); }
+
+  /// Outgoing edges of `u`, in canonical (EdgeId-contiguous) order.
+  std::span<const OutEdge> OutEdges(NodeId u) const {
+    CWM_CHECK(u + 1 < out_offsets_.size());
+    return {out_edges_.data() + out_offsets_[u],
+            out_edges_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Incoming edges of `v`.
+  std::span<const InEdge> InEdges(NodeId v) const {
+    CWM_CHECK(v + 1 < in_offsets_.size());
+    return {in_edges_.data() + in_offsets_[v],
+            in_edges_.data() + in_offsets_[v + 1]};
+  }
+
+  /// EdgeId of the k-th outgoing edge of `u` (k < OutDegree(u)).
+  EdgeId OutEdgeId(NodeId u, std::size_t k) const {
+    return static_cast<EdgeId>(out_offsets_[u] + k);
+  }
+
+  std::size_t OutDegree(NodeId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  std::size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Average out-degree (== average in-degree), as reported in Table 2.
+  double AverageDegree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> out_offsets_;  // size num_nodes()+1
+  std::vector<OutEdge> out_edges_;     // size num_edges(), canonical order
+  std::vector<uint64_t> in_offsets_;   // size num_nodes()+1
+  std::vector<InEdge> in_edges_;       // size num_edges()
+};
+
+}  // namespace cwm
+
+#endif  // CWM_GRAPH_GRAPH_H_

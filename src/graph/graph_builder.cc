@@ -1,0 +1,62 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace cwm {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double prob) {
+  CWM_CHECK(u < num_nodes_ && v < num_nodes_);
+  CWM_CHECK(prob >= 0.0 && prob <= 1.0);
+  if (u == v) return;
+  edges_.push_back({u, v, static_cast<float>(prob)});
+}
+
+Graph GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  // Merge parallel edges keeping the max probability.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (out > 0 && edges_[out - 1].u == edges_[i].u &&
+        edges_[out - 1].v == edges_[i].v) {
+      edges_[out - 1].prob = std::max(edges_[out - 1].prob, edges_[i].prob);
+    } else {
+      edges_[out++] = edges_[i];
+    }
+  }
+  edges_.resize(out);
+
+  Graph g;
+  const std::size_t n = num_nodes_;
+  const std::size_t m = edges_.size();
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  g.out_edges_.resize(m);
+  g.in_edges_.resize(m);
+
+  for (const PendingEdge& e : edges_) {
+    ++g.out_offsets_[e.u + 1];
+    ++g.in_offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  // Forward edges are already sorted: EdgeId == position.
+  for (std::size_t id = 0; id < m; ++id) {
+    g.out_edges_[id] = {edges_[id].v, edges_[id].prob};
+  }
+  // Scatter reverse edges.
+  std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (std::size_t id = 0; id < m; ++id) {
+    const PendingEdge& e = edges_[id];
+    g.in_edges_[cursor[e.v]++] = {e.u, e.prob, static_cast<EdgeId>(id)};
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace cwm

@@ -1,0 +1,58 @@
+// Mutable accumulator that produces an immutable Graph.
+//
+// Accepts edges in any order, optionally deduplicates parallel edges
+// (keeping the maximum probability) and drops self-loops, then builds the
+// CSR forward/reverse arrays in one pass.
+#ifndef CWM_GRAPH_GRAPH_BUILDER_H_
+#define CWM_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// Builder for Graph. Typical use:
+///   GraphBuilder b(n);
+///   b.AddEdge(u, v, 0.1);
+///   Graph g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node-id universe [0, num_nodes).
+  explicit GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds directed edge (u, v) with probability `prob` in [0, 1].
+  /// Self-loops are silently dropped (they never affect diffusion).
+  void AddEdge(NodeId u, NodeId v, double prob);
+
+  /// Adds both (u, v) and (v, u) — used for undirected networks such as
+  /// NetHEPT and Orkut (Table 2 lists them as undirected).
+  void AddUndirectedEdge(NodeId u, NodeId v, double prob) {
+    AddEdge(u, v, prob);
+    AddEdge(v, u, prob);
+  }
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Reserves capacity for `n` pending edges.
+  void Reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Finalizes into an immutable Graph. Parallel edges are merged, keeping
+  /// the maximum probability. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  struct PendingEdge {
+    NodeId u;
+    NodeId v;
+    float prob;
+  };
+
+  std::size_t num_nodes_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_GRAPH_GRAPH_BUILDER_H_

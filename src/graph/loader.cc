@@ -1,0 +1,93 @@
+#include "graph/loader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace cwm {
+
+StatusOr<Graph> ReadEdgeList(const std::string& path,
+                             const LoadOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  struct RawEdge {
+    uint64_t u, v;
+    double p;
+  };
+  std::vector<RawEdge> raw;
+  std::unordered_map<uint64_t, NodeId> dense;
+  char line[512];
+  std::size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    const char* s = line;
+    while (*s == ' ' || *s == '\t') ++s;
+    if (*s == '#' || *s == '\n' || *s == '\0' || *s == '\r') continue;
+    uint64_t u = 0, v = 0;
+    double p = options.default_prob;
+    const int got = std::sscanf(s, "%lu %lu %lf", &u, &v, &p);
+    if (got < 2) {
+      std::fclose(f);
+      return Status::Corruption(path + ": malformed line " +
+                                std::to_string(line_no));
+    }
+    if (p < 0.0 || p > 1.0) {
+      std::fclose(f);
+      return Status::Corruption(path + ": probability out of [0,1] at line " +
+                                std::to_string(line_no));
+    }
+    raw.push_back({u, v, p});
+    dense.emplace(u, 0);
+    dense.emplace(v, 0);
+  }
+  std::fclose(f);
+
+  // Densify ids in first-appearance order for determinism.
+  NodeId next = 0;
+  for (auto& kv : dense) kv.second = static_cast<NodeId>(-1);
+  for (const RawEdge& e : raw) {
+    for (uint64_t id : {e.u, e.v}) {
+      auto it = dense.find(id);
+      if (it->second == static_cast<NodeId>(-1)) it->second = next++;
+    }
+  }
+
+  GraphBuilder builder(next);
+  builder.Reserve(raw.size() * (options.undirected ? 2 : 1));
+  for (const RawEdge& e : raw) {
+    const NodeId du = dense[e.u];
+    const NodeId dv = dense[e.v];
+    if (options.undirected) {
+      builder.AddUndirectedEdge(du, dv, e.p);
+    } else {
+      builder.AddEdge(du, dv, e.p);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "# cwm edge list: %zu nodes %zu edges\n", g.num_nodes(),
+               g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      std::fprintf(f, "%u %u %.9g\n", u, e.to, static_cast<double>(e.prob));
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("error closing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cwm

@@ -1,0 +1,36 @@
+// SNAP-compatible edge-list persistence.
+//
+// Format: one edge per line, "u v" or "u v p"; lines starting with '#' are
+// comments. This matches the format of the SNAP datasets the paper uses
+// (Table 2), so a user with the real NetHEPT/Orkut/Twitter files can load
+// them directly in place of the synthetic catalog.
+#ifndef CWM_GRAPH_LOADER_H_
+#define CWM_GRAPH_LOADER_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Options controlling edge-list parsing.
+struct LoadOptions {
+  /// If an edge line has no probability column, this value is used.
+  double default_prob = 0.0;
+  /// Treat each line as an undirected edge (add both directions).
+  bool undirected = false;
+};
+
+/// Reads an edge list from `path`. Node ids may be sparse; they are
+/// densified in first-appearance order. Returns the graph or a parse/IO
+/// error.
+StatusOr<Graph> ReadEdgeList(const std::string& path,
+                             const LoadOptions& options = {});
+
+/// Writes `g` to `path` as "u v p" lines with a '#' header.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace cwm
+
+#endif  // CWM_GRAPH_LOADER_H_

@@ -1,0 +1,81 @@
+#include "model/allocation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cwm {
+
+void Allocation::Add(NodeId v, ItemId i) {
+  CWM_CHECK(i >= 0 && i < num_items());
+  auto& list = seeds_[i];
+  if (std::find(list.begin(), list.end(), v) == list.end()) {
+    list.push_back(v);
+  }
+}
+
+void Allocation::AddAll(const std::vector<NodeId>& nodes, ItemId i) {
+  for (NodeId v : nodes) Add(v, i);
+}
+
+std::vector<NodeId> Allocation::SeedNodes() const {
+  std::vector<NodeId> all;
+  for (const auto& list : seeds_) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::size_t Allocation::TotalPairs() const {
+  std::size_t total = 0;
+  for (const auto& list : seeds_) total += list.size();
+  return total;
+}
+
+std::vector<std::pair<NodeId, ItemSet>> Allocation::SeededItemsets() const {
+  std::unordered_map<NodeId, ItemSet> map;
+  for (ItemId i = 0; i < num_items(); ++i) {
+    for (NodeId v : seeds_[i]) {
+      map[v] = static_cast<ItemSet>(map[v] | SingletonSet(i));
+    }
+  }
+  std::vector<std::pair<NodeId, ItemSet>> out(map.begin(), map.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Allocation Allocation::Union(const Allocation& a, const Allocation& b) {
+  CWM_CHECK(a.num_items() == b.num_items());
+  Allocation out(a.num_items());
+  for (ItemId i = 0; i < a.num_items(); ++i) {
+    out.AddAll(a.seeds_[i], i);
+    out.AddAll(b.seeds_[i], i);
+  }
+  return out;
+}
+
+bool Allocation::RespectsBudgets(const BudgetVector& budgets) const {
+  CWM_CHECK(budgets.size() == seeds_.size());
+  for (ItemId i = 0; i < num_items(); ++i) {
+    if (seeds_[i].size() > static_cast<std::size_t>(budgets[i])) return false;
+  }
+  return true;
+}
+
+std::string Allocation::ToString() const {
+  std::string out = "{";
+  for (ItemId i = 0; i < num_items(); ++i) {
+    if (i > 0) out += ", ";
+    out += "i" + std::to_string(i) + ": [";
+    for (std::size_t k = 0; k < seeds_[i].size(); ++k) {
+      if (k > 0) out += ", ";
+      out += std::to_string(seeds_[i][k]);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cwm

@@ -1,0 +1,69 @@
+// Seed allocations and budget vectors.
+//
+// An allocation S ⊆ V × I assigns items to seed nodes (§3). The budget
+// vector b⃗ caps |S_i| per item. Allocations are the unit the algorithms
+// produce and the simulator consumes.
+#ifndef CWM_MODEL_ALLOCATION_H_
+#define CWM_MODEL_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/items.h"
+
+namespace cwm {
+
+/// Per-item seed budgets; budgets[i] is b_i of the paper.
+using BudgetVector = std::vector<int>;
+
+/// A seed allocation S: for each item, the list of seed nodes.
+class Allocation {
+ public:
+  Allocation() = default;
+  /// Creates an empty allocation over `num_items` items.
+  explicit Allocation(int num_items) : seeds_(num_items) {}
+
+  int num_items() const { return static_cast<int>(seeds_.size()); }
+
+  /// Adds the pair (v, i) to the allocation. Duplicate pairs are ignored.
+  void Add(NodeId v, ItemId i);
+
+  /// Adds every node of `nodes` as a seed of item `i`.
+  void AddAll(const std::vector<NodeId>& nodes, ItemId i);
+
+  /// S_i — the seeds of item `i`.
+  const std::vector<NodeId>& SeedsOf(ItemId i) const {
+    CWM_CHECK(i >= 0 && i < num_items());
+    return seeds_[i];
+  }
+
+  /// S — the union of all items' seed nodes (deduplicated, sorted).
+  std::vector<NodeId> SeedNodes() const;
+
+  /// Number of (node, item) pairs.
+  std::size_t TotalPairs() const;
+
+  bool Empty() const { return TotalPairs() == 0; }
+
+  /// Itemset seeded at each node, as a dense map keyed by node id; nodes
+  /// without seeds map to the empty set. Used to initialize desire sets at
+  /// t = 1.
+  std::vector<std::pair<NodeId, ItemSet>> SeededItemsets() const;
+
+  /// Union of two allocations over the same item universe.
+  static Allocation Union(const Allocation& a, const Allocation& b);
+
+  /// True if |S_i| <= budgets[i] for every item.
+  bool RespectsBudgets(const BudgetVector& budgets) const;
+
+  /// Debug rendering, e.g. "{i0: [3, 7], i1: [5]}".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<NodeId>> seeds_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_MODEL_ALLOCATION_H_

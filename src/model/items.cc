@@ -1,0 +1,4 @@
+#include "model/items.h"
+
+// Header-only helpers; translation unit anchors the module.
+namespace cwm {}  // namespace cwm

@@ -1,0 +1,94 @@
+#include "model/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/mathx.h"
+
+namespace cwm {
+
+NoiseDistribution NoiseDistribution::Normal(double sigma) {
+  CWM_CHECK(sigma > 0.0);
+  return NoiseDistribution(Kind::kNormal, sigma, 0.0);
+}
+
+NoiseDistribution NoiseDistribution::ClampedNormal(double sigma,
+                                                   double bound) {
+  CWM_CHECK(sigma > 0.0 && bound > 0.0);
+  return NoiseDistribution(Kind::kClampedNormal, sigma, bound);
+}
+
+NoiseDistribution NoiseDistribution::Uniform(double halfwidth) {
+  CWM_CHECK(halfwidth > 0.0);
+  return NoiseDistribution(Kind::kUniform, 0.0, halfwidth);
+}
+
+double NoiseDistribution::Sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kZero:
+      return 0.0;
+    case Kind::kNormal:
+      return sigma_ * rng.NextGaussian();
+    case Kind::kClampedNormal:
+      return std::clamp(sigma_ * rng.NextGaussian(), -bound_, bound_);
+    case Kind::kUniform:
+      return bound_ * (2.0 * rng.NextDouble() - 1.0);
+  }
+  return 0.0;
+}
+
+double NoiseDistribution::ExpectedPositivePart(double mu) const {
+  switch (kind_) {
+    case Kind::kZero:
+      return mu > 0.0 ? mu : 0.0;
+    case Kind::kNormal:
+      return ExpectedPositivePartNormal(mu, sigma_);
+    case Kind::kClampedNormal: {
+      // Density part on (-bound, bound) plus point masses at the clamps.
+      const double zb = bound_ / sigma_;
+      const double tail = NormalCdf(-zb);  // mass clamped to each side
+      const double sigma = sigma_;
+      const double body = GaussLegendre64(
+          [mu, sigma](double x) {
+            const double u = mu + x;
+            return (u > 0.0 ? u : 0.0) * NormalPdf(x / sigma) / sigma;
+          },
+          -bound_, bound_);
+      const double lo = std::max(0.0, mu - bound_);
+      const double hi = std::max(0.0, mu + bound_);
+      return body + tail * (lo + hi);
+    }
+    case Kind::kUniform:
+      return ExpectedPositivePartUniform(mu, bound_);
+  }
+  return 0.0;
+}
+
+double NoiseDistribution::MinSupport() const {
+  switch (kind_) {
+    case Kind::kZero:
+      return 0.0;
+    case Kind::kNormal:
+      return -HUGE_VAL;
+    case Kind::kClampedNormal:
+    case Kind::kUniform:
+      return -bound_;
+  }
+  return 0.0;
+}
+
+double NoiseDistribution::MaxSupport() const {
+  switch (kind_) {
+    case Kind::kZero:
+      return 0.0;
+    case Kind::kNormal:
+      return HUGE_VAL;
+    case Kind::kClampedNormal:
+    case Kind::kUniform:
+      return bound_;
+  }
+  return 0.0;
+}
+
+}  // namespace cwm

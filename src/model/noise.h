@@ -1,0 +1,67 @@
+// Zero-mean noise distributions for item utilities (the N(.) term of the
+// UIC model, §3). Each item has an independent noise law; noise is sampled
+// once per possible world and is additive over a bundle's items.
+//
+// Supported laws:
+//  * Zero          — deterministic utilities (used by the hardness gadget
+//                    and the real-item configuration).
+//  * Normal(sigma) — the N(0,1) noise of configurations C1-C4 (Table 3).
+//  * ClampedNormal(sigma, bound)
+//                  — N(0,sigma) clamped to [-bound, bound]. Symmetric
+//                    clamping preserves the zero mean; bounded support is
+//                    the "practical way to bound the noise" that §5.3/§6
+//                    require for the superior-item condition (C5/C6).
+//  * Uniform(a)    — Uniform(-a, a).
+#ifndef CWM_MODEL_NOISE_H_
+#define CWM_MODEL_NOISE_H_
+
+#include "support/rng.h"
+
+namespace cwm {
+
+/// A zero-mean noise distribution. Value type; cheap to copy.
+class NoiseDistribution {
+ public:
+  enum class Kind { kZero, kNormal, kClampedNormal, kUniform };
+
+  /// Point mass at 0 (no noise).
+  static NoiseDistribution Zero() { return NoiseDistribution(Kind::kZero, 0, 0); }
+  /// N(0, sigma^2).
+  static NoiseDistribution Normal(double sigma);
+  /// N(0, sigma^2) clamped to [-bound, bound] (bound > 0).
+  static NoiseDistribution ClampedNormal(double sigma, double bound);
+  /// Uniform(-halfwidth, halfwidth).
+  static NoiseDistribution Uniform(double halfwidth);
+
+  Kind kind() const { return kind_; }
+  double sigma() const { return sigma_; }
+  double bound() const { return bound_; }
+
+  /// Draws one noise value.
+  double Sample(Rng& rng) const;
+
+  /// E[max(0, mu + N)] — the expected truncated utility of an item whose
+  /// deterministic utility is `mu`. Closed form for zero/normal/uniform,
+  /// quadrature plus boundary point-masses for the clamped normal.
+  double ExpectedPositivePart(double mu) const;
+
+  /// True when the support is bounded (needed for superior-item checks).
+  bool IsBounded() const { return kind_ != Kind::kNormal; }
+
+  /// Infimum of the support; only meaningful when IsBounded().
+  double MinSupport() const;
+  /// Supremum of the support; only meaningful when IsBounded().
+  double MaxSupport() const;
+
+ private:
+  NoiseDistribution(Kind kind, double sigma, double bound)
+      : kind_(kind), sigma_(sigma), bound_(bound) {}
+
+  Kind kind_;
+  double sigma_;  // normal / clamped-normal scale
+  double bound_;  // clamp bound or uniform halfwidth
+};
+
+}  // namespace cwm
+
+#endif  // CWM_MODEL_NOISE_H_

@@ -1,0 +1,292 @@
+#include "model/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cwm {
+
+UtilityConfigBuilder::UtilityConfigBuilder(int num_items)
+    : num_items_(num_items),
+      item_values_(num_items, 0.0),
+      item_prices_(num_items, 0.0),
+      noise_(num_items, NoiseDistribution::Zero()) {
+  CWM_CHECK(num_items >= 1 && num_items <= kMaxItems);
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetName(std::string name) {
+  name_ = std::move(name);
+  return *this;
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetItemValue(ItemId i,
+                                                         double value) {
+  CWM_CHECK(i >= 0 && i < num_items_);
+  item_values_[i] = value;
+  return *this;
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetItemPrice(ItemId i,
+                                                         double price) {
+  CWM_CHECK(i >= 0 && i < num_items_);
+  item_prices_[i] = price;
+  return *this;
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetBundleValue(ItemSet bundle,
+                                                           double value) {
+  CWM_CHECK(SetSize(bundle) >= 2 && bundle < (1 << num_items_));
+  bundle_overrides_.emplace_back(bundle, value);
+  return *this;
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetNoise(ItemId i,
+                                                     NoiseDistribution noise) {
+  CWM_CHECK(i >= 0 && i < num_items_);
+  noise_[i] = noise;
+  return *this;
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetAllNoise(
+    NoiseDistribution noise) {
+  for (auto& n : noise_) n = noise;
+  return *this;
+}
+
+UtilityConfigBuilder& UtilityConfigBuilder::SetValidation(
+    BundleValidation validation) {
+  validation_ = validation;
+  return *this;
+}
+
+StatusOr<UtilityConfig> UtilityConfigBuilder::Build() && {
+  const std::size_t table = std::size_t{1} << num_items_;
+  UtilityConfig config;
+  config.num_items_ = num_items_;
+  config.name_ = std::move(name_);
+  config.noise_ = std::move(noise_);
+  config.value_.assign(table, 0.0);
+  config.price_.assign(table, 0.0);
+
+  // Default completion: V(s) = max singleton value in s (monotone and
+  // submodular); additive prices.
+  for (uint32_t sm = 1; sm < table; ++sm) {
+    const ItemSet s = static_cast<ItemSet>(sm);
+    double vmax = 0.0;
+    double price = 0.0;
+    ForEachItem(s, [&](ItemId i) {
+      vmax = std::max(vmax, item_values_[i]);
+      price += item_prices_[i];
+    });
+    config.value_[s] = SetSize(s) == 1 ? item_values_[std::countr_zero(s)]
+                                       : vmax;
+    config.price_[s] = price;
+  }
+  for (const auto& [bundle, value] : bundle_overrides_) {
+    config.value_[bundle] = value;
+  }
+
+  // Validate V: V(empty)=0, monotone, submodular.
+  if (config.value_[0] != 0.0) {
+    return Status::InvalidArgument("V(empty) must be 0");
+  }
+  for (uint32_t sm = 0; sm < table; ++sm) {
+    const ItemSet s = static_cast<ItemSet>(sm);
+    for (ItemId i = 0; i < num_items_; ++i) {
+      if (Contains(s, i)) continue;
+      const ItemSet si = WithItem(s, i);
+      if (config.value_[si] + 1e-12 < config.value_[s]) {
+        return Status::InvalidArgument(
+            "value function not monotone at bundle " + std::to_string(si));
+      }
+      if (validation_ == BundleValidation::kMonotoneOnly) continue;
+      // Submodularity: marginal of i w.r.t. any superset t of s is no
+      // larger than w.r.t. s.
+      for (uint32_t tm = sm; tm < table; tm = (tm + 1) | sm) {
+        const ItemSet t = static_cast<ItemSet>(tm);
+        if (Contains(t, i) || (t & s) != s) {
+          if (tm == table - 1) break;
+          continue;
+        }
+        const double margin_s = config.value_[si] - config.value_[s];
+        const double margin_t =
+            config.value_[WithItem(t, i)] - config.value_[t];
+        if (margin_t > margin_s + 1e-9) {
+          return Status::InvalidArgument(
+              "value function not submodular (item " + std::to_string(i) +
+              ", sets " + std::to_string(s) + " vs " + std::to_string(t) +
+              ")");
+        }
+        if (tm == table - 1) break;
+      }
+    }
+  }
+  return config;
+}
+
+double UtilityConfig::ExpectedTruncatedUtility(ItemId i) const {
+  CWM_CHECK(i >= 0 && i < num_items_);
+  return noise_[i].ExpectedPositivePart(DetUtility(SingletonSet(i)));
+}
+
+double UtilityConfig::UMin() const {
+  double out = HUGE_VAL;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    out = std::min(out, ExpectedTruncatedUtility(i));
+  }
+  return out;
+}
+
+double UtilityConfig::UMax(uint64_t seed, int samples) const {
+  const std::size_t table = std::size_t{1} << num_items_;
+  // Exact when all items are noiseless.
+  bool deterministic = true;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    if (noise_[i].kind() != NoiseDistribution::Kind::kZero) {
+      deterministic = false;
+      break;
+    }
+  }
+  if (deterministic) {
+    double best = 0.0;
+    for (uint32_t sm = 0; sm < table; ++sm) {
+      best = std::max(best, DetUtility(static_cast<ItemSet>(sm)));
+    }
+    return best;
+  }
+  Rng rng(seed);
+  std::vector<double> noise(num_items_);
+  double acc = 0.0;
+  for (int it = 0; it < samples; ++it) {
+    for (ItemId i = 0; i < num_items_; ++i) noise[i] = noise_[i].Sample(rng);
+    double best = 0.0;
+    for (uint32_t sm = 1; sm < table; ++sm) {
+      const ItemSet s = static_cast<ItemSet>(sm);
+      double u = DetUtility(s);
+      ForEachItem(s, [&](ItemId i) { u += noise[i]; });
+      best = std::max(best, u);
+    }
+    acc += best;
+  }
+  return acc / samples;
+}
+
+std::optional<ItemId> UtilityConfig::SuperiorItem() const {
+  if (num_items_ < 2) return num_items_ == 1 ? std::optional<ItemId>(0)
+                                             : std::nullopt;
+  for (ItemId m = 0; m < num_items_; ++m) {
+    if (!noise_[m].IsBounded()) continue;
+    const double m_low =
+        DetUtility(SingletonSet(m)) + noise_[m].MinSupport();
+    bool superior = true;
+    for (ItemId i = 0; i < num_items_ && superior; ++i) {
+      if (i == m) continue;
+      if (!noise_[i].IsBounded()) {
+        superior = false;
+        break;
+      }
+      const double i_high =
+          DetUtility(SingletonSet(i)) + noise_[i].MaxSupport();
+      if (m_low <= i_high) superior = false;
+    }
+    if (superior) return m;
+  }
+  return std::nullopt;
+}
+
+bool UtilityConfig::IsPureCompetition() const {
+  const std::size_t table = std::size_t{1} << num_items_;
+  // Pure competition: growing a non-empty bundle never strictly raises
+  // utility, in any noise world. Because noise is additive, adding item i
+  // changes utility by V(s+i)-V(s)-P(i)+N(i); this is maximized at the top
+  // of i's noise support.
+  for (uint32_t sm = 1; sm < table; ++sm) {
+    const ItemSet s = static_cast<ItemSet>(sm);
+    for (ItemId i = 0; i < num_items_; ++i) {
+      if (Contains(s, i)) continue;
+      if (!noise_[i].IsBounded()) return false;
+      const ItemSet si = WithItem(s, i);
+      const double best_gain = Value(si) - Value(s) -
+                               Price(SingletonSet(i)) +
+                               noise_[i].MaxSupport();
+      if (best_gain > 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+bool UtilityConfig::HasComplementaryBundle() const {
+  const std::size_t table = std::size_t{1} << num_items_;
+  for (uint32_t sm = 1; sm < table; ++sm) {
+    const ItemSet s = static_cast<ItemSet>(sm);
+    for (ItemId i = 0; i < num_items_; ++i) {
+      if (Contains(s, i)) continue;
+      // Complementarity shows as a marginal value above the standalone
+      // value: V(s + i) - V(s) > V({i}).
+      const double marginal = Value(WithItem(s, i)) - Value(s);
+      if (marginal > Value(SingletonSet(i)) + 1e-12) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ItemId> UtilityConfig::ItemsByTruncatedUtilityDesc() const {
+  std::vector<ItemId> order(num_items_);
+  for (ItemId i = 0; i < num_items_; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](ItemId a, ItemId b) {
+    return ExpectedTruncatedUtility(a) > ExpectedTruncatedUtility(b);
+  });
+  return order;
+}
+
+WorldUtilityTable::WorldUtilityTable(const UtilityConfig& config,
+                                     const std::vector<double>& noise)
+    : num_items_(config.num_items()) {
+  CWM_CHECK(static_cast<int>(noise.size()) == num_items_);
+  Fill(config, noise);
+}
+
+WorldUtilityTable::WorldUtilityTable(const UtilityConfig& config, Rng& rng)
+    : num_items_(config.num_items()) {
+  std::vector<double> noise(num_items_);
+  for (ItemId i = 0; i < num_items_; ++i) {
+    noise[i] = config.Noise(i).Sample(rng);
+  }
+  Fill(config, noise);
+}
+
+void WorldUtilityTable::Fill(const UtilityConfig& config,
+                             const std::vector<double>& noise) {
+  const std::size_t table = std::size_t{1} << num_items_;
+  utility_.resize(table);
+  for (uint32_t sm = 0; sm < table; ++sm) {
+    const ItemSet s = static_cast<ItemSet>(sm);
+    double u = config.DetUtility(s);
+    ForEachItem(s, [&](ItemId i) { u += noise[i]; });
+    utility_[s] = u;
+  }
+}
+
+ItemSet WorldUtilityTable::BestAdoption(ItemSet desired,
+                                        ItemSet adopted) const {
+  CWM_CHECK((adopted & desired) == adopted);
+  ItemSet best = adopted;
+  // When nothing is adopted yet the node may also stay empty; the empty
+  // bundle has utility 0, which "U(T) >= 0" already encodes.
+  double best_u = adopted == kEmptyItemSet ? 0.0 : utility_[adopted];
+  const ItemSet free_items = static_cast<ItemSet>(desired & ~adopted);
+  ForEachSubset(free_items, [&](ItemSet extra) {
+    const ItemSet cand = static_cast<ItemSet>(adopted | extra);
+    const double u = utility_[cand];
+    if (u < 0.0) return;
+    if (u > best_u + 1e-12 ||
+        (u > best_u - 1e-12 &&
+         (SetSize(cand) < SetSize(best) ||
+          (SetSize(cand) == SetSize(best) && cand < best)))) {
+      best = cand;
+      best_u = std::max(best_u, u);
+    }
+  });
+  return best;
+}
+
+}  // namespace cwm

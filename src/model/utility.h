@@ -1,0 +1,175 @@
+// Utility model of the UIC framework (§3):
+//   U(I) = V(I) - P(I) + N(I)
+// with V monotone submodular, V(empty) = 0, price and noise additive over
+// items, and independent zero-mean noise per item.
+//
+// UtilityConfig stores V explicitly as a 2^m table (the paper's
+// configurations have m <= 5), item prices, and per-item noise laws. It
+// derives the quantities the algorithms need: expected truncated utilities
+// E[U+(i)], umin, umax, and the superior item, per §5.
+//
+// WorldUtilityTable is the per-possible-world (noise-fixed) deterministic
+// utility table together with the constrained adoption argmax
+//   A(u,t) = argmax { U(T) : A(u,t-1) ⊆ T ⊆ R(u,t), U(T) >= 0 }
+// used by the simulator. Ties prefer smaller bundles, then smaller masks,
+// so "pure competition" configurations (bundles never strictly better)
+// yield at-most-one-item adoptions deterministically.
+#ifndef CWM_MODEL_UTILITY_H_
+#define CWM_MODEL_UTILITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/items.h"
+#include "model/noise.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace cwm {
+
+class UtilityConfig;
+
+/// Which structural properties UtilityConfigBuilder::Build() enforces on
+/// the value function V.
+enum class BundleValidation {
+  /// Monotone + submodular: the competitive setting this paper studies
+  /// (default). Supermodular (complementary) bundles are rejected.
+  kMonotoneSubmodular,
+  /// Monotone only: permits supermodular bundles, enabling the mixed
+  /// competitive/complementary configurations the paper's §7 poses as
+  /// future work (and the complementary setting of Banerjee et al. [6]).
+  /// The diffusion engine and estimators handle these unchanged; the
+  /// approximation guarantees of §5 do not apply.
+  kMonotoneOnly,
+};
+
+/// Builder for UtilityConfig. Bundle values default to the maximum singleton
+/// value within the bundle (a monotone submodular completion under which,
+/// with positive prices, items are purely competitive); call SetBundleValue
+/// to override specific bundles.
+class UtilityConfigBuilder {
+ public:
+  explicit UtilityConfigBuilder(int num_items);
+
+  UtilityConfigBuilder& SetName(std::string name);
+  /// V({i}) = value.
+  UtilityConfigBuilder& SetItemValue(ItemId i, double value);
+  /// P({i}) = price (prices are additive over bundles).
+  UtilityConfigBuilder& SetItemPrice(ItemId i, double price);
+  /// V(bundle) = value, |bundle| >= 2.
+  UtilityConfigBuilder& SetBundleValue(ItemSet bundle, double value);
+  /// Noise law of item i (default: Zero()).
+  UtilityConfigBuilder& SetNoise(ItemId i, NoiseDistribution noise);
+  /// Applies `noise` to every item.
+  UtilityConfigBuilder& SetAllNoise(NoiseDistribution noise);
+
+  /// Chooses the validation mode (default kMonotoneSubmodular).
+  UtilityConfigBuilder& SetValidation(BundleValidation validation);
+
+  /// Finalizes. Fails if the assembled value function is not monotone
+  /// submodular with V(empty) = 0.
+  StatusOr<UtilityConfig> Build() &&;
+
+ private:
+  int num_items_;
+  std::string name_;
+  std::vector<double> item_values_;
+  std::vector<double> item_prices_;
+  std::vector<std::pair<ItemSet, double>> bundle_overrides_;
+  std::vector<NoiseDistribution> noise_;
+  BundleValidation validation_ = BundleValidation::kMonotoneSubmodular;
+};
+
+/// Immutable utility configuration; see file comment.
+class UtilityConfig {
+ public:
+  /// Empty placeholder (0 items); assign one produced by
+  /// UtilityConfigBuilder before use.
+  UtilityConfig() = default;
+
+  int num_items() const { return num_items_; }
+  const std::string& name() const { return name_; }
+
+  /// V(s): latent valuation of bundle `s`.
+  double Value(ItemSet s) const { return value_[s]; }
+  /// P(s): additive price of bundle `s`.
+  double Price(ItemSet s) const { return price_[s]; }
+  /// Deterministic utility V(s) - P(s) (noise ignored; the "UD" column of
+  /// Table 5).
+  double DetUtility(ItemSet s) const { return value_[s] - price_[s]; }
+
+  const NoiseDistribution& Noise(ItemId i) const { return noise_[i]; }
+
+  /// E[U+(i)] = E[max(0, U({i}))] — expected truncated utility of item i.
+  double ExpectedTruncatedUtility(ItemId i) const;
+
+  /// umin = min_i E[U+(i)] (§5, "minimum utility bundle").
+  double UMin() const;
+
+  /// umax = E[max_I U+(I)] estimated by averaging `samples` noise worlds
+  /// (exact when all noise is Zero). Deterministic in `seed`.
+  double UMax(uint64_t seed = 7, int samples = 20000) const;
+
+  /// The superior item (§5): an item whose *least possible* utility strictly
+  /// exceeds every other item's *highest possible* utility. Requires bounded
+  /// noise; returns nullopt if no such item exists.
+  std::optional<ItemId> SuperiorItem() const;
+
+  /// True if no bundle of size >= 2 can ever strictly improve on its best
+  /// sub-singleton, i.e. nodes adopt at most one item ("pure competition").
+  /// Checked on deterministic utilities with noise support bounds.
+  bool IsPureCompetition() const;
+
+  /// Items sorted by decreasing E[U+(i)] (the order SeqGRD allocates in).
+  std::vector<ItemId> ItemsByTruncatedUtilityDesc() const;
+
+  /// True if some bundle is strictly supermodular — i.e. some item's
+  /// marginal value w.r.t. a bundle exceeds its marginal w.r.t. a subset
+  /// (a complementary interaction). Always false for configurations built
+  /// with kMonotoneSubmodular validation.
+  bool HasComplementaryBundle() const;
+
+ private:
+  friend class UtilityConfigBuilder;
+
+  int num_items_ = 0;
+  std::string name_;
+  std::vector<double> value_;  // size 2^m
+  std::vector<double> price_;  // size 2^m (additive)
+  std::vector<NoiseDistribution> noise_;
+};
+
+/// Deterministic bundle utilities for one noise world, plus the adoption
+/// argmax. Rebuilt (cheaply: 2^m entries) whenever noise is resampled.
+class WorldUtilityTable {
+ public:
+  /// Builds the table for `config` with per-item noise values `noise`
+  /// (noise.size() == num_items).
+  WorldUtilityTable(const UtilityConfig& config,
+                    const std::vector<double>& noise);
+
+  /// Convenience: samples noise for every item from `rng` first.
+  WorldUtilityTable(const UtilityConfig& config, Rng& rng);
+
+  int num_items() const { return num_items_; }
+
+  /// U_w(s) in this world.
+  double Utility(ItemSet s) const { return utility_[s]; }
+
+  /// Solves the §3 adoption step: best T with `adopted` ⊆ T ⊆ `desired`,
+  /// U(T) maximal and U(T) >= 0. Returns `adopted` unchanged when no such
+  /// T improves on it (or none is non-negative). Ties prefer fewer items,
+  /// then the smaller bitmask.
+  ItemSet BestAdoption(ItemSet desired, ItemSet adopted) const;
+
+ private:
+  void Fill(const UtilityConfig& config, const std::vector<double>& noise);
+
+  int num_items_;
+  std::vector<double> utility_;  // size 2^m
+};
+
+}  // namespace cwm
+
+#endif  // CWM_MODEL_UTILITY_H_

@@ -1,0 +1,129 @@
+#include "rrset/imm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "rrset/node_selection.h"
+#include "rrset/rr_sampler.h"
+#include "support/check.h"
+#include "support/mathx.h"
+
+namespace cwm {
+
+namespace {
+
+constexpr double kOneMinusInvE = 1.0 - 0.36787944117144232159552377016146;
+
+double CoverageOfPrefix(const RrCollection& rr, const GreedySelection& sel,
+                        std::size_t k, std::size_t n) {
+  if (rr.size() == 0) return 0.0;
+  return static_cast<double>(n) * sel.CoveredAt(k) /
+         static_cast<double>(rr.size());
+}
+
+}  // namespace
+
+double LambdaStar(std::size_t n, int b, double epsilon, double ell) {
+  const double logn = std::log(static_cast<double>(n));
+  const double alpha = std::sqrt(ell * logn + std::log(2.0));
+  const double beta = std::sqrt(
+      kOneMinusInvE * (LogBinomial(n, static_cast<uint64_t>(b)) + ell * logn +
+                       std::log(2.0)));
+  const double s = kOneMinusInvE * alpha + beta;
+  return 2.0 * static_cast<double>(n) * s * s / (epsilon * epsilon);
+}
+
+double LambdaPrime(std::size_t n, int b, double eps_prime, double ell_prime) {
+  const double logn = std::log(static_cast<double>(n));
+  const double loglog2n =
+      std::log(std::max(2.0, std::log2(static_cast<double>(n))));
+  return (2.0 + 2.0 / 3.0 * eps_prime) *
+         (LogBinomial(n, static_cast<uint64_t>(b)) + ell_prime * logn +
+          loglog2n) *
+         static_cast<double>(n) / (eps_prime * eps_prime);
+}
+
+ImmResult RunImmDriver(std::size_t num_nodes,
+                       const std::vector<int>& budget_levels,
+                       const ImmParams& params, const RrAdder& add_rr) {
+  CWM_CHECK(!budget_levels.empty());
+  CWM_CHECK(std::is_sorted(budget_levels.begin(), budget_levels.end()));
+  CWM_CHECK(num_nodes >= 2);
+  const std::size_t n = num_nodes;
+  const double logn = std::log(static_cast<double>(n));
+  const double eps = params.epsilon;
+  const double eps_prime = std::sqrt(2.0) * eps;
+  // ell adjustments of Algorithm 4/6: success probability splits between
+  // the search phase and the final phase, and union-bounds over the
+  // budget levels.
+  const double ell_adj = params.ell + std::log(2.0) / logn;
+  const double ell_prime =
+      ell_adj +
+      std::log(static_cast<double>(budget_levels.size())) / logn;
+
+  Rng rng(params.seed);
+  RrCollection rr(n);
+  auto sample_until = [&](double theta) {
+    std::size_t want = static_cast<std::size_t>(std::ceil(theta));
+    if (params.max_rr_sets > 0) want = std::min(want, params.max_rr_sets);
+    while (rr.size() < want) add_rr(rng, &rr);
+  };
+
+  const int i_max = std::max(1, static_cast<int>(std::log2(
+                                    static_cast<double>(n))) - 1);
+  double theta_final = 0.0;
+  int i = 1;
+  for (int b : budget_levels) {
+    const double lam_prime = LambdaPrime(n, b, eps_prime, ell_prime);
+    const double lam_star = LambdaStar(n, b, eps, ell_adj);
+    double lb = 1.0;
+    while (i <= i_max) {
+      const double x = static_cast<double>(n) / std::exp2(i);
+      sample_until(lam_prime / x);
+      const GreedySelection sel = SelectMaxCoverage(rr, b);
+      const double est = CoverageOfPrefix(rr, sel, sel.seeds.size(), n);
+      if (est >= (1.0 + eps_prime) * x) {
+        lb = est / (1.0 + eps_prime);
+        break;
+      }
+      ++i;
+    }
+    const double theta_b = lam_star / lb;
+    // Keep the working collection at this level's theta so the next
+    // level's statistical test sees at least as many samples (the
+    // "budgetSwitch" sampling of Algorithm 4).
+    sample_until(theta_b);
+    theta_final = std::max(theta_final, theta_b);
+  }
+
+  // Final pass with fresh RR sets (fix of [17]).
+  rr.Clear();
+  sample_until(theta_final);
+  const int total_b = budget_levels.back();
+  const GreedySelection sel = SelectMaxCoverage(rr, total_b);
+
+  ImmResult result;
+  result.seeds = sel.seeds;
+  result.rr_count = rr.size();
+  result.coverage_estimate = CoverageOfPrefix(rr, sel, sel.seeds.size(), n);
+  result.prefix_estimates.reserve(budget_levels.size());
+  for (int b : budget_levels) {
+    result.prefix_estimates.push_back(
+        CoverageOfPrefix(rr, sel, static_cast<std::size_t>(b), n));
+  }
+  return result;
+}
+
+ImmResult Imm(const Graph& graph, int budget, const ImmParams& params) {
+  CWM_CHECK(budget >= 1);
+  auto sampler = std::make_shared<RrSampler>(graph);
+  auto scratch = std::make_shared<std::vector<NodeId>>();
+  const RrAdder adder = [sampler, scratch](Rng& rng, RrCollection* out) {
+    sampler->SampleStandard(rng, scratch.get());
+    out->Add(*scratch, 1.0);
+  };
+  return RunImmDriver(graph.num_nodes(), {budget}, params, adder);
+}
+
+}  // namespace cwm

@@ -1,0 +1,78 @@
+// IMM-style sampling driver with martingale stopping (Tang et al. [44],
+// including the corrected final fresh-sampling pass of Chen [17]), shared
+// by three clients:
+//
+//  * Imm()        — classic single-item influence maximization (standard
+//                   RR sets, unit weights);
+//  * PrimaPlus()  — prefix-preserving marginal seed selection over several
+//                   budget levels (rrset/prima_plus.h);
+//  * SupGrd()     — weighted RR sets for marginal-welfare maximization
+//                   (algo/sup_grd.h).
+//
+// The driver works in *normalized* coverage units: every RR set carries a
+// weight in [0, 1] (unit for spread, w(R)/wmax for welfare), so the
+// bounds of Lemma 7 / Eqs. (6)-(8) apply verbatim; callers rescale the
+// returned estimate by their wmax.
+#ifndef CWM_RRSET_IMM_H_
+#define CWM_RRSET_IMM_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rrset/rr_collection.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+/// Accuracy parameters shared by all RR-set algorithms (paper defaults
+/// epsilon = 0.5, ell = 1; §6.1.3).
+struct ImmParams {
+  double epsilon = 0.5;
+  double ell = 1.0;
+  uint64_t seed = 0x1337u;
+  /// Safety valve: never materialize more than this many RR sets (the
+  /// theoretical theta can explode when OPT is near zero, e.g. when S_P
+  /// already saturates the graph). 0 = unlimited.
+  std::size_t max_rr_sets = 50'000'000;
+};
+
+/// Result of a driver run.
+struct ImmResult {
+  /// Selected nodes in greedy order; size = the last budget level.
+  std::vector<NodeId> seeds;
+  /// n/theta * M_R(seeds) over the final fresh collection — an unbiased
+  /// estimate of the (normalized) objective of `seeds`. Multiply by wmax
+  /// for welfare units.
+  double coverage_estimate = 0.0;
+  /// prefix_estimates[j] = the same estimate for the prefix of size
+  /// budget_levels[j].
+  std::vector<double> prefix_estimates;
+  /// Number of RR sets in the final pass.
+  std::size_t rr_count = 0;
+};
+
+/// Callback that appends exactly one RR set (normalized weight) to `out`.
+using RrAdder = std::function<void(Rng&, RrCollection*)>;
+
+/// Runs the sampling + selection pipeline of Algorithms 4/6.
+/// `budget_levels` must be ascending and non-empty; the returned seed set
+/// has size budget_levels.back() and every prefix of size budget_levels[j]
+/// is (1 - 1/e - epsilon)-optimal w.r.t. its own budget w.h.p.
+ImmResult RunImmDriver(std::size_t num_nodes,
+                       const std::vector<int>& budget_levels,
+                       const ImmParams& params, const RrAdder& add_rr);
+
+/// Classic IMM: seeds maximizing expected spread sigma(S), |S| = budget.
+/// Used to place the fixed inferior-item seeds of configurations C5/C6 and
+/// as a component of baselines.
+ImmResult Imm(const Graph& graph, int budget, const ImmParams& params);
+
+/// lambda* of Eq. (6) (normalized units, natural logs).
+double LambdaStar(std::size_t n, int b, double epsilon, double ell);
+/// lambda' of Eq. (8).
+double LambdaPrime(std::size_t n, int b, double eps_prime, double ell_prime);
+
+}  // namespace cwm
+
+#endif  // CWM_RRSET_IMM_H_

@@ -1,0 +1,76 @@
+#include "rrset/node_selection.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.h"
+
+namespace cwm {
+
+GreedySelection SelectMaxCoverage(const RrCollection& rr,
+                                  std::size_t budget) {
+  const std::size_t n = rr.num_nodes();
+  budget = std::min(budget, n);
+
+  // gain[v] = sum of weights of not-yet-covered RR sets containing v.
+  std::vector<double> gain(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint32_t id : rr.RrSetsOf(v)) gain[v] += rr.Weight(id);
+  }
+  std::vector<char> covered(rr.size(), 0);
+  std::vector<char> taken(n, 0);
+
+  // Lazy greedy: entries carry the gain at push time; an entry is stale if
+  // the node's gain shrank since. Ties break toward smaller node id for
+  // determinism.
+  using Entry = std::pair<double, NodeId>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    return a.first != b.first ? a.first < b.first : a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v = 0; v < n; ++v) {
+    if (gain[v] > 0.0) heap.push({gain[v], v});
+  }
+
+  GreedySelection out;
+  out.seeds.reserve(budget);
+  out.covered_prefix.reserve(budget);
+  double covered_weight = 0.0;
+
+  while (out.seeds.size() < budget && !heap.empty()) {
+    const auto [g, v] = heap.top();
+    heap.pop();
+    if (taken[v]) continue;
+    if (g > gain[v] + 1e-12) {
+      // Stale: reinsert with the refreshed gain.
+      if (gain[v] > 0.0) heap.push({gain[v], v});
+      continue;
+    }
+    taken[v] = 1;
+    covered_weight += gain[v];
+    out.seeds.push_back(v);
+    out.covered_prefix.push_back(covered_weight);
+    // Mark v's RR sets covered and debit other members' gains.
+    for (uint32_t id : rr.RrSetsOf(v)) {
+      if (covered[id]) continue;
+      covered[id] = 1;
+      const double w = rr.Weight(id);
+      for (NodeId u : rr.Members(id)) {
+        gain[u] -= w;
+      }
+    }
+  }
+
+  // Fill remaining slots with zero-gain nodes (smallest ids first).
+  for (NodeId v = 0; out.seeds.size() < budget && v < n; ++v) {
+    if (!taken[v]) {
+      taken[v] = 1;
+      out.seeds.push_back(v);
+      out.covered_prefix.push_back(covered_weight);
+    }
+  }
+  CWM_CHECK(out.seeds.size() == budget);
+  return out;
+}
+
+}  // namespace cwm

@@ -1,0 +1,39 @@
+// Greedy weighted max-coverage seed selection (Algorithm 5, NodeSelection).
+//
+// Selects up to b nodes greedily by marginal covered weight over an
+// RrCollection, with CELF-style lazy evaluation (valid because coverage
+// gain is submodular in the selected set). Returns seeds in greedy order —
+// the order is what gives PRIMA+ its prefix-preservation property
+// (Definition 1) and SeqGRD/MaxGRD their per-budget prefixes.
+#ifndef CWM_RRSET_NODE_SELECTION_H_
+#define CWM_RRSET_NODE_SELECTION_H_
+
+#include <vector>
+
+#include "rrset/rr_collection.h"
+
+namespace cwm {
+
+/// Result of a greedy max-coverage run.
+struct GreedySelection {
+  /// Selected nodes in greedy (descending marginal gain) order.
+  std::vector<NodeId> seeds;
+  /// covered_prefix[k] = total covered weight after the first k+1 seeds;
+  /// covered_prefix.back() is M_R(seeds).
+  std::vector<double> covered_prefix;
+
+  /// Covered weight of the first `k` seeds (0 for k == 0).
+  double CoveredAt(std::size_t k) const {
+    return k == 0 ? 0.0 : covered_prefix[k - 1];
+  }
+};
+
+/// Greedy max-coverage of `budget` seeds over `rr`. If fewer than `budget`
+/// nodes have positive gain, remaining slots are filled with the smallest
+/// untaken node ids (gain 0) so callers always receive `budget` seeds, as
+/// SeqGRD requires to exhaust item budgets.
+GreedySelection SelectMaxCoverage(const RrCollection& rr, std::size_t budget);
+
+}  // namespace cwm
+
+#endif  // CWM_RRSET_NODE_SELECTION_H_

@@ -1,0 +1,62 @@
+#include "rrset/prima_plus.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "rrset/rr_sampler.h"
+#include "support/check.h"
+
+namespace cwm {
+
+ImmResult PrimaPlus(const Graph& graph,
+                    const std::vector<NodeId>& prior_seeds,
+                    const std::vector<int>& budgets, int total_b,
+                    const ImmParams& params) {
+  CWM_CHECK(total_b >= 1);
+  CWM_CHECK(!budgets.empty());
+
+  // Budget levels: sorted unique budgets, with total_b as the final level.
+  std::vector<int> levels = budgets;
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  levels.erase(std::remove_if(levels.begin(), levels.end(),
+                              [&](int b) { return b <= 0 || b >= total_b; }),
+               levels.end());
+  levels.push_back(total_b);
+
+  auto blocked = std::make_shared<std::vector<char>>(graph.num_nodes(), 0);
+  for (NodeId v : prior_seeds) {
+    CWM_CHECK(v < graph.num_nodes());
+    (*blocked)[v] = 1;
+  }
+  auto sampler = std::make_shared<RrSampler>(graph);
+  auto scratch = std::make_shared<std::vector<NodeId>>();
+  const RrAdder adder = [sampler, scratch, blocked](Rng& rng,
+                                                    RrCollection* out) {
+    sampler->SampleMarginal(rng, *blocked, scratch.get());
+    out->Add(*scratch, 1.0);
+  };
+  ImmResult result = RunImmDriver(graph.num_nodes(), levels, params, adder);
+
+  // Blocked nodes appear in no marginal RR set, so greedy never picks
+  // them; only the zero-gain budget filler can. Swap any such filler for
+  // the smallest unblocked, unused node — a prior seed must never be
+  // returned as a new seed.
+  std::vector<char> used(graph.num_nodes(), 0);
+  for (NodeId s : result.seeds) used[s] = 1;
+  NodeId cursor = 0;
+  for (NodeId& s : result.seeds) {
+    if (!(*blocked)[s]) continue;
+    while (cursor < graph.num_nodes() &&
+           ((*blocked)[cursor] || used[cursor])) {
+      ++cursor;
+    }
+    CWM_CHECK_MSG(cursor < graph.num_nodes(),
+                  "budget exceeds unblocked node count");
+    used[cursor] = 1;
+    s = cursor;
+  }
+  return result;
+}
+
+}  // namespace cwm

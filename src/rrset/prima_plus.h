@@ -1,0 +1,34 @@
+// PRIMA+ (§5.2.1, Algorithm 4): seed selection that is *prefix-preserving
+// on marginals* (Definition 1).
+//
+// Given a fixed prior seed set S_P and a budget vector b⃗, PRIMA+ returns
+// an ordered set S of b nodes such that, w.h.p., the whole set and every
+// prefix of size b_i are (1 - 1/e - epsilon)-approximately optimal w.r.t.
+// the *marginal* spread sigma(. | S_P). Marginality is achieved by the
+// modified RR construction of Algorithm 3: any reverse BFS that touches
+// S_P yields the empty sample.
+//
+// SeqGRD calls this with b = sum of budgets; MaxGRD with b = max budget.
+#ifndef CWM_RRSET_PRIMA_PLUS_H_
+#define CWM_RRSET_PRIMA_PLUS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "rrset/imm.h"
+
+namespace cwm {
+
+/// Runs PRIMA+. `budgets` are the per-item budgets (the prefix levels to
+/// preserve); `total_b` is the number of seeds to return. `prior_seeds`
+/// are the seed *nodes* of S_P (item identity is irrelevant for spread).
+/// Returns seeds in greedy order plus marginal-spread estimates per level.
+ImmResult PrimaPlus(const Graph& graph,
+                    const std::vector<NodeId>& prior_seeds,
+                    const std::vector<int>& budgets, int total_b,
+                    const ImmParams& params);
+
+}  // namespace cwm
+
+#endif  // CWM_RRSET_PRIMA_PLUS_H_

@@ -1,0 +1,29 @@
+#include "rrset/rr_collection.h"
+
+#include "support/check.h"
+
+namespace cwm {
+
+uint32_t RrCollection::Add(std::span<const NodeId> members, double weight) {
+  CWM_CHECK(weight >= 0.0 && weight <= 1.0 + 1e-9);
+  const uint32_t id = static_cast<uint32_t>(size());
+  rr_members_.insert(rr_members_.end(), members.begin(), members.end());
+  rr_offsets_.push_back(rr_members_.size());
+  rr_weights_.push_back(weight);
+  total_weight_ += weight;
+  for (NodeId v : members) {
+    CWM_CHECK(v < node_to_rr_.size());
+    node_to_rr_[v].push_back(id);
+  }
+  return id;
+}
+
+void RrCollection::Clear() {
+  rr_offsets_.assign(1, 0);
+  rr_members_.clear();
+  rr_weights_.clear();
+  total_weight_ = 0.0;
+  for (auto& list : node_to_rr_) list.clear();
+}
+
+}  // namespace cwm

@@ -1,0 +1,73 @@
+// Storage for (weighted) reverse-reachable set collections.
+//
+// A collection R of RR sets supports the coverage estimator at the heart of
+// IMM-family algorithms: M_R(S) = sum over R in R of w(R) * I[S covers R]
+// (§5.3, Lemma 6). Weights are normalized by the caller to [0, 1] so the
+// martingale concentration bounds apply unchanged (Lemma 7's x_i).
+//
+// Empty RR sets are first-class citizens: the marginal sampler (Algorithm 3)
+// yields the empty set whenever a reverse BFS hits the fixed seed set S_P,
+// and those samples still count toward the sample-size target theta.
+#ifndef CWM_RRSET_RR_COLLECTION_H_
+#define CWM_RRSET_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// Append-only collection of weighted RR sets with a node -> RR inverted
+/// index (built incrementally; used by the greedy max-coverage selection).
+class RrCollection {
+ public:
+  /// `num_nodes` sizes the inverted index.
+  explicit RrCollection(std::size_t num_nodes)
+      : node_to_rr_(num_nodes) {}
+
+  /// Adds one RR set with normalized weight in [0, 1]. `members` may be
+  /// empty (a zeroed marginal sample). Returns the new RR id.
+  uint32_t Add(std::span<const NodeId> members, double weight);
+
+  /// Number of RR sets, including empty ones (the theta denominator).
+  std::size_t size() const { return rr_offsets_.size() - 1; }
+
+  /// Total member entries across all RR sets (memory/telemetry).
+  std::size_t TotalMembers() const { return rr_members_.size(); }
+
+  /// Members of RR set `id`.
+  std::span<const NodeId> Members(uint32_t id) const {
+    return {rr_members_.data() + rr_offsets_[id],
+            rr_members_.data() + rr_offsets_[id + 1]};
+  }
+
+  /// Normalized weight of RR set `id`.
+  double Weight(uint32_t id) const { return rr_weights_[id]; }
+
+  /// Sum of all weights (the maximum possible coverage).
+  double TotalWeight() const { return total_weight_; }
+
+  /// RR ids containing node `v`.
+  const std::vector<uint32_t>& RrSetsOf(NodeId v) const {
+    return node_to_rr_[v];
+  }
+
+  std::size_t num_nodes() const { return node_to_rr_.size(); }
+
+  /// Drops all RR sets but keeps the node universe (IMM's fresh final
+  /// sampling pass, following the fix of Chen [17]).
+  void Clear();
+
+ private:
+  std::vector<uint64_t> rr_offsets_{0};
+  std::vector<NodeId> rr_members_;
+  std::vector<double> rr_weights_;
+  std::vector<std::vector<uint32_t>> node_to_rr_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_RRSET_RR_COLLECTION_H_

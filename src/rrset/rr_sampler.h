@@ -1,0 +1,73 @@
+// Reverse-reachable set samplers.
+//
+// Three flavours, all rooted at a uniformly random node and grown by a
+// reverse BFS that keeps each incoming edge (u', u) with probability
+// p_{u'u} (fresh randomness per RR set, as in Borgs et al. / IMM):
+//
+//  * Standard — classic RR set for sigma(S) estimation.
+//  * Marginal (Algorithm 3) — zeroed to the empty set the moment the BFS
+//    touches the fixed seed set S_P; estimates the *marginal* spread
+//    sigma(S | S_P).
+//  * Weighted (Definition 2) — BFS terminates at the first level that
+//    overlaps S_P; the set's weight is E[U+(i_m)] minus the best fixed
+//    item value among the S_P seeds hit (0 hit => full E[U+(i_m)]).
+//    Estimates the marginal *welfare* of seeding the superior item i_m.
+#ifndef CWM_RRSET_RR_SAMPLER_H_
+#define CWM_RRSET_RR_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+/// Dense per-node view of a fixed allocation S_P used by the marginal and
+/// weighted samplers.
+struct FixedAllocationIndex {
+  /// is_seed[v] != 0 iff v hosts at least one fixed item seed.
+  std::vector<char> is_seed;
+  /// best_value[v] = max over items i seeded at v of E[U+(i)] (0 if none).
+  std::vector<double> best_value;
+
+  /// Builds the index for `sp` on a graph with `num_nodes` nodes.
+  static FixedAllocationIndex Build(std::size_t num_nodes,
+                                    const UtilityConfig& config,
+                                    const Allocation& sp);
+};
+
+/// Reusable sampler with O(touched) per-sample cost (epoch-stamped visited
+/// marks). Not thread-safe; one instance per worker.
+class RrSampler {
+ public:
+  explicit RrSampler(const Graph& graph);
+
+  /// Standard RR set. `out` receives the members (root always included).
+  void SampleStandard(Rng& rng, std::vector<NodeId>* out);
+
+  /// Marginal RR set (Algorithm 3): `out` is empty iff the BFS hit a node
+  /// with blocked[v] != 0.
+  void SampleMarginal(Rng& rng, const std::vector<char>& blocked,
+                      std::vector<NodeId>* out);
+
+  /// Weighted RR set (Definition 2). Grows level-by-level; at the first
+  /// level containing fixed seeds, finishes that level and stops. Returns
+  /// the *unnormalized* weight wmax_im - best_hit_value, where wmax_im
+  /// must be E[U+(i_m)]. `out` receives the members.
+  double SampleWeighted(Rng& rng, const FixedAllocationIndex& fixed,
+                        double wmax_im, std::vector<NodeId>* out);
+
+ private:
+  bool Visit(NodeId v);  // true if first visit this epoch
+
+  const Graph& graph_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> stamp_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_RRSET_RR_SAMPLER_H_

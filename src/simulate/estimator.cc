@@ -1,0 +1,195 @@
+#include "simulate/estimator.h"
+
+#include <algorithm>
+
+#include "support/thread_pool.h"
+
+namespace cwm {
+
+namespace {
+
+// World w derives its edge seed and noise stream deterministically from the
+// estimator seed, so every estimate (and both sides of a marginal) sees the
+// same sequence of possible worlds.
+uint64_t EdgeSeedOf(uint64_t base, int world) {
+  return MixHash(base, static_cast<uint64_t>(world) * 2 + 1);
+}
+
+Rng NoiseRngOf(uint64_t base, int world) {
+  return Rng(MixHash(base ^ 0x9e3779b97f4a7c15ULL,
+                     static_cast<uint64_t>(world) * 2));
+}
+
+}  // namespace
+
+WelfareEstimator::WelfareEstimator(const Graph& graph,
+                                   const UtilityConfig& config,
+                                   EstimatorOptions options)
+    : graph_(graph), config_(config), options_(options) {
+  CWM_CHECK(options_.num_worlds > 0);
+}
+
+double WelfareEstimator::Welfare(const Allocation& allocation) const {
+  return Stats(allocation).welfare;
+}
+
+WelfareStats WelfareEstimator::Stats(const Allocation& allocation) const {
+  const unsigned threads =
+      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, options_.num_worlds));
+  std::vector<WelfareStats> partial(chunks);
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        WelfareStats acc;
+        acc.adopters_per_item.assign(config_.num_items(), 0.0);
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+          Rng noise_rng = NoiseRngOf(options_.seed, w);
+          const WorldUtilityTable table(config_, noise_rng);
+          const WorldOutcome out = sim.RunWorld(allocation, edges, table);
+          acc.welfare += out.welfare;
+          acc.adopting_nodes += static_cast<double>(out.adopting_nodes);
+          for (ItemId i = 0; i < config_.num_items(); ++i) {
+            acc.adopters_per_item[i] +=
+                static_cast<double>(out.adopters_per_item[i]);
+          }
+        }
+        partial[c] = std::move(acc);
+      },
+      static_cast<unsigned>(chunks));
+
+  WelfareStats total;
+  total.adopters_per_item.assign(config_.num_items(), 0.0);
+  for (const WelfareStats& p : partial) {
+    total.welfare += p.welfare;
+    total.adopting_nodes += p.adopting_nodes;
+    for (ItemId i = 0; i < config_.num_items(); ++i) {
+      total.adopters_per_item[i] += p.adopters_per_item[i];
+    }
+  }
+  const double inv = 1.0 / options_.num_worlds;
+  total.welfare *= inv;
+  total.adopting_nodes *= inv;
+  for (double& x : total.adopters_per_item) x *= inv;
+  return total;
+}
+
+double WelfareEstimator::MarginalWelfare(const Allocation& base,
+                                         const Allocation& extra) const {
+  const Allocation merged = Allocation::Union(base, extra);
+  const unsigned threads =
+      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, options_.num_worlds));
+  std::vector<double> partial(chunks, 0.0);
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        double acc = 0.0;
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+          Rng noise_rng = NoiseRngOf(options_.seed, w);
+          const WorldUtilityTable table(config_, noise_rng);
+          const double with = sim.RunWorld(merged, edges, table).welfare;
+          const double without = sim.RunWorld(base, edges, table).welfare;
+          acc += with - without;
+        }
+        partial[c] = acc;
+      },
+      static_cast<unsigned>(chunks));
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / options_.num_worlds;
+}
+
+double WelfareEstimator::BalancedExposure(const Allocation& allocation) const {
+  return MarginalBalancedExposure(Allocation(config_.num_items()),
+                                  allocation) +
+         static_cast<double>(graph_.num_nodes());
+}
+
+double WelfareEstimator::MarginalBalancedExposure(
+    const Allocation& base, const Allocation& extra) const {
+  const Allocation merged = Allocation::Union(base, extra);
+  const unsigned threads =
+      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, options_.num_worlds));
+  std::vector<double> partial(chunks, 0.0);
+  const bool base_empty = base.Empty();
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        double acc = 0.0;
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+          Rng noise_rng = NoiseRngOf(options_.seed, w);
+          const WorldUtilityTable table(config_, noise_rng);
+          // balance = n - one_sided; the n terms cancel in the marginal,
+          // and the empty allocation has one_sided == 0.
+          const double with = -static_cast<double>(
+              sim.RunWorld(merged, edges, table).one_sided_exposure_01);
+          const double without =
+              base_empty ? 0.0
+                         : -static_cast<double>(
+                               sim.RunWorld(base, edges, table)
+                                   .one_sided_exposure_01);
+          acc += with - without;
+        }
+        partial[c] = acc;
+      },
+      static_cast<unsigned>(chunks));
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / options_.num_worlds;
+}
+
+double WelfareEstimator::Spread(const std::vector<NodeId>& seeds) const {
+  return MarginalSpread({}, seeds) /* base empty: sigma(S) */;
+}
+
+double WelfareEstimator::MarginalSpread(const std::vector<NodeId>& base,
+                                        const std::vector<NodeId>& extra) const {
+  std::vector<NodeId> merged = base;
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  const unsigned threads =
+      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, options_.num_worlds));
+  std::vector<double> partial(chunks, 0.0);
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        double acc = 0.0;
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+          const double with =
+              static_cast<double>(sim.ReachableCount(merged, edges));
+          const double without =
+              base.empty()
+                  ? 0.0
+                  : static_cast<double>(sim.ReachableCount(base, edges));
+          acc += with - without;
+        }
+        partial[c] = acc;
+      },
+      static_cast<unsigned>(chunks));
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / options_.num_worlds;
+}
+
+}  // namespace cwm

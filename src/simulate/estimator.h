@@ -1,0 +1,93 @@
+// Monte-Carlo estimators for expected social welfare rho(S), influence
+// spread sigma(S), per-item adoption counts, and marginal welfare.
+//
+// Marginals use common random numbers: the same world seeds evaluate both
+// allocations, so the difference estimator has far lower variance than two
+// independent estimates — essential for the marginal checks of SeqGRD and
+// the greedyWM baseline. The paper runs 5000 simulations per estimate
+// (§6.1.3); the default here is 500 for the single-core container and is
+// raised via EstimatorOptions or the CWM_SIMS environment variable in the
+// bench harness.
+#ifndef CWM_SIMULATE_ESTIMATOR_H_
+#define CWM_SIMULATE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+#include "simulate/uic_simulator.h"
+
+namespace cwm {
+
+/// Options shared by all Monte-Carlo estimates.
+struct EstimatorOptions {
+  /// Number of possible worlds averaged per estimate.
+  int num_worlds = 500;
+  /// Base seed; world w uses seed MixHash(seed, w).
+  uint64_t seed = 0x5eedu;
+  /// Worker threads (0 = hardware concurrency).
+  unsigned num_threads = 0;
+};
+
+/// Expected-value statistics of an allocation.
+struct WelfareStats {
+  /// Estimated rho(S): expected social welfare.
+  double welfare = 0.0;
+  /// Expected number of adopters of each item (Table 6 columns).
+  std::vector<double> adopters_per_item;
+  /// Expected number of nodes adopting at least one item.
+  double adopting_nodes = 0.0;
+};
+
+/// Monte-Carlo welfare/spread estimator bound to one graph + utility config.
+/// Thread-safe for concurrent const calls (each call builds its own
+/// simulator scratch).
+class WelfareEstimator {
+ public:
+  WelfareEstimator(const Graph& graph, const UtilityConfig& config,
+                   EstimatorOptions options = {});
+
+  /// rho(S): expected social welfare of `allocation`.
+  double Welfare(const Allocation& allocation) const;
+
+  /// Welfare plus per-item adopter counts (used by the adoption-vs-welfare
+  /// experiment, Table 6).
+  WelfareStats Stats(const Allocation& allocation) const;
+
+  /// rho(base ∪ extra) - rho(base), with common random numbers.
+  double MarginalWelfare(const Allocation& base,
+                         const Allocation& extra) const;
+
+  /// sigma(S): expected number of nodes reachable from `seeds` over live
+  /// edges (classic IC spread; item-independent).
+  double Spread(const std::vector<NodeId>& seeds) const;
+
+  /// sigma(S | S_P) = sigma(S ∪ S_P) - sigma(S_P), common random numbers.
+  double MarginalSpread(const std::vector<NodeId>& base,
+                        const std::vector<NodeId>& extra) const;
+
+  /// Balanced-exposure objective of Garimella et al. (Balance-C baseline):
+  /// expected number of nodes whose desire set contains both of items
+  /// {0, 1} or neither. Only meaningful for two-item configurations.
+  double BalancedExposure(const Allocation& allocation) const;
+
+  /// BalancedExposure(base ∪ extra) - BalancedExposure(base), common
+  /// random numbers.
+  double MarginalBalancedExposure(const Allocation& base,
+                                  const Allocation& extra) const;
+
+  const EstimatorOptions& options() const { return options_; }
+  const Graph& graph() const { return graph_; }
+  const UtilityConfig& config() const { return config_; }
+
+ private:
+  const Graph& graph_;
+  const UtilityConfig& config_;
+  EstimatorOptions options_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SIMULATE_ESTIMATOR_H_

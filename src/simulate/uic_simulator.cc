@@ -1,0 +1,117 @@
+#include "simulate/uic_simulator.h"
+
+namespace cwm {
+
+UicSimulator::UicSimulator(const Graph& graph, const UtilityConfig& config)
+    : graph_(graph),
+      config_(config),
+      stamp_(graph.num_nodes(), 0),
+      desire_(graph.num_nodes(), 0),
+      adopted_(graph.num_nodes(), 0),
+      affected_stamp_(graph.num_nodes(), 0) {}
+
+void UicSimulator::Touch(NodeId v) {
+  if (stamp_[v] != epoch_) {
+    stamp_[v] = epoch_;
+    desire_[v] = kEmptyItemSet;
+    adopted_[v] = kEmptyItemSet;
+    touched_.push_back(v);
+  }
+}
+
+WorldOutcome UicSimulator::RunWorld(const Allocation& allocation,
+                                    const EdgeWorld& edges,
+                                    const WorldUtilityTable& utilities) {
+  ++epoch_;
+  touched_.clear();
+  frontier_.clear();
+  next_frontier_.clear();
+
+  // t = 1: seeds desire their allocated items and adopt the best bundle.
+  for (const auto& [v, itemset] : allocation.SeededItemsets()) {
+    Touch(v);
+    desire_[v] = itemset;
+    const ItemSet adopt = utilities.BestAdoption(itemset, kEmptyItemSet);
+    if (adopt != kEmptyItemSet) {
+      adopted_[v] = adopt;
+      frontier_.push_back({v, adopt});
+    }
+  }
+
+  // t >= 2: propagate newly adopted items along live edges.
+  while (!frontier_.empty()) {
+    ++affected_epoch_;
+    affected_.clear();
+    for (const FrontierEntry& entry : frontier_) {
+      const auto out = graph_.OutEdges(entry.node);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        const OutEdge& e = out[k];
+        if (!edges.Live(graph_.OutEdgeId(entry.node, k), e.prob)) continue;
+        Touch(e.to);
+        const ItemSet before = desire_[e.to];
+        const ItemSet after = static_cast<ItemSet>(before | entry.fresh);
+        if (after == before) continue;
+        desire_[e.to] = after;
+        if (affected_stamp_[e.to] != affected_epoch_) {
+          affected_stamp_[e.to] = affected_epoch_;
+          affected_.push_back(e.to);
+        }
+      }
+    }
+    next_frontier_.clear();
+    for (NodeId v : affected_) {
+      const ItemSet prev = adopted_[v];
+      const ItemSet now = utilities.BestAdoption(desire_[v], prev);
+      if (now != prev) {
+        adopted_[v] = now;
+        next_frontier_.push_back({v, static_cast<ItemSet>(now & ~prev)});
+      }
+    }
+    frontier_.swap(next_frontier_);
+  }
+
+  // Aggregate the outcome over touched nodes.
+  WorldOutcome outcome;
+  outcome.adopters_per_item.assign(config_.num_items(), 0);
+  for (NodeId v : touched_) {
+    const ItemSet both = static_cast<ItemSet>(desire_[v] & 0x3u);
+    if (both == 0x1u || both == 0x2u) ++outcome.one_sided_exposure_01;
+    const ItemSet a = adopted_[v];
+    if (a == kEmptyItemSet) continue;
+    ++outcome.adopting_nodes;
+    outcome.welfare += utilities.Utility(a);
+    ForEachItem(a, [&](ItemId i) { ++outcome.adopters_per_item[i]; });
+  }
+  return outcome;
+}
+
+uint64_t UicSimulator::ReachableCount(const std::vector<NodeId>& seeds,
+                                      const EdgeWorld& edges) {
+  ++epoch_;
+  touched_.clear();
+  // Reuse desire_ as a visited flag (non-zero == visited).
+  std::vector<NodeId> queue;
+  for (NodeId s : seeds) {
+    Touch(s);
+    if (desire_[s] == 0) {
+      desire_[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const auto out = graph_.OutEdges(u);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const OutEdge& e = out[k];
+      if (!edges.Live(graph_.OutEdgeId(u, k), e.prob)) continue;
+      Touch(e.to);
+      if (desire_[e.to] == 0) {
+        desire_[e.to] = 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return queue.size();
+}
+
+}  // namespace cwm

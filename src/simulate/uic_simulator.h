@@ -1,0 +1,84 @@
+// Deterministic UIC diffusion inside one possible world (§3).
+//
+// Semantics implemented exactly as the paper defines them:
+//  * t = 1: seeds' desire sets are initialized from the allocation; each
+//    seed adopts its utility-maximizing non-negative bundle.
+//  * t >= 2: every item newly adopted by u' at t-1 is offered along each
+//    *live* out-edge (u', u) (one shared edge world for all items); u adds
+//    offered items to its desire set and re-solves
+//    argmax { U(T) : A(u,t-1) ⊆ T ⊆ R(u,t), U(T) >= 0 }.
+//  * Adoption is progressive; newly adopted items propagate exactly once.
+//  * The process stops when no adoption changes.
+//
+// The simulator keeps n-sized scratch arrays with epoch stamps, so running
+// thousands of Monte-Carlo worlds costs O(touched) per world, not O(n).
+#ifndef CWM_SIMULATE_UIC_SIMULATOR_H_
+#define CWM_SIMULATE_UIC_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+#include "simulate/world.h"
+
+namespace cwm {
+
+/// Outcome of one deterministic possible-world diffusion.
+struct WorldOutcome {
+  /// rho_w(S): sum over nodes of the utility of their final adoption set.
+  double welfare = 0.0;
+  /// Number of nodes whose final adoption set contains item i.
+  std::vector<uint64_t> adopters_per_item;
+  /// Number of nodes with a non-empty adoption set.
+  uint64_t adopting_nodes = 0;
+  /// Number of nodes whose *desire* set contains exactly one of items
+  /// {0, 1}. The Balance-C baseline maximizes n minus this count (nodes
+  /// exposed to both ideas or to neither); meaningless for m != 2.
+  uint64_t one_sided_exposure_01 = 0;
+};
+
+/// Reusable single-thread UIC diffusion engine for one graph + utility
+/// configuration. Not thread-safe; create one per worker.
+class UicSimulator {
+ public:
+  UicSimulator(const Graph& graph, const UtilityConfig& config);
+
+  /// Runs the diffusion of `allocation` in world (`edges`, `utilities`).
+  WorldOutcome RunWorld(const Allocation& allocation, const EdgeWorld& edges,
+                        const WorldUtilityTable& utilities);
+
+  /// Influence spread special case: number of nodes reachable from `seeds`
+  /// via live edges (the sigma(S) of classic IC; used by Lemma 2 style
+  /// bounds and tests).
+  uint64_t ReachableCount(const std::vector<NodeId>& seeds,
+                          const EdgeWorld& edges);
+
+ private:
+  /// Ensures node scratch entries are current for this run.
+  void Touch(NodeId v);
+
+  const Graph& graph_;
+  const UtilityConfig& config_;
+
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> stamp_;    // last epoch touching the node
+  std::vector<ItemSet> desire_;    // R(v, t)
+  std::vector<ItemSet> adopted_;   // A(v, t)
+  std::vector<NodeId> touched_;    // nodes touched this world
+
+  // Frontier entries: (node, items newly adopted last round).
+  struct FrontierEntry {
+    NodeId node;
+    ItemSet fresh;
+  };
+  std::vector<FrontierEntry> frontier_, next_frontier_;
+  std::vector<NodeId> affected_;       // nodes whose desire grew this round
+  std::vector<uint32_t> affected_stamp_;
+  uint32_t affected_epoch_ = 0;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SIMULATE_UIC_SIMULATOR_H_

@@ -1,0 +1,46 @@
+// Possible worlds (§3): w = (w1, w2).
+//
+// EdgeWorld realizes the edge world w1 lazily: whether edge e is live is a
+// pure hash of (world seed, edge id), so the sampled subgraph is consistent
+// across every query in the world — all items see the same live edges, as
+// the model requires — without materializing anything.
+//
+// NoiseWorld is the noise world w2: one sampled noise value per item, fixed
+// for the whole diffusion.
+#ifndef CWM_SIMULATE_WORLD_H_
+#define CWM_SIMULATE_WORLD_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/utility.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+/// Lazy edge possible world keyed by a seed.
+struct EdgeWorld {
+  uint64_t seed;
+
+  /// True iff edge `id` (with probability `p`) is live in this world.
+  /// Deterministic: repeated queries agree.
+  bool Live(EdgeId id, double p) const {
+    if (p >= 1.0) return true;
+    if (p <= 0.0) return false;
+    return HashCoin::Flip(seed, id, p);
+  }
+};
+
+/// Samples the per-item noise vector of a noise world w2.
+inline std::vector<double> SampleNoiseWorld(const UtilityConfig& config,
+                                            Rng& rng) {
+  std::vector<double> noise(config.num_items());
+  for (ItemId i = 0; i < config.num_items(); ++i) {
+    noise[i] = config.Noise(i).Sample(rng);
+  }
+  return noise;
+}
+
+}  // namespace cwm
+
+#endif  // CWM_SIMULATE_WORLD_H_

@@ -1,0 +1,31 @@
+// Invariant-checking macros for the cwm library.
+//
+// CWM_CHECK is always on (benchmark-safe: the checked conditions are O(1)
+// and outside inner loops). Violations indicate programmer error and abort
+// with a source location, following the style of RocksDB's assert usage for
+// unrecoverable states.
+#ifndef CWM_SUPPORT_CHECK_H_
+#define CWM_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CWM_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CWM_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CWM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CWM_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // CWM_SUPPORT_CHECK_H_

@@ -1,0 +1,38 @@
+// Numerical kernel used by the sampling-theory bounds (IMM Eqs. 6-8) and by
+// expected-truncated-utility computation (normal CDF/PDF closed forms,
+// Gauss-Legendre quadrature for general noise laws).
+#ifndef CWM_SUPPORT_MATHX_H_
+#define CWM_SUPPORT_MATHX_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace cwm {
+
+/// Natural log of the binomial coefficient C(n, k) via lgamma.
+/// Exact enough for the IMM sample-size bounds where it appears inside logs.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// Standard normal probability density.
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution (via erfc; ~1e-15 accuracy).
+double NormalCdf(double x);
+
+/// E[max(0, mu + sigma * Z)] for Z ~ N(0,1): the expected truncated utility
+/// of an item with deterministic utility `mu` under normal noise.
+/// Closed form: mu * Phi(mu/sigma) + sigma * phi(mu/sigma).
+double ExpectedPositivePartNormal(double mu, double sigma);
+
+/// E[max(0, mu + U)] for U ~ Uniform(-a, a).
+double ExpectedPositivePartUniform(double mu, double a);
+
+/// Adaptive-free 64-point Gauss-Legendre quadrature of `f` over [lo, hi].
+/// Used for noise laws without a closed-form truncated mean (e.g. the
+/// clamped normal used for the superior-item configurations C5/C6).
+double GaussLegendre64(const std::function<double(double)>& f, double lo,
+                       double hi);
+
+}  // namespace cwm
+
+#endif  // CWM_SUPPORT_MATHX_H_

@@ -1,0 +1,5 @@
+#include "support/rng.h"
+
+// Header-only; this translation unit exists so the build exposes a stable
+// object for the module and to host any future out-of-line additions.
+namespace cwm {}  // namespace cwm

@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation for cwm.
+//
+// Two generators are provided:
+//  * Rng           — xoshiro256++ stream generator; fast general-purpose
+//                    uniform/normal sampling. Every randomized component in
+//                    the library takes an explicit seed, so whole experiment
+//                    runs are reproducible bit-for-bit.
+//  * HashCoin      — stateless hash-based Bernoulli coin. Used to realize
+//                    "possible worlds" lazily: live(edge e in world s) is a
+//                    pure function of (s, e), so all diffusion queries in one
+//                    world observe a consistent sampled subgraph without ever
+//                    materializing it (see simulate/world.h).
+#ifndef CWM_SUPPORT_RNG_H_
+#define CWM_SUPPORT_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace cwm {
+
+/// SplitMix64 step; used for seeding and as the mixing function of HashCoin.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit words into one; avalanche-quality (SplitMix64 finalizer).
+inline uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t state = a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+  state ^= b * 0xff51afd7ed558ccdULL;
+  return SplitMix64(state);
+}
+
+/// xoshiro256++ generator. Not cryptographic; excellent statistical quality
+/// and ~1ns/draw, which matters in Monte-Carlo welfare estimation.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64, per the
+  /// xoshiro authors' recommendation.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit draw.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection-free mapping (bias < 2^-32 for bound < 2^32,
+  /// negligible for our graph sizes).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal draw (Box–Muller; caches the second variate).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Derives an independent child generator; used to hand one stream to each
+  /// worker thread / Monte-Carlo replicate.
+  Rng Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Stateless Bernoulli coin keyed by (world_seed, object_id).
+/// HashCoin::Flip(s, id, p) is deterministic, so repeated queries for the
+/// same object in the same world always agree — the backbone of the lazy
+/// possible-world representation.
+struct HashCoin {
+  static bool Flip(uint64_t world_seed, uint64_t object_id, double p) {
+    // Compare against p * 2^64 in integer space to avoid the double divide.
+    const uint64_t h = MixHash(world_seed, object_id);
+    return h < static_cast<uint64_t>(p * 18446744073709551616.0);
+  }
+
+  /// Uniform double in [0,1) keyed by (world_seed, object_id).
+  static double Uniform(uint64_t world_seed, uint64_t object_id) {
+    return (MixHash(world_seed, object_id) >> 11) * 0x1.0p-53;
+  }
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SUPPORT_RNG_H_

@@ -1,0 +1,39 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cwm {
+
+unsigned DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(std::size_t num_chunks,
+                 const std::function<void(std::size_t)>& fn,
+                 unsigned num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  if (num_threads <= 1 || num_chunks <= 1) {
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_chunks) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  const unsigned spawned =
+      static_cast<unsigned>(std::min<std::size_t>(num_threads, num_chunks));
+  threads.reserve(spawned);
+  for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace cwm

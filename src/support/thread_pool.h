@@ -1,0 +1,27 @@
+// Minimal fixed-size thread pool for embarrassingly parallel Monte-Carlo
+// estimation. The pool hands each worker a disjoint chunk index; callers
+// derive per-chunk RNG streams so results are deterministic regardless of
+// scheduling.
+#ifndef CWM_SUPPORT_THREAD_POOL_H_
+#define CWM_SUPPORT_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cwm {
+
+/// Runs `fn(chunk_index)` for chunk_index in [0, num_chunks), spreading
+/// chunks over up to `num_threads` std::threads. With num_threads <= 1 the
+/// work runs inline on the caller's thread (the default on single-core
+/// machines). Blocks until all chunks complete.
+void ParallelFor(std::size_t num_chunks,
+                 const std::function<void(std::size_t)>& fn,
+                 unsigned num_threads = 0);
+
+/// Number of threads ParallelFor uses when num_threads == 0:
+/// std::thread::hardware_concurrency(), at least 1.
+unsigned DefaultThreads();
+
+}  // namespace cwm
+
+#endif  // CWM_SUPPORT_THREAD_POOL_H_

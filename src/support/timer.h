@@ -1,0 +1,33 @@
+// Wall-clock timer used by the experiment harness to report running times
+// in the same units as the paper's figures (seconds).
+#ifndef CWM_SUPPORT_TIMER_H_
+#define CWM_SUPPORT_TIMER_H_
+
+#include <chrono>
+
+namespace cwm {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SUPPORT_TIMER_H_

@@ -1,0 +1,276 @@
+// Tests for the CWelMax algorithms: SeqGRD / SeqGRD-NM, MaxGRD, SupGRD,
+// BestOf — budget feasibility, ordering behaviour, marginal-check effects,
+// precondition checking, and solution quality against exhaustive search on
+// small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/best_of.h"
+#include "algo/max_grd.h"
+#include "algo/seq_grd.h"
+#include "algo/sup_grd.h"
+#include "exp/configs.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "rrset/imm.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+namespace {
+
+AlgoParams FastParams(uint64_t seed = 3) {
+  AlgoParams p;
+  p.imm = {.epsilon = 0.5, .ell = 1.0, .seed = seed};
+  p.estimator = {.num_worlds = 300, .seed = seed + 1};
+  return p;
+}
+
+TEST(SeqGrdTest, RespectsBudgetsAndExhaustsThem) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 3));
+  const UtilityConfig c = MakeConfigC1();
+  const BudgetVector budgets{5, 3};
+  const Allocation alloc = SeqGrd(g, c, Allocation(2), {0, 1}, budgets,
+                                  FastParams());
+  EXPECT_TRUE(alloc.RespectsBudgets(budgets));
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 5u);
+  EXPECT_EQ(alloc.SeedsOf(1).size(), 3u);
+}
+
+TEST(SeqGrdTest, HigherUtilityItemGetsTopSeeds) {
+  // C2: item 0 has 10x item 1's utility; SeqGRD gives item 0 the first
+  // block of the greedy order, whose first element has the largest gain.
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 5));
+  const UtilityConfig c = MakeConfigC2();
+  AlgoDiagnostics diag;
+  const Allocation alloc = SeqGrdNm(g, c, Allocation(2), {0, 1}, {3, 3},
+                                    FastParams(), &diag);
+  EXPECT_GT(diag.rr_count, 0u);
+  const UtilityConfig unit = [] {
+    UtilityConfigBuilder b(1);
+    b.SetItemValue(0, 1.0);
+    return std::move(b).Build().value();
+  }();
+  WelfareEstimator est(g, unit, {.num_worlds = 2000, .seed = 7});
+  EXPECT_GE(est.Spread(alloc.SeedsOf(0)) + 2.0, est.Spread(alloc.SeedsOf(1)));
+}
+
+TEST(SeqGrdTest, ItemBlocksAreDisjoint) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 7));
+  const UtilityConfig c = MakeConfigC1();
+  const Allocation alloc = SeqGrdNm(g, c, Allocation(2), {0, 1}, {4, 4},
+                                    FastParams());
+  for (NodeId a : alloc.SeedsOf(0)) {
+    EXPECT_EQ(std::count(alloc.SeedsOf(1).begin(), alloc.SeedsOf(1).end(), a),
+              0);
+  }
+}
+
+TEST(SeqGrdTest, MarginalCheckSkipsBlockingItem) {
+  // Line graph where a cheap item placed next to the valuable item's seed
+  // would block it. With marginal check, the cheap item's block must be
+  // postponed (appended at the end), never hurting welfare.
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 9));
+  const UtilityConfig c = MakeThreeItemConfig();
+  const BudgetVector budgets{6, 6, 6};
+  const AlgoParams params = FastParams(11);
+  const Allocation with_check =
+      SeqGrd(g, c, Allocation(3), {0, 1, 2}, budgets, params);
+  const Allocation without_check =
+      SeqGrdNm(g, c, Allocation(3), {0, 1, 2}, budgets, params);
+  WelfareEstimator est(g, c, {.num_worlds = 2000, .seed = 13});
+  // The marginal check can only help (up to estimator noise).
+  EXPECT_GE(est.Welfare(with_check) + 0.5,
+            est.Welfare(without_check) - 0.5);
+}
+
+TEST(SeqGrdTest, WorksOnTopOfFixedAllocation) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 15));
+  const UtilityConfig c = MakeConfigC1();
+  Allocation sp(2);
+  sp.Add(0, 1);
+  sp.Add(1, 1);
+  const Allocation alloc =
+      SeqGrd(g, c, sp, {0}, {4, 0x7fffffff}, FastParams());
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 4u);
+  EXPECT_TRUE(alloc.SeedsOf(1).empty());
+  // New seeds avoid the fixed ones (they are blocked in the RR sets).
+  for (NodeId v : alloc.SeedsOf(0)) {
+    EXPECT_NE(v, 0u);
+    EXPECT_NE(v, 1u);
+  }
+}
+
+TEST(MaxGrdTest, AllocatesExactlyOneItem) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 17));
+  const UtilityConfig c = MakeConfigC1();
+  const Allocation alloc =
+      MaxGrd(g, c, Allocation(2), {0, 1}, {5, 5}, FastParams());
+  const bool only_i = !alloc.SeedsOf(0).empty() && alloc.SeedsOf(1).empty();
+  const bool only_j = alloc.SeedsOf(0).empty() && !alloc.SeedsOf(1).empty();
+  EXPECT_TRUE(only_i || only_j);
+}
+
+TEST(MaxGrdTest, PrefersHighUtilityItemWhenGapLarge) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 19));
+  const UtilityConfig c = MakeConfigC2();  // U(i) = 10 * U(j)
+  const Allocation alloc =
+      MaxGrd(g, c, Allocation(2), {0, 1}, {5, 5}, FastParams());
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 5u);
+  EXPECT_TRUE(alloc.SeedsOf(1).empty());
+}
+
+TEST(MaxGrdTest, HonoursPerItemBudgetPrefix) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 21));
+  const UtilityConfig c = MakeConfigC2();
+  const Allocation alloc =
+      MaxGrd(g, c, Allocation(2), {0, 1}, {2, 7}, FastParams());
+  // Whichever item wins, its seed count equals its own budget.
+  if (!alloc.SeedsOf(0).empty()) {
+    EXPECT_EQ(alloc.SeedsOf(0).size(), 2u);
+  } else {
+    EXPECT_EQ(alloc.SeedsOf(1).size(), 7u);
+  }
+}
+
+TEST(MaxGrdBeatsSeqOnPaperExample, FourNodeExample) {
+  // §5.2: nodes {u,v,w,x}; u->v->w, x->w; U(i)=10, U(j)=1, U({i,j})=0;
+  // budgets 1 and 1. MaxGRD's single-item allocation (30) beats the
+  // two-item allocation (22).
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(3, 2, 1.0);
+  const Graph g = std::move(b).Build();
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 11.0).SetItemValue(1, 13.0);
+  cb.SetItemPrice(0, 1.0).SetItemPrice(1, 12.0);
+  cb.SetBundleValue(0x3, 13.0);
+  const UtilityConfig c = std::move(cb).Build().value();
+  const AlgoParams params = FastParams(23);
+  const Allocation max_alloc =
+      MaxGrd(g, c, Allocation(2), {0, 1}, {1, 1}, params);
+  WelfareEstimator est(g, c, {.num_worlds = 16, .seed = 29});
+  EXPECT_DOUBLE_EQ(est.Welfare(max_alloc), 30.0);
+}
+
+TEST(SupGrdTest, PreconditionsChecked) {
+  const UtilityConfig c1 = MakeConfigC1();  // unbounded noise
+  EXPECT_FALSE(CanRunSupGrd(c1, Allocation(2)).ok());
+
+  const UtilityConfig c5 = MakeConfigC5();
+  Allocation sp(2);
+  sp.Add(3, 1);
+  EXPECT_TRUE(CanRunSupGrd(c5, sp).ok());
+
+  // Superior item pre-allocated: rejected.
+  Allocation bad(2);
+  bad.Add(3, 0);
+  EXPECT_FALSE(CanRunSupGrd(c5, bad).ok());
+
+  // Soft competition: rejected even with a bounded-noise superior item.
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 4.0).SetItemValue(1, 4.9);
+  cb.SetItemPrice(0, 3.0).SetItemPrice(1, 4.0);
+  cb.SetBundleValue(0x3, 8.7);
+  cb.SetAllNoise(NoiseDistribution::ClampedNormal(0.01, 0.04));
+  const UtilityConfig soft = std::move(cb).Build().value();
+  EXPECT_FALSE(CanRunSupGrd(soft, Allocation(2)).ok());
+}
+
+TEST(SupGrdTest, AvoidsRegionClaimedByInferiorSeeds) {
+  // Two deterministic chains; the inferior item holds the head of chain A.
+  // SupGRD should seed the superior item at the head of chain B, where the
+  // full marginal welfare is available.
+  GraphBuilder b(60);
+  for (NodeId v = 0; v < 29; ++v) b.AddEdge(v, v + 1, 1.0);
+  for (NodeId v = 30; v < 59; ++v) b.AddEdge(v, v + 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeConfigC6();
+  Allocation sp(2);
+  sp.Add(0, 1);  // inferior item at head of chain A
+  AlgoDiagnostics diag;
+  const Allocation alloc = SupGrd(g, c, sp, 1, FastParams(31), &diag);
+  ASSERT_EQ(alloc.SeedsOf(0).size(), 1u);
+  EXPECT_EQ(alloc.SeedsOf(0)[0], 30u);
+  EXPECT_GT(diag.internal_estimate, 0.0);
+}
+
+TEST(SupGrdTest, UpgradeWelfareCountedWhenDisplacingInferior) {
+  // One chain fully claimed by the inferior item: the superior item's
+  // marginal per displaced node is U(i) - U(j) > 0, so seeding inside the
+  // claimed chain is still worthwhile when there is nothing else.
+  GraphBuilder b(20);
+  for (NodeId v = 0; v < 19; ++v) b.AddEdge(v, v + 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeConfigC5();  // gap 0.1
+  Allocation sp(2);
+  sp.Add(0, 1);
+  const Allocation alloc = SupGrd(g, c, sp, 1, FastParams(37));
+  ASSERT_EQ(alloc.SeedsOf(0).size(), 1u);
+  // The best displacement seed is the chain head (displaces all 20 nodes).
+  EXPECT_EQ(alloc.SeedsOf(0)[0], 0u);
+}
+
+TEST(SupGrdTest, BudgetRespected) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 41));
+  const UtilityConfig c = MakeConfigC6();
+  Allocation sp(2);
+  const ImmResult imm = Imm(g, 5, {.epsilon = 0.5, .ell = 1.0, .seed = 5});
+  for (NodeId v : imm.seeds) sp.Add(v, 1);
+  const Allocation alloc = SupGrd(g, c, sp, 7, FastParams(43));
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 7u);
+  EXPECT_TRUE(alloc.SeedsOf(1).empty());
+}
+
+TEST(BestOfTest, ReturnsBetterOfTheTwo) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(250, 2, 47));
+  const UtilityConfig c = MakeConfigC3();
+  const char* chosen = nullptr;
+  const AlgoParams params = FastParams(53);
+  const Allocation best =
+      BestOfSeqMax(g, c, Allocation(2), {0, 1}, {4, 4}, params, &chosen);
+  ASSERT_NE(chosen, nullptr);
+  WelfareEstimator est(g, c, {.num_worlds = 1500, .seed = 59});
+  const Allocation seq =
+      SeqGrd(g, c, Allocation(2), {0, 1}, {4, 4}, params);
+  const Allocation max =
+      MaxGrd(g, c, Allocation(2), {0, 1}, {4, 4}, params);
+  const double best_w = est.Welfare(best);
+  EXPECT_GE(best_w + 1.0, std::min(est.Welfare(seq), est.Welfare(max)));
+}
+
+TEST(QualityTest, SeqGrdNearBruteForceOnTinyInstance) {
+  // 8-node deterministic graph, budgets {1,1}: brute force over all 64
+  // allocations; SeqGRD should land within 25% of the optimum.
+  GraphBuilder b(8);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(3, 4, 1.0);
+  b.AddEdge(5, 6, 1.0);
+  b.AddEdge(6, 7, 1.0);
+  const Graph g = std::move(b).Build();
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 4.0).SetItemValue(1, 4.9);
+  cb.SetItemPrice(0, 3.0).SetItemPrice(1, 4.0);
+  cb.SetBundleValue(0x3, 4.9);  // C1 without noise
+  const UtilityConfig c = std::move(cb).Build().value();
+  WelfareEstimator est(g, c, {.num_worlds = 8, .seed = 61});
+  double opt = 0;
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId bb = 0; bb < 8; ++bb) {
+      Allocation alloc(2);
+      alloc.Add(a, 0);
+      alloc.Add(bb, 1);
+      opt = std::max(opt, est.Welfare(alloc));
+    }
+  }
+  const Allocation alloc =
+      SeqGrd(g, c, Allocation(2), {0, 1}, {1, 1}, FastParams(67));
+  EXPECT_GE(est.Welfare(alloc), 0.75 * opt);
+}
+
+}  // namespace
+}  // namespace cwm

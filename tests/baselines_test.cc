@@ -1,0 +1,209 @@
+// Tests for the baselines: greedyWM, TCIM-style, Balance-C, and the
+// positional allocators (block / round-robin / snake).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/balance_c.h"
+#include "baselines/greedy_wm.h"
+#include "baselines/simple_alloc.h"
+#include "baselines/tcim.h"
+#include "exp/configs.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+namespace {
+
+AlgoParams FastParams(uint64_t seed = 3) {
+  AlgoParams p;
+  p.imm = {.epsilon = 0.5, .ell = 1.0, .seed = seed};
+  p.estimator = {.num_worlds = 200, .seed = seed + 1};
+  return p;
+}
+
+TEST(TopOutDegreeNodesTest, OrdersByDegree) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 0, 1.0);
+  b.AddEdge(2, 1, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  b.AddEdge(3, 0, 1.0);
+  b.AddEdge(3, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const auto top = TopOutDegreeNodes(g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);  // degree 3
+  EXPECT_EQ(top[1], 3u);  // degree 2
+}
+
+TEST(TopOutDegreeNodesTest, PoolZeroReturnsAll) {
+  const Graph g = BarabasiAlbert(50, 2, 3);
+  EXPECT_EQ(TopOutDegreeNodes(g, 0).size(), 50u);
+  EXPECT_EQ(TopOutDegreeNodes(g, 100).size(), 50u);
+}
+
+TEST(GreedyWmTest, RespectsBudgets) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(150, 2, 5));
+  const UtilityConfig c = MakeConfigC1();
+  const BudgetVector budgets{3, 2};
+  const Allocation alloc = GreedyWm(g, c, Allocation(2), {0, 1}, budgets,
+                                    FastParams(), {.candidate_pool = 30});
+  EXPECT_TRUE(alloc.RespectsBudgets(budgets));
+  EXPECT_EQ(alloc.TotalPairs(), 5u);
+}
+
+TEST(GreedyWmTest, FindsObviousBestSeedOnStar) {
+  // Star center with 30 leaves: first pick must be (center, item i).
+  GraphBuilder b(31);
+  for (NodeId leaf = 1; leaf < 31; ++leaf) b.AddEdge(0, leaf, 1.0);
+  const Graph g = std::move(b).Build();
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 3.0).SetItemValue(1, 2.0);
+  cb.SetItemPrice(0, 1.0).SetItemPrice(1, 1.0);  // U(i)=2, U(j)=1, pure
+  const UtilityConfig c = std::move(cb).Build().value();
+  const Allocation alloc = GreedyWm(g, c, Allocation(2), {0, 1}, {1, 1},
+                                    FastParams(7), {.candidate_pool = 10});
+  ASSERT_EQ(alloc.SeedsOf(0).size(), 1u);
+  EXPECT_EQ(alloc.SeedsOf(0)[0], 0u);
+}
+
+TEST(GreedyWmTest, WelfareCompetitiveWithSeqGrdOnSmallGraph) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(120, 2, 9));
+  const UtilityConfig c = MakeConfigC3();
+  const Allocation alloc = GreedyWm(g, c, Allocation(2), {0, 1}, {2, 2},
+                                    FastParams(11), {.candidate_pool = 25});
+  WelfareEstimator est(g, c, {.num_worlds = 1500, .seed = 13});
+  EXPECT_GT(est.Welfare(alloc), 0.0);
+}
+
+TEST(TcimTest, RespectsBudgetsAndStacksSameSeeds) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 15));
+  const UtilityConfig c = MakeConfigC1();
+  const BudgetVector budgets{4, 4};
+  const Allocation alloc =
+      Tcim(g, c, Allocation(2), {0, 1}, budgets, FastParams(17));
+  EXPECT_TRUE(alloc.RespectsBudgets(budgets));
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 4u);
+  EXPECT_EQ(alloc.SeedsOf(1).size(), 4u);
+  // TCIM contests the same top seeds for every item (§6.2.2 observation).
+  EXPECT_EQ(alloc.SeedsOf(0), alloc.SeedsOf(1));
+}
+
+TEST(TcimTest, UnevenBudgetsSharePrefix) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 19));
+  const UtilityConfig c = MakeConfigC1();
+  const Allocation alloc =
+      Tcim(g, c, Allocation(2), {0, 1}, {2, 5}, FastParams(19));
+  ASSERT_EQ(alloc.SeedsOf(0).size(), 2u);
+  ASSERT_EQ(alloc.SeedsOf(1).size(), 5u);
+  // The smaller budget takes a prefix of the larger one's seed list.
+  EXPECT_EQ(alloc.SeedsOf(0)[0], alloc.SeedsOf(1)[0]);
+  EXPECT_EQ(alloc.SeedsOf(0)[1], alloc.SeedsOf(1)[1]);
+}
+
+TEST(TcimTest, SharedSeedsCostWelfareUnderPureCompetition) {
+  // Two disjoint stars with two purely competing items: stacking both
+  // items on one hub wastes a budget; placing one item per hub wins.
+  GraphBuilder b(42);
+  for (NodeId leaf = 1; leaf <= 20; ++leaf) b.AddEdge(0, leaf, 1.0);
+  for (NodeId leaf = 22; leaf <= 41; ++leaf) b.AddEdge(21, leaf, 1.0);
+  const Graph g = std::move(b).Build();
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 3.0).SetItemValue(1, 2.9);
+  cb.SetItemPrice(0, 1.0).SetItemPrice(1, 1.0);  // pure competition
+  const UtilityConfig c = std::move(cb).Build().value();
+  const Allocation tcim =
+      Tcim(g, c, Allocation(2), {0, 1}, {1, 1}, FastParams(23));
+  EXPECT_EQ(tcim.SeedsOf(0), tcim.SeedsOf(1));
+  WelfareEstimator est(g, c, {.num_worlds = 64, .seed = 29});
+  Allocation disjoint(2);
+  disjoint.Add(0, 0);
+  disjoint.Add(21, 1);
+  // Disjoint hubs: 21*2.0 + 21*1.9; stacked: one star only.
+  EXPECT_GT(est.Welfare(disjoint), est.Welfare(tcim));
+}
+
+TEST(BalanceCTest, RequiresTwoItems) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(100, 2, 21));
+  const UtilityConfig c = MakeThreeItemConfig();
+  EXPECT_DEATH(BalanceC(g, c, Allocation(3), {0, 1, 2}, {1, 1, 1},
+                        FastParams()),
+               "two items");
+}
+
+TEST(BalanceCTest, RespectsBudgets) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(120, 2, 23));
+  const UtilityConfig c = MakeConfigC3();
+  const BudgetVector budgets{2, 2};
+  const Allocation alloc = BalanceC(g, c, Allocation(2), {0, 1}, budgets,
+                                    FastParams(25), {.candidate_pool = 20});
+  EXPECT_TRUE(alloc.RespectsBudgets(budgets));
+  EXPECT_EQ(alloc.TotalPairs(), 4u);
+}
+
+TEST(BalanceCTest, CoSeedsForBalanceUnderSoftCompetition) {
+  // Under soft competition (both items adoptable), Balance-C prefers
+  // seeding both items at the same influential node: everyone it reaches
+  // sees both.
+  GraphBuilder b(20);
+  for (NodeId leaf = 1; leaf < 20; ++leaf) b.AddEdge(0, leaf, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeConfigC3();
+  const Allocation alloc = BalanceC(g, c, Allocation(2), {0, 1}, {1, 1},
+                                    FastParams(27), {.candidate_pool = 6});
+  ASSERT_EQ(alloc.SeedsOf(0).size(), 1u);
+  ASSERT_EQ(alloc.SeedsOf(1).size(), 1u);
+  EXPECT_EQ(alloc.SeedsOf(0)[0], alloc.SeedsOf(1)[0]);
+}
+
+TEST(SimpleAllocTest, BlockPattern) {
+  const std::vector<NodeId> seeds{10, 11, 12, 13, 14, 15};
+  const Allocation a = BlockAllocate(2, seeds, {0, 1}, {3, 3});
+  EXPECT_EQ(a.SeedsOf(0), (std::vector<NodeId>{10, 11, 12}));
+  EXPECT_EQ(a.SeedsOf(1), (std::vector<NodeId>{13, 14, 15}));
+}
+
+TEST(SimpleAllocTest, RoundRobinPattern) {
+  const std::vector<NodeId> seeds{10, 11, 12, 13};
+  const Allocation a = RoundRobinAllocate(2, seeds, {0, 1}, {2, 2});
+  EXPECT_EQ(a.SeedsOf(0), (std::vector<NodeId>{10, 12}));
+  EXPECT_EQ(a.SeedsOf(1), (std::vector<NodeId>{11, 13}));
+}
+
+TEST(SimpleAllocTest, SnakePattern) {
+  // Paper's example: s1:i, s2:j, s3:j, s4:i.
+  const std::vector<NodeId> seeds{1, 2, 3, 4};
+  const Allocation a = SnakeAllocate(2, seeds, {0, 1}, {2, 2});
+  EXPECT_EQ(a.SeedsOf(0), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(a.SeedsOf(1), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(SimpleAllocTest, RoundRobinSkipsExhaustedBudgets) {
+  const std::vector<NodeId> seeds{1, 2, 3, 4, 5};
+  const Allocation a = RoundRobinAllocate(2, seeds, {0, 1}, {1, 4});
+  EXPECT_EQ(a.SeedsOf(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(a.SeedsOf(1), (std::vector<NodeId>{2, 3, 4, 5}));
+}
+
+TEST(SimpleAllocTest, SnakeUnevenBudgets) {
+  const std::vector<NodeId> seeds{1, 2, 3, 4, 5};
+  const Allocation a = SnakeAllocate(2, seeds, {0, 1}, {3, 2});
+  // pass 1 fwd: 1->i, 2->j; pass 2 rev: 3->j, 4->i; pass 3 fwd: 5->i.
+  EXPECT_EQ(a.SeedsOf(0), (std::vector<NodeId>{1, 4, 5}));
+  EXPECT_EQ(a.SeedsOf(1), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(SimpleAllocTest, ThreeItemsRoundRobin) {
+  const std::vector<NodeId> seeds{1, 2, 3, 4, 5, 6};
+  const Allocation a = RoundRobinAllocate(3, seeds, {0, 1, 2}, {2, 2, 2});
+  EXPECT_EQ(a.SeedsOf(0), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(a.SeedsOf(1), (std::vector<NodeId>{2, 5}));
+  EXPECT_EQ(a.SeedsOf(2), (std::vector<NodeId>{3, 6}));
+}
+
+}  // namespace
+}  // namespace cwm

@@ -1,0 +1,199 @@
+// Tests pinning the paper's utility configurations to their published
+// numbers: Table 3 (C1-C4), C5/C6 superior-item variants, Table 4, the
+// Last.fm reconstruction of Table 5, and the Theorem 1 / Theorem 2 (Table
+// 1) theory configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/configs.h"
+#include "exp/networks.h"
+#include "graph/edge_prob.h"
+
+namespace cwm {
+namespace {
+
+TEST(ConfigC1Test, TableThreeNumbers) {
+  const UtilityConfig c = MakeConfigC1();
+  EXPECT_EQ(c.num_items(), 2);
+  EXPECT_DOUBLE_EQ(c.DetUtility(0x1), 1.0);
+  EXPECT_NEAR(c.DetUtility(0x2), 0.9, 1e-12);
+  EXPECT_NEAR(c.DetUtility(0x3), -2.1, 1e-12);
+  EXPECT_EQ(c.Noise(0).kind(), NoiseDistribution::Kind::kNormal);
+  EXPECT_DOUBLE_EQ(c.Noise(0).sigma(), 1.0);
+}
+
+TEST(ConfigC2Test, HighUtilityGap) {
+  const UtilityConfig c = MakeConfigC2();
+  EXPECT_DOUBLE_EQ(c.DetUtility(0x1), 1.0);
+  EXPECT_NEAR(c.DetUtility(0x2), 0.1, 1e-12);
+  // "i's deterministic utility is ... 10 times higher than that of j."
+  EXPECT_NEAR(c.DetUtility(0x1) / c.DetUtility(0x2), 10.0, 1e-9);
+  EXPECT_NEAR(c.DetUtility(0x3), -2.9, 1e-12);
+}
+
+TEST(ConfigC3Test, SoftCompetition) {
+  const UtilityConfig c = MakeConfigC3();
+  EXPECT_NEAR(c.DetUtility(0x3), 1.7, 1e-12);
+  // Bundle beats both singles but is below their sum: partial competition.
+  EXPECT_GT(c.DetUtility(0x3), c.DetUtility(0x1));
+  EXPECT_GT(c.DetUtility(0x3), c.DetUtility(0x2));
+  EXPECT_LT(c.DetUtility(0x3), c.DetUtility(0x1) + c.DetUtility(0x2));
+}
+
+TEST(ConfigC5C6Test, SuperiorItemExists) {
+  const UtilityConfig c5 = MakeConfigC5();
+  ASSERT_TRUE(c5.SuperiorItem().has_value());
+  EXPECT_EQ(*c5.SuperiorItem(), 0);
+  EXPECT_TRUE(c5.IsPureCompetition());
+
+  const UtilityConfig c6 = MakeConfigC6();
+  ASSERT_TRUE(c6.SuperiorItem().has_value());
+  EXPECT_EQ(*c6.SuperiorItem(), 0);
+  EXPECT_TRUE(c6.IsPureCompetition());
+}
+
+TEST(ConfigC5C6Test, ClampedNoiseKeepsUtilityOrder) {
+  const UtilityConfig c = MakeConfigC5();
+  // Worst case for i must beat best case for j.
+  const double i_low = c.DetUtility(0x1) + c.Noise(0).MinSupport();
+  const double j_high = c.DetUtility(0x2) + c.Noise(1).MaxSupport();
+  EXPECT_GT(i_low, j_high);
+}
+
+TEST(ConfigPurityTest, C1C2PureC3Soft) {
+  // Normal noise is unbounded, so the formal pure-competition check fails
+  // for C1/C2; their deterministic bundles are still strictly dominated.
+  const UtilityConfig c1 = MakeConfigC1();
+  EXPECT_LT(c1.DetUtility(0x3), 0.0);
+  const UtilityConfig c3 = MakeConfigC3();
+  EXPECT_GT(c3.DetUtility(0x3), 0.0);
+}
+
+TEST(ThreeItemConfigTest, TableFourNumbers) {
+  const UtilityConfig c = MakeThreeItemConfig();
+  EXPECT_EQ(c.num_items(), 3);
+  EXPECT_NEAR(c.DetUtility(SingletonSet(0)), 2.0, 1e-9);
+  EXPECT_NEAR(c.DetUtility(SingletonSet(1)), 0.11, 1e-9);
+  EXPECT_NEAR(c.DetUtility(SingletonSet(2)), 0.1, 1e-9);
+  EXPECT_NEAR(c.DetUtility(0x5), 2.1, 1e-9);  // {i,k}: soft competition
+  EXPECT_LT(c.DetUtility(0x3), 0.0);          // {i,j}
+  EXPECT_LT(c.DetUtility(0x6), 0.0);          // {j,k}
+  EXPECT_LT(c.DetUtility(0x7), 0.0);          // {i,j,k}
+}
+
+TEST(UniformPureCompetitionTest, UnitUtilitiesAllSizes) {
+  for (int m = 1; m <= 5; ++m) {
+    const UtilityConfig c = MakeUniformPureCompetition(m);
+    EXPECT_EQ(c.num_items(), m);
+    for (ItemId i = 0; i < m; ++i) {
+      EXPECT_DOUBLE_EQ(c.DetUtility(SingletonSet(i)), 1.0);
+      EXPECT_DOUBLE_EQ(c.ExpectedTruncatedUtility(i), 1.0);
+    }
+    EXPECT_TRUE(c.IsPureCompetition());
+    EXPECT_DOUBLE_EQ(c.UMin(), 1.0);
+    EXPECT_DOUBLE_EQ(c.UMax(), 1.0);
+  }
+}
+
+TEST(LastFmConfigTest, TableFiveUtilities) {
+  const UtilityConfig c = MakeLastFmConfig();
+  EXPECT_EQ(c.num_items(), 4);
+  // UD column of Table 5: 7.0, 6.8, 5.0, 4.7 (to one decimal).
+  EXPECT_NEAR(c.DetUtility(SingletonSet(0)), 7.0, 0.05);   // indie
+  EXPECT_NEAR(c.DetUtility(SingletonSet(1)), 6.8, 0.05);   // rock
+  EXPECT_NEAR(c.DetUtility(SingletonSet(2)), 5.0, 0.05);   // industrial
+  EXPECT_NEAR(c.DetUtility(SingletonSet(3)), 4.7, 0.05);   // prog metal
+}
+
+TEST(LastFmConfigTest, ExactReconstructionFormula) {
+  const UtilityConfig c = MakeLastFmConfig();
+  EXPECT_NEAR(c.DetUtility(SingletonSet(0)), std::log(10000 * 0.107), 1e-9);
+  EXPECT_NEAR(c.DetUtility(SingletonSet(3)), std::log(10000 * 0.011), 1e-9);
+}
+
+TEST(LastFmConfigTest, PureCompetitionIncludingUpgrades) {
+  const UtilityConfig c = MakeLastFmConfig();
+  EXPECT_TRUE(c.IsPureCompetition());
+  // The crucial upgrade trap: a node holding progressive metal (4.7) must
+  // not want to add indie: U({indie, prog}) < U({prog}).
+  EXPECT_LT(c.DetUtility(0x9), c.DetUtility(0x8));
+}
+
+TEST(LastFmConfigTest, UtilityOrderMatchesTable) {
+  const UtilityConfig c = MakeLastFmConfig();
+  const auto order = c.ItemsByTruncatedUtilityDesc();
+  EXPECT_EQ(order, (std::vector<ItemId>{0, 1, 2, 3}));
+}
+
+TEST(Theorem1ConfigTest, ProofArithmetic) {
+  const UtilityConfig c = MakeTheorem1Config();
+  EXPECT_DOUBLE_EQ(c.DetUtility(0x1), 4.0);   // i1
+  EXPECT_DOUBLE_EQ(c.DetUtility(0x2), 3.0);   // i2
+  EXPECT_DOUBLE_EQ(c.DetUtility(0x4), 3.5);   // i3
+  EXPECT_DOUBLE_EQ(c.DetUtility(0x5), 4.5);   // {i1,i3}
+  // A node holding i2 must not benefit from adding i1.
+  EXPECT_LE(c.DetUtility(0x3), c.DetUtility(0x2));
+}
+
+TEST(Theorem2ConfigTest, TableOneVerbatim) {
+  const UtilityConfig c = MakeTheorem2Config();
+  EXPECT_NEAR(c.DetUtility(0x1), 5.1, 1e-9);    // i1
+  EXPECT_NEAR(c.DetUtility(0x2), 5.0, 1e-9);    // i2
+  EXPECT_NEAR(c.DetUtility(0x4), 5.0, 1e-9);    // i3
+  EXPECT_NEAR(c.DetUtility(0x8), 100.0, 1e-9);  // i4
+  EXPECT_NEAR(c.DetUtility(0x9), 105.1, 1e-9);  // {i1,i4}
+  EXPECT_NEAR(c.DetUtility(0x6), 10.0, 1e-9);   // {i2,i3}
+  EXPECT_NEAR(c.DetUtility(0xE), 9.5, 1e-9);    // {i2,i3,i4}
+  EXPECT_NEAR(c.DetUtility(0x7), 4.6, 1e-9);    // {i1,i2,i3}
+  EXPECT_NEAR(c.DetUtility(0xF), 3.6, 1e-9);    // all
+}
+
+TEST(Theorem2ConfigTest, GapConstraintsHold) {
+  const UtilityConfig c = MakeTheorem2Config();
+  const double u_i2i3 = c.DetUtility(0x6);
+  const double u_i1i4 = c.DetUtility(0x9);
+  const double cc = 0.4;
+  // The reduction requires c * U(i4) > U({i2,i3}) and
+  // U({i2,i3}) < c/4 * U({i1,i4}).
+  EXPECT_GT(cc * c.DetUtility(0x8), u_i2i3);
+  EXPECT_LT(u_i2i3, cc / 4.0 * u_i1i4);
+  // And the blocking structure: i1 beats i2 and i3 singly, loses to the
+  // {i2,i3} bundle.
+  EXPECT_GT(c.DetUtility(0x1), c.DetUtility(0x2));
+  EXPECT_GT(u_i2i3, c.DetUtility(0x1));
+}
+
+TEST(NetworkCatalogTest, TableTwoShapes) {
+  const Graph nethept = NetHeptLike(3);
+  EXPECT_EQ(nethept.num_nodes(), 15200u);
+  EXPECT_NEAR(nethept.AverageDegree(), 4.1, 0.6);
+
+  const Graph book = DoubanBookLike(3);
+  EXPECT_EQ(book.num_nodes(), 23300u);
+  EXPECT_NEAR(book.AverageDegree(), 6.0, 1.0);
+
+  const Graph movie = DoubanMovieLike(3);
+  EXPECT_EQ(movie.num_nodes(), 34900u);
+  EXPECT_NEAR(movie.AverageDegree(), 7.9, 1.2);
+}
+
+TEST(NetworkCatalogTest, ScaledGiantsKeepDensity) {
+  const Graph orkut = OrkutLike(2000, 5);
+  EXPECT_EQ(orkut.num_nodes(), 2000u);
+  EXPECT_NEAR(orkut.AverageDegree(), 76.0, 8.0);
+
+  const Graph twitter = TwitterLike(2000, 5);
+  EXPECT_EQ(twitter.num_nodes(), 2000u);
+  EXPECT_NEAR(twitter.AverageDegree(), 35.0, 5.0);
+}
+
+TEST(NetworkCatalogTest, StatsRowFormat) {
+  const Graph g = NetHeptLike(7);
+  const std::string row = NetworkStatsRow("nethept-like", g);
+  EXPECT_NE(row.find("nethept-like"), std::string::npos);
+  EXPECT_NE(row.find("15200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwm

@@ -1,0 +1,217 @@
+// Tests for the extension modules: classic IM seed heuristics
+// (HighDegree / DegreeDiscount / reverse PageRank) and the mixed
+// competition/complementarity support (§7 future work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algo/seq_grd.h"
+#include "baselines/heuristics.h"
+#include "exp/configs.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "simulate/estimator.h"
+#include "simulate/uic_simulator.h"
+
+namespace cwm {
+namespace {
+
+Graph TwoStars() {
+  // Hub 0 with 20 leaves, hub 21 with 10 leaves.
+  GraphBuilder b(32);
+  for (NodeId leaf = 1; leaf <= 20; ++leaf) b.AddEdge(0, leaf, 0.5);
+  for (NodeId leaf = 22; leaf <= 31; ++leaf) b.AddEdge(21, leaf, 0.5);
+  return std::move(b).Build();
+}
+
+TEST(HighDegreeRankTest, OrdersHubsFirst) {
+  const Graph g = TwoStars();
+  const auto top = HighDegreeRank(g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 21u);
+}
+
+TEST(HighDegreeRankTest, ClampsToNodeCount) {
+  const Graph g = TwoStars();
+  EXPECT_EQ(HighDegreeRank(g, 100).size(), g.num_nodes());
+}
+
+TEST(DegreeDiscountRankTest, StartsWithTopDegree) {
+  const Graph g = TwoStars();
+  const auto rank = DegreeDiscountRank(g, 3, 0.1);
+  ASSERT_EQ(rank.size(), 3u);
+  EXPECT_EQ(rank[0], 0u);
+  EXPECT_EQ(rank[1], 21u);
+}
+
+TEST(DegreeDiscountRankTest, DiscountsNeighboursOfSelected) {
+  // Path hub: 0 -> {1, 2, 3}; 1 -> {4, 5}; 6 -> {7, 8}. After picking 0,
+  // node 1 (a neighbour of 0) is discounted below node 6 despite the tie
+  // in raw degree.
+  GraphBuilder b(9);
+  b.AddEdge(0, 1, 0.1);
+  b.AddEdge(0, 2, 0.1);
+  b.AddEdge(0, 3, 0.1);
+  b.AddEdge(1, 4, 0.1);
+  b.AddEdge(1, 5, 0.1);
+  b.AddEdge(6, 7, 0.1);
+  b.AddEdge(6, 8, 0.1);
+  const Graph g = std::move(b).Build();
+  const auto rank = DegreeDiscountRank(g, 2, 0.1);
+  EXPECT_EQ(rank[0], 0u);
+  EXPECT_EQ(rank[1], 6u);
+}
+
+TEST(DegreeDiscountRankTest, FillsWhenBudgetNearN) {
+  const Graph g = TwoStars();
+  const auto rank = DegreeDiscountRank(g, g.num_nodes(), 0.01);
+  EXPECT_EQ(rank.size(), g.num_nodes());
+  // Every node exactly once.
+  auto sorted = rank;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(ReversePageRankTest, SumsToOneAndFavoursInfluencers) {
+  const Graph g = TwoStars();
+  const auto pr = ReversePageRank(g, 0.85, 50);
+  double sum = 0;
+  for (double x : pr) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The hub that influences 20 leaves outranks the one influencing 10,
+  // and both outrank leaves.
+  EXPECT_GT(pr[0], pr[21]);
+  EXPECT_GT(pr[21], pr[5]);
+}
+
+TEST(PageRankRankTest, TopIsBigHub) {
+  const Graph g = TwoStars();
+  const auto top = PageRankRank(g, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(PageRankRankTest, AgreesWithSpreadOrderOnPaperNetwork) {
+  // Loose sanity: on a BA network the PageRank top-10 should overlap the
+  // degree top-10 substantially.
+  const Graph g = WithWeightedCascade(BarabasiAlbert(500, 2, 7));
+  const auto pr = PageRankRank(g, 10);
+  const auto deg = HighDegreeRank(g, 10);
+  int overlap = 0;
+  for (NodeId v : pr) {
+    overlap += std::count(deg.begin(), deg.end(), v) > 0;
+  }
+  EXPECT_GE(overlap, 5);
+}
+
+TEST(ComplementarityTest, DefaultValidationRejectsSupermodular) {
+  UtilityConfigBuilder b(2);
+  b.SetItemValue(0, 2.0).SetItemValue(1, 2.0);
+  b.SetBundleValue(0x3, 5.0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(ComplementarityTest, MonotoneOnlyAcceptsSupermodular) {
+  UtilityConfigBuilder b(2);
+  b.SetValidation(BundleValidation::kMonotoneOnly);
+  b.SetItemValue(0, 2.0).SetItemValue(1, 2.0);
+  b.SetBundleValue(0x3, 5.0);
+  StatusOr<UtilityConfig> config = std::move(b).Build();
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config.value().HasComplementaryBundle());
+}
+
+TEST(ComplementarityTest, MonotoneOnlyStillRejectsNonMonotone) {
+  UtilityConfigBuilder b(2);
+  b.SetValidation(BundleValidation::kMonotoneOnly);
+  b.SetItemValue(0, 5.0).SetItemValue(1, 1.0);
+  b.SetBundleValue(0x3, 4.0);  // below V({0})
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(ComplementarityTest, MixedConfigShape) {
+  const UtilityConfig c = MakeMixedComplementConfig();
+  EXPECT_TRUE(c.HasComplementaryBundle());
+  EXPECT_FALSE(c.IsPureCompetition());
+  EXPECT_NEAR(c.DetUtility(0x3), 1.8, 1e-9);   // phone + case
+  EXPECT_NEAR(c.DetUtility(0x5), -2.5, 1e-9);  // phone vs phone2
+  EXPECT_NEAR(c.DetUtility(0x6), 1.3, 1e-9);   // phone2 + case
+  // Submodular configs never flag complementarity.
+  EXPECT_FALSE(MakeConfigC3().HasComplementaryBundle());
+  EXPECT_FALSE(MakeLastFmConfig().HasComplementaryBundle());
+}
+
+TEST(ComplementarityTest, CaseOwnerUpgradesToBundle) {
+  // Chain u -> v (prob 1). v is seeded with the case (U = 0.2); u is
+  // seeded with the phone. When the phone reaches v, the complementary
+  // bundle (U = 1.8) beats keeping the case alone, so v upgrades.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeMixedComplementConfig();
+  UicSimulator sim(g, c);
+  Allocation alloc(3);
+  alloc.Add(0, 0);  // phone at u
+  alloc.Add(1, 1);  // case at v
+  const WorldOutcome out = sim.RunWorld(
+      alloc, EdgeWorld{1}, WorldUtilityTable(c, {0.0, 0.0, 0.0}));
+  // u adopts phone (1.0); v adopts case then upgrades to {phone, case}.
+  EXPECT_DOUBLE_EQ(out.welfare, 1.0 + 1.8);
+  EXPECT_EQ(out.adopters_per_item[0], 2u);
+  EXPECT_EQ(out.adopters_per_item[1], 1u);
+}
+
+TEST(ComplementarityTest, CompetingPhoneStillBlocked) {
+  // v owns phone2; phone arrives later: {phone, phone2} has U = -2.5, so
+  // the progressive constraint keeps phone out — competition inside a
+  // mixed configuration.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeMixedComplementConfig();
+  UicSimulator sim(g, c);
+  Allocation alloc(3);
+  alloc.Add(0, 0);  // phone at u
+  alloc.Add(1, 2);  // phone2 at v
+  const WorldOutcome out = sim.RunWorld(
+      alloc, EdgeWorld{1}, WorldUtilityTable(c, {0.0, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(out.welfare, 1.0 + 0.9);
+  EXPECT_EQ(out.adopters_per_item[0], 1u);
+  EXPECT_EQ(out.adopters_per_item[2], 1u);
+}
+
+TEST(ComplementarityTest, WelfareCanExceedPureCompetitionCeiling) {
+  // With complements, per-node welfare can exceed the best singleton —
+  // the reachability property of [6] in action on a chain.
+  GraphBuilder b(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeMixedComplementConfig();
+  WelfareEstimator est(g, c, {.num_worlds = 8, .seed = 3});
+  Allocation alloc(3);
+  alloc.Add(0, 0);  // phone
+  alloc.Add(0, 1);  // case co-seeded
+  // Every node adopts the bundle: welfare = 5 * 1.8 > 5 * U(phone).
+  EXPECT_DOUBLE_EQ(est.Welfare(alloc), 9.0);
+}
+
+TEST(ComplementarityTest, SeqGrdRunsOnMixedConfig) {
+  // No guarantee applies, but the pipeline must run end to end.
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 11));
+  const UtilityConfig c = MakeMixedComplementConfig();
+  AlgoParams params;
+  params.imm = {.epsilon = 0.5, .ell = 1.0, .seed = 13};
+  params.estimator = {.num_worlds = 200, .seed = 17};
+  const Allocation alloc =
+      SeqGrd(g, c, Allocation(3), {0, 1, 2}, {5, 5, 5}, params);
+  EXPECT_TRUE(alloc.RespectsBudgets({5, 5, 5}));
+  WelfareEstimator est(g, c, {.num_worlds = 500, .seed = 19});
+  EXPECT_GT(est.Welfare(alloc), 0.0);
+}
+
+}  // namespace
+}  // namespace cwm

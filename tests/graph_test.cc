@@ -1,0 +1,302 @@
+// Unit tests for the graph substrate: builder, CSR invariants, probability
+// models, generators, loader round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/loader.h"
+
+namespace cwm {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 2, 0.25);
+  b.AddEdge(2, 0, 1.0);
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  const Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 0.9);
+  b.AddEdge(0, 1, 0.5);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, ParallelEdgesMergedKeepingMaxProb) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.2);
+  b.AddEdge(0, 1, 0.7);
+  b.AddEdge(0, 1, 0.4);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(g.OutEdges(0)[0].prob, 0.7f);
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothDirections) {
+  GraphBuilder b(2);
+  b.AddUndirectedEdge(0, 1, 0.3);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutEdges(0)[0].to, 1u);
+  EXPECT_EQ(g.OutEdges(1)[0].to, 0u);
+}
+
+TEST(GraphTest, ForwardReverseConsistent) {
+  const Graph g = Triangle();
+  // Every out-edge must appear as an in-edge with the same probability and
+  // a valid shared EdgeId.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto out = g.OutEdges(u);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId id = g.OutEdgeId(u, k);
+      bool found = false;
+      for (const InEdge& e : g.InEdges(out[k].to)) {
+        if (e.from == u && e.id == id) {
+          EXPECT_FLOAT_EQ(e.prob, out[k].prob);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << u << "->" << out[k].to;
+    }
+  }
+}
+
+TEST(GraphTest, EdgeIdsAreDenseAndUnique) {
+  const Graph g = DirectedPreferentialAttachment(200, 3, 0.2, 77);
+  std::set<EdgeId> ids;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const InEdge& e : g.InEdges(v)) ids.insert(e.id);
+  }
+  EXPECT_EQ(ids.size(), g.num_edges());
+  EXPECT_EQ(*ids.rbegin(), g.num_edges() - 1);
+}
+
+TEST(GraphTest, AverageDegree) {
+  const Graph g = Triangle();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(EdgeProbTest, WeightedCascadeUsesInDegree) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 3, 0.0);
+  b.AddEdge(1, 3, 0.0);
+  b.AddEdge(2, 3, 0.0);
+  b.AddEdge(0, 1, 0.0);
+  const Graph g = WithWeightedCascade(std::move(b).Build());
+  for (const InEdge& e : g.InEdges(3)) EXPECT_FLOAT_EQ(e.prob, 1.0f / 3.0f);
+  for (const InEdge& e : g.InEdges(1)) EXPECT_FLOAT_EQ(e.prob, 1.0f);
+}
+
+TEST(EdgeProbTest, ConstantProb) {
+  const Graph g = WithConstantProb(Triangle(), 0.01);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) EXPECT_FLOAT_EQ(e.prob, 0.01f);
+  }
+}
+
+TEST(EdgeProbTest, TrivalencyLevelsOnly) {
+  const Graph base = ErdosRenyi(500, 3000, 5);
+  const Graph g = WithTrivalency(base, 99);
+  int counts[3] = {0, 0, 0};
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      if (e.prob == 0.1f) {
+        counts[0]++;
+      } else if (e.prob == 0.01f) {
+        counts[1]++;
+      } else {
+        EXPECT_FLOAT_EQ(e.prob, 0.001f);
+        counts[2]++;
+      }
+    }
+  }
+  // All three levels should appear in a 3000-edge graph.
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST(EdgeProbTest, ReassignPreservesTopology) {
+  const Graph base = Triangle();
+  const Graph g = WithConstantProb(base, 0.5);
+  EXPECT_EQ(g.num_nodes(), base.num_nodes());
+  EXPECT_EQ(g.num_edges(), base.num_edges());
+}
+
+TEST(GeneratorTest, ErdosRenyiApproximateEdgeCount) {
+  const Graph g = ErdosRenyi(1000, 5000, 3);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Collisions/self-loop nudges may drop a few edges.
+  EXPECT_GT(g.num_edges(), 4900u);
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+TEST(GeneratorTest, BarabasiAlbertCountsAndSymmetry) {
+  const Graph g = BarabasiAlbert(2000, 2, 7);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  // Undirected: every edge appears in both directions.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const OutEdge& e : g.OutEdges(u)) {
+      bool back = false;
+      for (const OutEdge& r : g.OutEdges(e.to)) back |= (r.to == u);
+      EXPECT_TRUE(back);
+    }
+  }
+  // Average directed degree ~= 2 * edges_per_node.
+  EXPECT_NEAR(g.AverageDegree(), 4.0, 0.5);
+}
+
+TEST(GeneratorTest, BarabasiAlbertHeavyTail) {
+  const Graph g = BarabasiAlbert(5000, 2, 11);
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (4).
+  EXPECT_GT(max_deg, 40u);
+}
+
+TEST(GeneratorTest, DirectedPreferentialAttachmentShape) {
+  const Graph g = DirectedPreferentialAttachment(3000, 6, 0.15, 13);
+  EXPECT_EQ(g.num_nodes(), 3000u);
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 1.0);
+  // Influence edges point influencer -> follower: out-degree hubs.
+  std::size_t max_out = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_out = std::max(max_out, g.OutDegree(v));
+  }
+  EXPECT_GT(max_out, 60u);
+}
+
+TEST(GeneratorTest, WattsStrogatzDegreeRegularAtBetaZero) {
+  const Graph g = WattsStrogatz(100, 3, 0.0, 17);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), 6u);  // k neighbours each side
+  }
+}
+
+TEST(GeneratorTest, WattsStrogatzRewiredStillRightEdgeBudget) {
+  const Graph g = WattsStrogatz(500, 4, 0.3, 19);
+  // 500 * 4 undirected picks, both directions, minus merged duplicates.
+  EXPECT_GT(g.num_edges(), 3600u);
+  EXPECT_LE(g.num_edges(), 4000u);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const Graph a = BarabasiAlbert(500, 2, 42);
+  const Graph b = BarabasiAlbert(500, 2, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+}
+
+TEST(GeneratorTest, InducedBfsSubgraphSizes) {
+  const Graph g = BarabasiAlbert(1000, 2, 23);
+  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+    const Graph sub = InducedBfsSubgraph(g, frac, 31);
+    EXPECT_EQ(sub.num_nodes(),
+              static_cast<std::size_t>(std::ceil(frac * 1000)));
+    EXPECT_LE(sub.num_edges(), g.num_edges());
+  }
+}
+
+TEST(GeneratorTest, InducedBfsSubgraphPreservesProbs) {
+  Graph g = WithConstantProb(BarabasiAlbert(300, 2, 29), 0.123);
+  const Graph sub = InducedBfsSubgraph(g, 0.5, 37);
+  for (NodeId u = 0; u < sub.num_nodes(); ++u) {
+    for (const OutEdge& e : sub.OutEdges(u)) {
+      EXPECT_FLOAT_EQ(e.prob, 0.123f);
+    }
+  }
+}
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/cwm_loader_test.txt";
+
+  void WriteFile(const std::string& content) {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+  }
+};
+
+TEST_F(LoaderTest, RoundTrip) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 41));
+  ASSERT_TRUE(WriteEdgeList(g, path_).ok());
+  StatusOr<Graph> loaded = ReadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+}
+
+TEST_F(LoaderTest, ParsesCommentsAndDefaults) {
+  WriteFile("# header comment\n0 1\n1 2 0.5\n\n2 0 1.0\n");
+  LoadOptions opts;
+  opts.default_prob = 0.25;
+  StatusOr<Graph> g = ReadEdgeList(path_, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 3u);
+  EXPECT_FLOAT_EQ(g.value().OutEdges(0)[0].prob, 0.25f);
+}
+
+TEST_F(LoaderTest, UndirectedOption) {
+  WriteFile("0 1 0.5\n");
+  LoadOptions opts;
+  opts.undirected = true;
+  StatusOr<Graph> g = ReadEdgeList(path_, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(LoaderTest, DensifiesSparseIds) {
+  WriteFile("1000000 5\n5 70000\n");
+  StatusOr<Graph> g = ReadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(LoaderTest, MissingFileIsIOError) {
+  StatusOr<Graph> g = ReadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(LoaderTest, MalformedLineIsCorruption) {
+  WriteFile("0 1\nhello world\n");
+  StatusOr<Graph> g = ReadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(LoaderTest, OutOfRangeProbabilityIsCorruption) {
+  WriteFile("0 1 1.5\n");
+  StatusOr<Graph> g = ReadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace cwm

@@ -1,0 +1,192 @@
+// End-to-end integration tests: full algorithm pipelines on paper-like
+// (scaled-down) networks and configurations, checking the qualitative
+// claims of §6 — welfare ordering across algorithms, the SupGRD-vs-
+// SeqGRD-NM gap under C6, adoption redistribution (Table 6), and the
+// Last.fm configuration pipeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/max_grd.h"
+#include "algo/seq_grd.h"
+#include "algo/sup_grd.h"
+#include "baselines/greedy_wm.h"
+#include "baselines/simple_alloc.h"
+#include "baselines/tcim.h"
+#include "exp/configs.h"
+#include "exp/networks.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "rrset/imm.h"
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+
+namespace cwm {
+namespace {
+
+AlgoParams TestParams(uint64_t seed = 3) {
+  AlgoParams p;
+  p.imm = {.epsilon = 0.5, .ell = 1.0, .seed = seed};
+  p.estimator = {.num_worlds = 300, .seed = seed + 1};
+  return p;
+}
+
+class SmallNetworkTest : public ::testing::Test {
+ protected:
+  SmallNetworkTest()
+      : graph_(WithWeightedCascade(BarabasiAlbert(1200, 2, 5))) {}
+  Graph graph_;
+};
+
+TEST_F(SmallNetworkTest, SeqGrdBeatsArbitrarySeedsOnC1) {
+  const UtilityConfig c = MakeConfigC1();
+  const AlgoParams params = TestParams(7);
+  const Allocation seq =
+      SeqGrdNm(graph_, c, Allocation(2), {0, 1}, {10, 10}, params);
+  // Arbitrary low-degree allocation for contrast.
+  Allocation naive(2);
+  for (NodeId v = 0; v < 10; ++v) {
+    naive.Add(1100 + v, 0);
+    naive.Add(1110 + v, 1);
+  }
+  WelfareEstimator est(graph_, c, {.num_worlds = 1500, .seed = 11});
+  EXPECT_GT(est.Welfare(seq), est.Welfare(naive));
+}
+
+TEST_F(SmallNetworkTest, WelfareOrderingOnC1MatchesFig4) {
+  // Fig 4(a): SeqGRD / SeqGRD-NM >= TCIM and MaxGRD on pure competition
+  // with comparable utilities.
+  const UtilityConfig c = MakeConfigC1();
+  const AlgoParams params = TestParams(13);
+  const BudgetVector budgets{10, 10};
+  const Allocation seq =
+      SeqGrdNm(graph_, c, Allocation(2), {0, 1}, budgets, params);
+  const Allocation max =
+      MaxGrd(graph_, c, Allocation(2), {0, 1}, budgets, params);
+  const Allocation tcim =
+      Tcim(graph_, c, Allocation(2), {0, 1}, budgets, params);
+  WelfareEstimator est(graph_, c, {.num_worlds = 1500, .seed = 17});
+  const double w_seq = est.Welfare(seq);
+  // MaxGRD leaves one item's welfare on the table under comparable
+  // utilities; SeqGRD should dominate it clearly.
+  EXPECT_GT(w_seq, est.Welfare(max));
+  // TCIM stacks both items onto the same top seeds; at this small scale
+  // the gap is within estimator noise, so only check SeqGRD is not
+  // dominated (the fig4 bench shows the full-scale separation).
+  EXPECT_GT(w_seq * 1.1, est.Welfare(tcim));
+}
+
+TEST_F(SmallNetworkTest, MaxGrdCompetitiveOnHighGapC2) {
+  // With a 10x utility gap, allocating only the superior item is nearly
+  // optimal: MaxGRD within a modest factor of SeqGRD.
+  const UtilityConfig c = MakeConfigC2();
+  const AlgoParams params = TestParams(19);
+  const Allocation seq =
+      SeqGrdNm(graph_, c, Allocation(2), {0, 1}, {10, 10}, params);
+  const Allocation max =
+      MaxGrd(graph_, c, Allocation(2), {0, 1}, {10, 10}, params);
+  WelfareEstimator est(graph_, c, {.num_worlds = 1500, .seed = 23});
+  EXPECT_GT(est.Welfare(max), 0.7 * est.Welfare(seq));
+}
+
+TEST_F(SmallNetworkTest, SupGrdBeatsSeqGrdNmOnC6) {
+  // §6.2.3: with the inferior item fixed on the top IMM seeds and a large
+  // utility gap (C6), SupGRD's welfare-aware selection beats SeqGRD-NM's
+  // overlap-avoiding selection.
+  const UtilityConfig c = MakeConfigC6();
+  const AlgoParams params = TestParams(29);
+  const ImmResult top = Imm(graph_, 20, params.imm);
+  Allocation sp(2);
+  for (NodeId v : top.seeds) sp.Add(v, 1);
+
+  const Allocation sup = SupGrd(graph_, c, sp, 10, params);
+  const Allocation seq = SeqGrdNm(graph_, c, sp, {0}, {10, 1}, params);
+  WelfareEstimator est(graph_, c, {.num_worlds = 1500, .seed = 31});
+  const double w_sup = est.Welfare(Allocation::Union(sup, sp));
+  const double w_seq = est.Welfare(Allocation::Union(seq, sp));
+  EXPECT_GE(w_sup * 1.02, w_seq);  // SupGRD at least matches, usually wins
+}
+
+TEST_F(SmallNetworkTest, AdoptionShiftsToSuperiorItem) {
+  // Table 6's qualitative claim: versus Round-robin, SeqGRD-NM keeps the
+  // total adoption count roughly constant but shifts adoptions from the
+  // inferior to the superior item.
+  const UtilityConfig c = MakeLastFmConfig();
+  const AlgoParams params = TestParams(37);
+  const std::vector<ItemId> items{0, 1, 2, 3};
+  const BudgetVector budgets{5, 5, 5, 5};
+  const ImmResult prima = PrimaPlus(graph_, {}, budgets, 20, params.imm);
+
+  const Allocation block = BlockAllocate(4, prima.seeds, items, budgets);
+  const Allocation rr = RoundRobinAllocate(4, prima.seeds, items, budgets);
+  WelfareEstimator est(graph_, c, {.num_worlds = 1000, .seed = 41});
+  const WelfareStats s_block = est.Stats(block);
+  const WelfareStats s_rr = est.Stats(rr);
+
+  // Block (SeqGRD-NM) welfare >= round-robin welfare.
+  EXPECT_GE(s_block.welfare * 1.05, s_rr.welfare);
+  // Superior item (indie) gains adopters; most-inferior loses.
+  EXPECT_GE(s_block.adopters_per_item[0] * 1.05,
+            s_rr.adopters_per_item[0]);
+  EXPECT_LE(s_block.adopters_per_item[3],
+            s_rr.adopters_per_item[3] * 1.05);
+  // Total adoption roughly unchanged (within 10%).
+  double total_block = 0, total_rr = 0;
+  for (int i = 0; i < 4; ++i) {
+    total_block += s_block.adopters_per_item[i];
+    total_rr += s_rr.adopters_per_item[i];
+  }
+  EXPECT_NEAR(total_block, total_rr, 0.1 * total_rr + 5.0);
+}
+
+TEST_F(SmallNetworkTest, MultiItemWelfareGrowsWithItemsForSeqGrd) {
+  // Fig 6(b): SeqGRD-NM welfare grows with the number of items; MaxGRD's
+  // does not (it only ever allocates one).
+  const AlgoParams params = TestParams(43);
+  double prev_seq = 0.0;
+  for (int m = 1; m <= 3; ++m) {
+    const UtilityConfig c = MakeUniformPureCompetition(m);
+    std::vector<ItemId> items;
+    BudgetVector budgets(m, 10);
+    for (ItemId i = 0; i < m; ++i) items.push_back(i);
+    const Allocation seq =
+        SeqGrdNm(graph_, c, Allocation(m), items, budgets, params);
+    WelfareEstimator est(graph_, c, {.num_worlds = 800, .seed = 47});
+    const double w = est.Welfare(seq);
+    EXPECT_GE(w * 1.05, prev_seq);
+    prev_seq = w;
+  }
+}
+
+TEST(LargerNetworkTest, SeqGrdNmScalesToDoubanMovieLike) {
+  // Smoke-test the full Fig 3/4 pipeline at the Douban-Movie scale.
+  const Graph g = WithWeightedCascade(DoubanMovieLike(5));
+  const UtilityConfig c = MakeConfigC1();
+  AlgoParams params = TestParams(53);
+  AlgoDiagnostics diag;
+  const Allocation alloc =
+      SeqGrdNm(g, c, Allocation(2), {0, 1}, {10, 10}, params, &diag);
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 10u);
+  EXPECT_EQ(alloc.SeedsOf(1).size(), 10u);
+  EXPECT_GT(diag.rr_count, 1000u);
+  WelfareEstimator est(g, c, {.num_worlds = 300, .seed = 59});
+  EXPECT_GT(est.Welfare(alloc), 0.0);
+}
+
+TEST(GreedyWmIntegrationTest, ComparableWelfareToSeqGrdSmallScale) {
+  // §6.2.2: greedyWM's welfare is consistently good; check it lands within
+  // a factor of SeqGRD-NM's on a small graph (it is far slower, which the
+  // fig3 bench demonstrates).
+  const Graph g = WithWeightedCascade(BarabasiAlbert(400, 2, 61));
+  const UtilityConfig c = MakeConfigC1();
+  const AlgoParams params = TestParams(67);
+  const Allocation seq =
+      SeqGrdNm(g, c, Allocation(2), {0, 1}, {5, 5}, params);
+  const Allocation gwm = GreedyWm(g, c, Allocation(2), {0, 1}, {5, 5},
+                                  params, {.candidate_pool = 40});
+  WelfareEstimator est(g, c, {.num_worlds = 1500, .seed = 71});
+  EXPECT_GT(est.Welfare(gwm), 0.5 * est.Welfare(seq));
+}
+
+}  // namespace
+}  // namespace cwm

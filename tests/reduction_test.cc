@@ -1,0 +1,168 @@
+// Tests for the Theorem 2 SET-COVER reduction gadget: structural checks
+// plus an empirical replay of Claims 1-3 — the welfare gap between YES and
+// NO instances that makes CWelMax inapproximable.
+#include <gtest/gtest.h>
+
+#include "exp/reduction.h"
+#include "model/allocation.h"
+#include "simulate/estimator.h"
+#include "simulate/uic_simulator.h"
+
+namespace cwm {
+namespace {
+
+// YES instance: 3 elements; S0 = {0,1}, S1 = {2}, S2 = {0,2}; k = 2
+// (S0 + S1 covers everything).
+SetCoverInstance YesInstance() {
+  SetCoverInstance inst;
+  inst.num_elements = 3;
+  inst.sets = {{0, 1}, {2}, {0, 2}};
+  inst.k = 2;
+  return inst;
+}
+
+// NO instance: 4 elements; S0 = {0,1}, S1 = {2}, S2 = {3}; k = 2 covers at
+// most 3 of the 4 elements.
+SetCoverInstance NoInstance() {
+  SetCoverInstance inst;
+  inst.num_elements = 4;
+  inst.sets = {{0, 1}, {2}, {3}};
+  inst.k = 2;
+  return inst;
+}
+
+double ExactWelfare(const Theorem2Gadget& gadget, const Allocation& i1) {
+  // All edges have probability 1 and the configuration is noiseless, so a
+  // single world is exact.
+  WelfareEstimator est(gadget.graph, gadget.utility,
+                       {.num_worlds = 1, .seed = 1});
+  return est.Welfare(Allocation::Union(i1, gadget.fixed_sp));
+}
+
+TEST(GadgetStructureTest, NodeAndSeedCounts) {
+  const SetCoverInstance inst = YesInstance();
+  const std::size_t N = 3;  // multiple of n = 3
+  const Theorem2Gadget g = BuildTheorem2Gadget(inst, N);
+  const std::size_t n = 3, r = 3;
+  EXPECT_EQ(g.graph.num_nodes(), r + 3 * n + N * (6 * n + N));
+  EXPECT_EQ(g.s_nodes.size(), r);
+  EXPECT_EQ(g.g_nodes.size(), N * n);
+  EXPECT_EQ(g.d_nodes.size(), N * N);
+  EXPECT_EQ(g.num_d_nodes, N * N);
+  // Fixed allocation: n seeds each for i2, i3, i4; none for i1.
+  EXPECT_TRUE(g.fixed_sp.SeedsOf(0).empty());
+  EXPECT_EQ(g.fixed_sp.SeedsOf(1).size(), n);
+  EXPECT_EQ(g.fixed_sp.SeedsOf(2).size(), n);
+  EXPECT_EQ(g.fixed_sp.SeedsOf(3).size(), n);
+  EXPECT_EQ(g.budgets, (BudgetVector{2, 3, 3, 3}));
+}
+
+TEST(GadgetStructureTest, RejectsBadCopyCount) {
+  EXPECT_DEATH(BuildTheorem2Gadget(YesInstance(), 4), "num_copies");
+}
+
+TEST(GadgetBehaviourTest, YesInstanceCoverSeedsReachClaimOneBound) {
+  const SetCoverInstance inst = YesInstance();
+  // The proof needs N > 8n/c = 60 for the N^2 terms to dominate the
+  // 3nN * U(i4) side payments.
+  const std::size_t N = 60;
+  const Theorem2Gadget g = BuildTheorem2Gadget(inst, N);
+  // Seed i1 on the covering sets S0 and S1.
+  Allocation i1(4);
+  i1.Add(g.s_nodes[0], 0);
+  i1.Add(g.s_nodes[1], 0);
+  const double welfare = ExactWelfare(g, i1);
+  const double u_i1i4 = g.utility.DetUtility(0x9);
+  // Claim 2: optimal YES welfare exceeds N^2 * U({i1,i4}).
+  EXPECT_GT(welfare, static_cast<double>(N * N) * u_i1i4);
+}
+
+TEST(GadgetBehaviourTest, YesInstanceAllDNodesAdoptI1AndI4) {
+  const SetCoverInstance inst = YesInstance();
+  const std::size_t N = 3;
+  const Theorem2Gadget g = BuildTheorem2Gadget(inst, N);
+  Allocation i1(4);
+  i1.Add(g.s_nodes[0], 0);
+  i1.Add(g.s_nodes[1], 0);
+  WelfareEstimator est(g.graph, g.utility, {.num_worlds = 1, .seed = 1});
+  const WelfareStats stats =
+      est.Stats(Allocation::Union(i1, g.fixed_sp));
+  // Every d node adopts i1 and i4.
+  EXPECT_GE(stats.adopters_per_item[0], static_cast<double>(N * N));
+  EXPECT_GE(stats.adopters_per_item[3], static_cast<double>(N * N));
+}
+
+TEST(GadgetBehaviourTest, NonCoverSeedsLoseToBundleBlocking) {
+  const SetCoverInstance inst = YesInstance();
+  const std::size_t N = 60;  // N > 8n/c
+  const Theorem2Gadget g = BuildTheorem2Gadget(inst, N);
+  // Seeding a non-cover (S1, S2 leaves element 1 uncovered): the {i2,i3}
+  // bundle sweeps the f and d nodes, blocking i4.
+  Allocation bad(4);
+  bad.Add(g.s_nodes[1], 0);
+  bad.Add(g.s_nodes[2], 0);
+  Allocation good(4);
+  good.Add(g.s_nodes[0], 0);
+  good.Add(g.s_nodes[1], 0);
+  EXPECT_LT(ExactWelfare(g, bad), 0.4 * ExactWelfare(g, good));
+}
+
+TEST(GadgetBehaviourTest, NoInstanceWelfareBelowGapThreshold) {
+  const SetCoverInstance inst = NoInstance();
+  const std::size_t N = 80;  // multiple of n = 4, and N > 8n/c = 80 - 1
+  const Theorem2Gadget g = BuildTheorem2Gadget(inst, N);
+  const double u_i1i4 = g.utility.DetUtility(0x9);
+  const double threshold =
+      0.4 * static_cast<double>(N * N) * u_i1i4;  // c * N^2 * U({i1,i4})
+
+  // Best s-node seeding (any k = 2 sets; all choices leave an uncovered
+  // element).
+  double best_s = 0;
+  for (std::size_t a = 0; a < g.s_nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < g.s_nodes.size(); ++b) {
+      Allocation alloc(4);
+      alloc.Add(g.s_nodes[a], 0);
+      alloc.Add(g.s_nodes[b], 0);
+      best_s = std::max(best_s, ExactWelfare(g, alloc));
+    }
+  }
+  EXPECT_LT(best_s, threshold);
+
+  // Direct g-node seeding (the proof's best NO-instance strategy) is also
+  // below the threshold.
+  Allocation gseed(4);
+  gseed.Add(g.g_nodes[0], 0);
+  gseed.Add(g.g_nodes[1], 0);
+  EXPECT_LT(ExactWelfare(g, gseed), threshold);
+}
+
+TEST(GadgetBehaviourTest, YesNoGapSeparatesInstances) {
+  // The full Claim 3 statement: with the same N, the YES instance's
+  // achievable welfare strictly exceeds the NO instance's optimum scaled
+  // by c = 0.4. (Welfare values are normalized per d-node count since the
+  // instances have different n.)
+  const std::size_t N_yes = 60, N_no = 80;
+  const Theorem2Gadget yes = BuildTheorem2Gadget(YesInstance(), N_yes);
+  const Theorem2Gadget no = BuildTheorem2Gadget(NoInstance(), N_no);
+
+  Allocation yes_alloc(4);
+  yes_alloc.Add(yes.s_nodes[0], 0);
+  yes_alloc.Add(yes.s_nodes[1], 0);
+  const double yes_per_d =
+      ExactWelfare(yes, yes_alloc) / static_cast<double>(N_yes * N_yes);
+
+  double no_best = 0;
+  for (std::size_t a = 0; a < no.s_nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < no.s_nodes.size(); ++b) {
+      Allocation alloc(4);
+      alloc.Add(no.s_nodes[a], 0);
+      alloc.Add(no.s_nodes[b], 0);
+      no_best = std::max(no_best, ExactWelfare(no, alloc));
+    }
+  }
+  const double no_per_d = no_best / static_cast<double>(N_no * N_no);
+  EXPECT_LT(no_per_d, 0.4 * yes_per_d);
+}
+
+}  // namespace
+}  // namespace cwm

@@ -1,0 +1,258 @@
+// Edge-case and robustness tests across modules: degenerate graphs,
+// extreme budgets, estimator determinism and thread invariance, IMM driver
+// boundary conditions, and failure-injection on the fallible paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/seq_grd.h"
+#include "algo/sup_grd.h"
+#include "exp/configs.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/loader.h"
+#include "rrset/imm.h"
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+#include "simulate/uic_simulator.h"
+
+namespace cwm {
+namespace {
+
+UtilityConfig UnitItem() {
+  UtilityConfigBuilder b(1);
+  b.SetItemValue(0, 1.0);
+  return std::move(b).Build().value();
+}
+
+TEST(DegenerateGraphTest, EdgelessGraphDiffusesNowhere) {
+  GraphBuilder b(10);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 0u);
+  const UtilityConfig c = UnitItem();
+  WelfareEstimator est(g, c, {.num_worlds = 8, .seed = 1});
+  Allocation alloc(1);
+  alloc.Add(3, 0);
+  EXPECT_DOUBLE_EQ(est.Welfare(alloc), 1.0);  // only the seed adopts
+}
+
+TEST(DegenerateGraphTest, ZeroProbabilityEdgesNeverFire) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.0);
+  b.AddEdge(1, 2, 0.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = UnitItem();
+  UicSimulator sim(g, c);
+  Allocation alloc(1);
+  alloc.Add(0, 0);
+  for (uint64_t w = 1; w <= 20; ++w) {
+    EXPECT_EQ(sim.RunWorld(alloc, EdgeWorld{w}, WorldUtilityTable(c, {0.0}))
+                  .adopting_nodes,
+              1u);
+  }
+}
+
+TEST(DegenerateGraphTest, CycleTerminates) {
+  GraphBuilder b(4);
+  for (NodeId v = 0; v < 4; ++v) b.AddEdge(v, (v + 1) % 4, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeConfigC1();
+  UicSimulator sim(g, c);
+  Allocation alloc(2);
+  alloc.Add(0, 0);
+  alloc.Add(2, 1);
+  const WorldOutcome out =
+      sim.RunWorld(alloc, EdgeWorld{1}, WorldUtilityTable(c, {0.0, 0.0}));
+  EXPECT_EQ(out.adopting_nodes, 4u);  // converges despite the cycle
+}
+
+TEST(DegenerateGraphTest, SelfCompetitionOnSharedSeed) {
+  // Both items seeded at the same node: it adopts the better one only
+  // (pure competition) and the welfare counts once.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 3.0).SetItemValue(1, 2.5);
+  cb.SetItemPrice(0, 1.0).SetItemPrice(1, 1.0);
+  const UtilityConfig c = std::move(cb).Build().value();
+  UicSimulator sim(g, c);
+  Allocation alloc(2);
+  alloc.Add(0, 0);
+  alloc.Add(0, 1);
+  const WorldOutcome out =
+      sim.RunWorld(alloc, EdgeWorld{1}, WorldUtilityTable(c, {0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(out.welfare, 4.0);  // both nodes adopt item 0 (U = 2)
+  EXPECT_EQ(out.adopters_per_item[1], 0u);
+}
+
+TEST(EstimatorDeterminismTest, SameSeedSameAnswer) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 3));
+  const UtilityConfig c = MakeConfigC1();
+  Allocation alloc(2);
+  alloc.Add(0, 0);
+  alloc.Add(1, 1);
+  WelfareEstimator a(g, c, {.num_worlds = 100, .seed = 42});
+  WelfareEstimator b(g, c, {.num_worlds = 100, .seed = 42});
+  EXPECT_DOUBLE_EQ(a.Welfare(alloc), b.Welfare(alloc));
+}
+
+TEST(EstimatorDeterminismTest, ThreadCountInvariant) {
+  // The chunked world partition must not change the estimate: world w's
+  // randomness depends only on (seed, w).
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 5));
+  const UtilityConfig c = MakeConfigC1();
+  Allocation alloc(2);
+  alloc.Add(0, 0);
+  WelfareEstimator one(g, c,
+                       {.num_worlds = 64, .seed = 7, .num_threads = 1});
+  WelfareEstimator four(g, c,
+                        {.num_worlds = 64, .seed = 7, .num_threads = 4});
+  EXPECT_NEAR(one.Welfare(alloc), four.Welfare(alloc), 1e-9);
+}
+
+TEST(EstimatorDeterminismTest, DifferentSeedsDiffer) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 7));
+  const UtilityConfig c = MakeConfigC1();
+  Allocation alloc(2);
+  alloc.Add(0, 0);
+  WelfareEstimator a(g, c, {.num_worlds = 50, .seed = 1});
+  WelfareEstimator b(g, c, {.num_worlds = 50, .seed = 2});
+  EXPECT_NE(a.Welfare(alloc), b.Welfare(alloc));
+}
+
+TEST(ImmBoundaryTest, BudgetEqualsNodeCount) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const ImmResult r = Imm(g, 6, {.epsilon = 0.5, .ell = 1.0, .seed = 3});
+  EXPECT_EQ(r.seeds.size(), 6u);
+  // All nodes selected; estimate equals n.
+  EXPECT_NEAR(r.coverage_estimate, 6.0, 1e-9);
+}
+
+TEST(ImmBoundaryTest, TinyGraph) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const ImmResult r = Imm(g, 1, {.epsilon = 0.5, .ell = 1.0, .seed = 5});
+  ASSERT_EQ(r.seeds.size(), 1u);
+  EXPECT_EQ(r.seeds[0], 0u);
+}
+
+TEST(ImmBoundaryTest, MaxRrSetCapRespected) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 9));
+  ImmParams params{.epsilon = 0.2, .ell = 1.0, .seed = 7};
+  params.max_rr_sets = 500;  // far below the theoretical theta
+  const ImmResult r = Imm(g, 10, params);
+  EXPECT_LE(r.rr_count, 500u);
+  EXPECT_EQ(r.seeds.size(), 10u);  // still returns a full seed set
+}
+
+TEST(ImmBoundaryTest, PrimaPlusWithAllPriorBlocked) {
+  // Prior seeds that dominate the graph: marginal RR sets are mostly
+  // empty, yet PRIMA+ must terminate and return budget-many nodes.
+  GraphBuilder b(30);
+  for (NodeId v = 0; v + 1 < 30; ++v) b.AddEdge(v, v + 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const ImmResult r = PrimaPlus(g, {0}, {3}, 3,
+                                {.epsilon = 0.5, .ell = 1.0, .seed = 11,
+                                 .max_rr_sets = 200000});
+  EXPECT_EQ(r.seeds.size(), 3u);
+  for (NodeId s : r.seeds) EXPECT_NE(s, 0u);
+}
+
+TEST(SupGrdBoundaryTest, ZeroUtilitySuperiorItemShortCircuits) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  // Superior item with zero deterministic utility: E[U+] = 0.
+  UtilityConfigBuilder cb(2);
+  cb.SetItemValue(0, 1.0).SetItemPrice(0, 1.0);   // U = 0
+  cb.SetItemValue(1, 0.5).SetItemPrice(1, 1.0);   // U = -0.5
+  const UtilityConfig c = std::move(cb).Build().value();
+  ASSERT_TRUE(CanRunSupGrd(c, Allocation(2)).ok());
+  AlgoParams params;
+  params.imm = {.epsilon = 0.5, .ell = 1.0, .seed = 3};
+  const Allocation alloc = SupGrd(g, c, Allocation(2), 2, params);
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 2u);
+}
+
+TEST(SeqGrdBoundaryTest, SingleItemReducesToMarginalIm) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 2, 13));
+  const UtilityConfig c = UnitItem();
+  AlgoParams params;
+  params.imm = {.epsilon = 0.5, .ell = 1.0, .seed = 5};
+  params.estimator = {.num_worlds = 100, .seed = 7};
+  const Allocation seq = SeqGrd(g, c, Allocation(1), {0}, {5}, params);
+  const ImmResult imm = Imm(g, 5, params.imm);
+  // With one item and no prior seeds, SeqGRD is spread maximization: the
+  // two seed sets should reach comparable spread.
+  WelfareEstimator est(g, c, {.num_worlds = 2000, .seed = 9});
+  EXPECT_NEAR(est.Welfare(seq), est.Spread(imm.seeds),
+              0.15 * est.Spread(imm.seeds) + 2.0);
+}
+
+TEST(SeqGrdBoundaryTest, BudgetLargerThanPoolStillFeasible) {
+  GraphBuilder b(12);
+  for (NodeId v = 0; v + 1 < 12; ++v) b.AddEdge(v, v + 1, 0.5);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeConfigC1();
+  AlgoParams params;
+  params.imm = {.epsilon = 0.5, .ell = 1.0, .seed = 3};
+  params.estimator = {.num_worlds = 50, .seed = 5};
+  // Budgets sum to the full node count.
+  const Allocation alloc =
+      SeqGrdNm(g, c, Allocation(2), {0, 1}, {6, 6}, params);
+  EXPECT_EQ(alloc.SeedsOf(0).size(), 6u);
+  EXPECT_EQ(alloc.SeedsOf(1).size(), 6u);
+}
+
+TEST(LoaderFailureTest, WriteToUnwritablePathFails) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(10, 2, 3));
+  const Status s = WriteEdgeList(g, "/nonexistent_dir/out.txt");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+}
+
+TEST(LoaderFailureTest, EmptyFileYieldsEmptyGraph) {
+  const std::string path = ::testing::TempDir() + "/cwm_empty.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  StatusOr<Graph> g = ReadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 0u);
+  EXPECT_EQ(g.value().num_edges(), 0u);
+}
+
+TEST(NoiseWorldTest, SampleNoiseWorldMatchesDistributions) {
+  const UtilityConfig c = MakeConfigC5();  // clamped noise both items
+  Rng rng(3);
+  for (int it = 0; it < 200; ++it) {
+    const std::vector<double> noise = SampleNoiseWorld(c, rng);
+    ASSERT_EQ(noise.size(), 2u);
+    EXPECT_LE(std::abs(noise[0]), 0.04 + 1e-12);
+    EXPECT_LE(std::abs(noise[1]), 0.04 + 1e-12);
+  }
+}
+
+TEST(ExposureAccountingTest, DesireTracksBlockedItems) {
+  // Even when item j is never adopted (blocked), nodes exposed to it
+  // count in the one-sided-exposure statistic via their desire sets.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 1.0);
+  const Graph g = std::move(b).Build();
+  const UtilityConfig c = MakeConfigC1();
+  UicSimulator sim(g, c);
+  Allocation alloc(2);
+  alloc.Add(0, 0);  // item i only: everyone one-sided
+  const WorldOutcome out =
+      sim.RunWorld(alloc, EdgeWorld{1}, WorldUtilityTable(c, {0.0, 0.0}));
+  EXPECT_EQ(out.one_sided_exposure_01, 3u);
+}
+
+}  // namespace
+}  // namespace cwm

@@ -1,0 +1,272 @@
+// Unit tests for the support kernel: Status/StatusOr, RNG, hash coins,
+// math kernel, ParallelFor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/mathx.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace cwm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad budget");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad budget");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyFriendly) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  std::vector<int> taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(5);
+  double acc = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.NextDouble();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(19);
+  Rng child = a.Split();
+  // The child stream should not reproduce the parent's next outputs.
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(HashCoinTest, Deterministic) {
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(HashCoin::Flip(42, id, 0.5), HashCoin::Flip(42, id, 0.5));
+  }
+}
+
+TEST(HashCoinTest, FrequencyMatchesProbability) {
+  int hits = 0;
+  const int n = 200000;
+  for (int id = 0; id < n; ++id) hits += HashCoin::Flip(1234, id, 0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(HashCoinTest, ExtremeProbabilities) {
+  int hits0 = 0, hits1 = 0;
+  for (int id = 0; id < 1000; ++id) {
+    hits0 += HashCoin::Flip(5, id, 0.0);
+    hits1 += HashCoin::Flip(5, id, 1.0 - 1e-12);
+  }
+  EXPECT_EQ(hits0, 0);
+  EXPECT_EQ(hits1, 1000);
+}
+
+TEST(HashCoinTest, UniformDeterministicAndInRange) {
+  for (uint64_t id = 0; id < 100; ++id) {
+    const double u = HashCoin::Uniform(7, id);
+    EXPECT_EQ(u, HashCoin::Uniform(7, id));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(MathTest, LogBinomialSmallExact) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 3), std::log(120.0), 1e-9);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 7), 0.0);
+}
+
+TEST(MathTest, LogBinomialSymmetry) {
+  EXPECT_NEAR(LogBinomial(100, 30), LogBinomial(100, 70), 1e-6);
+}
+
+TEST(MathTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(MathTest, NormalPdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.39894228040143267, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-12);
+}
+
+TEST(MathTest, ExpectedPositivePartNormalVsMonteCarlo) {
+  Rng rng(23);
+  for (const double mu : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    for (const double sigma : {0.5, 1.0, 2.0}) {
+      double acc = 0;
+      const int n = 400000;
+      for (int i = 0; i < n; ++i) {
+        acc += std::max(0.0, mu + sigma * rng.NextGaussian());
+      }
+      EXPECT_NEAR(acc / n, ExpectedPositivePartNormal(mu, sigma), 0.02)
+          << "mu=" << mu << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(MathTest, ExpectedPositivePartNormalDegenerateSigma) {
+  EXPECT_DOUBLE_EQ(ExpectedPositivePartNormal(1.5, 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(ExpectedPositivePartNormal(-1.5, 0.0), 0.0);
+}
+
+TEST(MathTest, ExpectedPositivePartUniformClosedForm) {
+  // mu >= a: always positive.
+  EXPECT_DOUBLE_EQ(ExpectedPositivePartUniform(3.0, 1.0), 3.0);
+  // mu <= -a: never positive.
+  EXPECT_DOUBLE_EQ(ExpectedPositivePartUniform(-3.0, 1.0), 0.0);
+  // mu = 0: E[max(0,U)] = a/4.
+  EXPECT_NEAR(ExpectedPositivePartUniform(0.0, 2.0), 0.5, 1e-12);
+}
+
+TEST(MathTest, ExpectedPositivePartUniformVsMonteCarlo) {
+  Rng rng(29);
+  const double mu = 0.4, a = 1.0;
+  double acc = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    acc += std::max(0.0, mu + a * (2 * rng.NextDouble() - 1));
+  }
+  EXPECT_NEAR(acc / n, ExpectedPositivePartUniform(mu, a), 0.005);
+}
+
+TEST(MathTest, GaussLegendreExactOnPolynomials) {
+  // 64-point Gauss-Legendre is exact for polynomials of degree <= 127.
+  const double integral =
+      GaussLegendre64([](double x) { return 3 * x * x; }, -1.0, 2.0);
+  EXPECT_NEAR(integral, 9.0, 1e-10);  // x^3 from -1 to 2 = 8 - (-1)
+}
+
+TEST(MathTest, GaussLegendreGaussianMass) {
+  const double mass =
+      GaussLegendre64([](double x) { return NormalPdf(x); }, -8.0, 8.0);
+  EXPECT_NEAR(mass, 1.0, 1e-10);
+}
+
+TEST(ParallelForTest, VisitsEveryChunkOnce) {
+  std::vector<int> counts(64, 0);
+  ParallelFor(64, [&](std::size_t i) { counts[i]++; }, 4);
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ParallelForTest, InlineWhenSingleThread) {
+  std::vector<int> order;
+  ParallelFor(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+              1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroChunksIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, DefaultThreadsPositive) {
+  EXPECT_GE(DefaultThreads(), 1u);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GT(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds() * 1000.0 * 0.99);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace cwm
