@@ -1,71 +1,71 @@
-// Shared helpers for the figure/table reproduction benches.
+// Shared helpers for the figure/table reproduction benches, which are
+// thin wrappers over the scenario engine (src/scenario/).
 //
-// Environment knobs (all optional):
+// Environment knobs (all optional; parsed by EnvSweepOptions):
 //   CWM_SIMS        Monte-Carlo worlds per estimate (default 200; the
 //                   paper uses 5000 on a 128 GB server).
 //   CWM_EVAL_SIMS   worlds for the final welfare evaluation (default 500).
 //   CWM_BENCH_SCALE multiplier on the default node counts of the scaled
 //                   Orkut/Twitter stand-ins (default 1.0).
 //   CWM_GREEDY      set to 1 to run the greedyWM / Balance-C baselines on
-//                   every network (default: smallest network only — the
-//                   paper reports they do not finish on large ones).
+//                   every cell (default 0: each scenario's gate window
+//                   only — the paper reports they do not finish on the
+//                   large networks).
+//   CWM_THREADS / CWM_INNER_THREADS
+//                   sweep- and estimator-level parallelism.
 #ifndef CWM_BENCH_BENCH_COMMON_H_
 #define CWM_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <string>
+#include <initializer_list>
 
-#include "algo/params.h"
 #include "exp/networks.h"
-#include "exp/runner.h"
-#include "graph/edge_prob.h"
+#include "scenario/registry.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
 
 namespace cwm {
 namespace bench {
 
-inline int Sims() { return EnvInt("CWM_SIMS", 200); }
-inline int EvalSims() { return EnvInt("CWM_EVAL_SIMS", 500); }
-inline double Scale() { return EnvDouble("CWM_BENCH_SCALE", 1.0); }
-inline bool RunSlowBaselinesEverywhere() {
-  return EnvInt("CWM_GREEDY", 0) == 1;
-}
-
-inline AlgoParams MakeParams(uint64_t seed) {
-  AlgoParams p;
-  p.imm = {.epsilon = 0.5, .ell = 1.0, .seed = seed};
-  p.estimator = {.num_worlds = Sims(),
-                 .seed = seed ^ 0xabcdefULL};
-  return p;
-}
-
-inline EstimatorOptions EvalOptions(uint64_t seed) {
-  return {.num_worlds = EvalSims(), .seed = seed ^ 0x777ULL};
-}
-
-/// Default scaled sizes for the two giant networks (paper: 3.07M / 41.7M
-/// nodes; see DESIGN.md substitutions).
-inline std::size_t OrkutNodes() {
-  return static_cast<std::size_t>(20000 * Scale());
-}
-inline std::size_t TwitterNodes() {
-  return static_cast<std::size_t>(30000 * Scale());
-}
-
 inline void PrintHeader(const char* title, const char* paper_ref) {
+  const SweepOptions options = EnvSweepOptions();
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("sims=%d eval_sims=%d scale=%.2f\n", Sims(), EvalSims(),
-              Scale());
+  std::printf("sims=%d eval_sims=%d scale=%.2f\n", options.default_sims,
+              options.default_eval_sims, options.scale);
   std::printf("==============================================================\n");
 }
 
-inline void PrintRow(const std::string& network, const std::string& config,
-                     int budget, const RunRecord& r) {
-  std::printf("%-20s %-10s budget=%-4d %-12s time=%9.3fs welfare=%12.2f\n",
-              network.c_str(), config.c_str(), budget, r.algorithm.c_str(),
-              r.seconds, r.welfare);
-  std::fflush(stdout);
+/// Runs registered scenarios through the sweep engine with env-derived
+/// options (the CWM_* knobs above become spec overrides), streaming
+/// aligned rows to stdout. Returns a process exit code, so bench mains
+/// reduce to PrintHeader + RunRegisteredScenarios.
+inline int RunRegisteredScenarios(std::initializer_list<const char*> names) {
+  SweepOptions options = EnvSweepOptions();
+  TablePrinter table(stdout);
+  options.on_result = [&table](const TaskResult& row) { table.Print(row); };
+  for (const char* name : names) {
+    const StatusOr<ScenarioSpec> spec = GlobalScenarioRegistry().Find(name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n-- %s: %s (%s)\n", spec.value().name.c_str(),
+                spec.value().title.c_str(),
+                spec.value().paper_ref.empty()
+                    ? "beyond paper"
+                    : spec.value().paper_ref.c_str());
+    const StatusOr<SweepResult> result = RunSweep(spec.value(), options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("   (%zu rows, %.2fs)\n", result.value().rows.size(),
+                result.value().total_seconds);
+  }
+  return 0;
 }
 
 }  // namespace bench

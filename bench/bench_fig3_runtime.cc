@@ -1,112 +1,22 @@
 // Figure 3 reproduction: running times of greedyWM, Balance-C, TCIM,
 // MaxGRD, SeqGRD and SeqGRD-NM under configuration C1 on four networks,
-// budgets {10, 30, 50} per item.
+// budgets {10, 30, 50} per item. Thin wrapper over the scenario engine
+// (scenario "fig3-runtime"); the CWM_* env knobs still apply, and
+// `cwm_run fig3-runtime` produces the same rows plus JSONL/CSV artifacts.
 //
 // Paper shape to reproduce: SeqGRD-NM is orders of magnitude faster than
 // everything else; greedyWM and Balance-C are the slowest (they did not
-// finish on Orkut within 6 hours — here they are skipped on the larger
-// networks unless CWM_GREEDY=1).
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "algo/max_grd.h"
-#include "algo/seq_grd.h"
-#include "baselines/balance_c.h"
-#include "baselines/greedy_wm.h"
-#include "baselines/tcim.h"
+// finish on Orkut within 6 hours — here they are gated to the smallest
+// cell unless CWM_GREEDY=1).
 #include "bench_common.h"
-#include "exp/configs.h"
 
 int main() {
-  using namespace cwm;
   using namespace cwm::bench;
   PrintHeader("Fig 3: running time, configuration C1",
               "Fig 3(a-d): greedyWM / Balance-C / TCIM / MaxGRD / SeqGRD / "
               "SeqGRD-NM on NetHEPT, Douban-Book, Douban-Movie, Orkut");
-
-  const UtilityConfig config = MakeConfigC1();
-  struct Net {
-    std::string name;
-    Graph graph;
-    bool slow_baselines;  // run greedyWM / Balance-C here
-  };
-  std::vector<Net> nets;
-  nets.push_back({"nethept-like", WithWeightedCascade(NetHeptLike()), true});
-  nets.push_back(
-      {"douban-book-like", WithWeightedCascade(DoubanBookLike()), false});
-  nets.push_back(
-      {"douban-movie-like", WithWeightedCascade(DoubanMovieLike()), false});
-  nets.push_back(
-      {"orkut-like", WithWeightedCascade(OrkutLike(OrkutNodes())), false});
-
-  const std::vector<ItemId> items{0, 1};
-  for (const Net& net : nets) {
-    std::printf("\n-- %s\n", NetworkStatsRow(net.name, net.graph).c_str());
-    for (const int budget : {10, 30, 50}) {
-      const BudgetVector budgets{budget, budget};
-      const AlgoParams params = MakeParams(1000 + budget);
-      ExperimentRunner runner(net.graph, config, EvalOptions(budget));
-      const Allocation empty_sp(2);
-
-      if (net.slow_baselines || RunSlowBaselinesEverywhere()) {
-        const std::size_t pool = static_cast<std::size_t>(budget) + 20;
-        PrintRow(net.name, "C1", budget,
-                 runner.Run("greedyWM",
-                            [&] {
-                              return GreedyWm(net.graph, config, empty_sp,
-                                              items, budgets, params,
-                                              {.candidate_pool = pool});
-                            },
-                            empty_sp));
-        PrintRow(net.name, "C1", budget,
-                 runner.Run("Balance-C",
-                            [&] {
-                              return BalanceC(net.graph, config, empty_sp,
-                                              items, budgets, params,
-                                              {.candidate_pool = pool});
-                            },
-                            empty_sp));
-      } else {
-        std::printf("%-20s %-10s budget=%-4d greedyWM     skipped (paper: "
-                    "did not finish; set CWM_GREEDY=1)\n",
-                    net.name.c_str(), "C1", budget);
-        std::printf("%-20s %-10s budget=%-4d Balance-C    skipped (paper: "
-                    "did not finish; set CWM_GREEDY=1)\n",
-                    net.name.c_str(), "C1", budget);
-      }
-      PrintRow(net.name, "C1", budget,
-               runner.Run("TCIM",
-                          [&] {
-                            return Tcim(net.graph, config, empty_sp, items,
-                                        budgets, params);
-                          },
-                          empty_sp));
-      PrintRow(net.name, "C1", budget,
-               runner.Run("MaxGRD",
-                          [&] {
-                            return MaxGrd(net.graph, config, empty_sp, items,
-                                          budgets, params);
-                          },
-                          empty_sp));
-      PrintRow(net.name, "C1", budget,
-               runner.Run("SeqGRD",
-                          [&] {
-                            return SeqGrd(net.graph, config, empty_sp, items,
-                                          budgets, params);
-                          },
-                          empty_sp));
-      PrintRow(net.name, "C1", budget,
-               runner.Run("SeqGRD-NM",
-                          [&] {
-                            return SeqGrdNm(net.graph, config, empty_sp,
-                                            items, budgets, params);
-                          },
-                          empty_sp));
-    }
-  }
+  const int code = RunRegisteredScenarios({"fig3-runtime"});
   std::printf("\nExpected shape (Fig 3): SeqGRD-NM fastest by orders of "
               "magnitude; greedyWM and Balance-C slowest.\n");
-  return 0;
+  return code;
 }

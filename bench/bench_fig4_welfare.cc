@@ -1,129 +1,21 @@
 // Figure 4 reproduction: expected social welfare of the algorithms under
 // the four two-item configurations of Table 3 on the Douban-Movie-like
-// network.
-//
-//   (a) C1 — pure competition, comparable utilities, budgets 10..50.
-//   (b) C2 — pure competition, 10x utility gap.
-//   (c) C3 — soft competition.
-//   (d) C4 — C3 utilities, non-uniform budgets: b_i = 50 fixed,
-//       b_j in {30, 70, 110}.
+// network. Thin wrapper over the scenario engine: "fig4-welfare" covers
+// (a)-(c) (C1/C2/C3, uniform budgets) and "fig4d-budget-skew" covers (d)
+// (C3 utilities, b_i = 50 fixed, b_j in {30, 70, 110}).
 //
 // Paper shape: SeqGRD / SeqGRD-NM / greedyWM dominate (up to 3x); MaxGRD
 // loses under soft competition (it allocates one item only); Balance-C
 // recovers somewhat under C3 but drops again under non-uniform budgets.
-#include <algorithm>
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "algo/max_grd.h"
-#include "algo/seq_grd.h"
-#include "baselines/balance_c.h"
-#include "baselines/greedy_wm.h"
-#include "baselines/tcim.h"
 #include "bench_common.h"
-#include "exp/configs.h"
-
-namespace {
-
-using namespace cwm;
-using namespace cwm::bench;
-
-void RunCell(const Graph& graph, const UtilityConfig& config,
-             const std::string& label, const BudgetVector& budgets,
-             int budget_axis, bool slow_baselines) {
-  const std::vector<ItemId> items{0, 1};
-  const AlgoParams params = MakeParams(2000 + budget_axis);
-  ExperimentRunner runner(graph, config, EvalOptions(budget_axis));
-  const Allocation empty_sp(2);
-
-  if (slow_baselines) {
-    const std::size_t pool =
-        static_cast<std::size_t>(std::max(budgets[0], budgets[1])) + 20;
-    PrintRow("douban-movie-like", label, budget_axis,
-             runner.Run("greedyWM",
-                        [&] {
-                          return GreedyWm(graph, config, empty_sp, items,
-                                          budgets, params,
-                                          {.candidate_pool = pool});
-                        },
-                        empty_sp));
-    PrintRow("douban-movie-like", label, budget_axis,
-             runner.Run("Balance-C",
-                        [&] {
-                          return BalanceC(graph, config, empty_sp, items,
-                                          budgets, params,
-                                          {.candidate_pool = pool});
-                        },
-                        empty_sp));
-  }
-  PrintRow("douban-movie-like", label, budget_axis,
-           runner.Run("TCIM",
-                      [&] {
-                        return Tcim(graph, config, empty_sp, items, budgets,
-                                    params);
-                      },
-                      empty_sp));
-  PrintRow("douban-movie-like", label, budget_axis,
-           runner.Run("MaxGRD",
-                      [&] {
-                        return MaxGrd(graph, config, empty_sp, items, budgets,
-                                      params);
-                      },
-                      empty_sp));
-  PrintRow("douban-movie-like", label, budget_axis,
-           runner.Run("SeqGRD",
-                      [&] {
-                        return SeqGrd(graph, config, empty_sp, items, budgets,
-                                      params);
-                      },
-                      empty_sp));
-  PrintRow("douban-movie-like", label, budget_axis,
-           runner.Run("SeqGRD-NM",
-                      [&] {
-                        return SeqGrdNm(graph, config, empty_sp, items,
-                                        budgets, params);
-                      },
-                      empty_sp));
-}
-
-}  // namespace
 
 int main() {
+  using namespace cwm::bench;
   PrintHeader("Fig 4: expected social welfare, configurations C1-C4",
               "Fig 4(a-d) on Douban-Movie; Table 3 configurations");
-  const Graph graph = WithWeightedCascade(DoubanMovieLike());
-  std::printf("%s\n", NetworkStatsRow("douban-movie-like", graph).c_str());
-  const bool slow = RunSlowBaselinesEverywhere();
-  if (!slow) {
-    std::printf("greedyWM/Balance-C run at budget 10 only by default "
-                "(set CWM_GREEDY=1 for all cells)\n");
-  }
-
-  std::printf("\n-- (a) C1: pure competition, comparable utilities\n");
-  const UtilityConfig c1 = MakeConfigC1();
-  for (const int b : {10, 30, 50}) {
-    RunCell(graph, c1, "C1", {b, b}, b, slow || b == 10);
-  }
-
-  std::printf("\n-- (b) C2: pure competition, 10x utility gap\n");
-  const UtilityConfig c2 = MakeConfigC2();
-  for (const int b : {10, 30, 50}) {
-    RunCell(graph, c2, "C2", {b, b}, b, slow || b == 10);
-  }
-
-  std::printf("\n-- (c) C3: soft competition\n");
-  const UtilityConfig c3 = MakeConfigC3();
-  for (const int b : {10, 30, 50}) {
-    RunCell(graph, c3, "C3", {b, b}, b, slow || b == 10);
-  }
-
-  std::printf("\n-- (d) C4: C3 utilities, b_i = 50, varying b_j\n");
-  for (const int bj : {30, 70, 110}) {
-    RunCell(graph, c3, "C4", {50, bj}, bj, slow || bj == 30);
-  }
-
+  const int code =
+      RunRegisteredScenarios({"fig4-welfare", "fig4d-budget-skew"});
   std::printf("\nExpected shape (Fig 4): SeqGRD/SeqGRD-NM/greedyWM highest; "
               "MaxGRD lags under soft competition (C3/C4).\n");
-  return 0;
+  return code;
 }

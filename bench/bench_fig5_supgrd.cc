@@ -1,72 +1,22 @@
 // Figure 5 reproduction: SupGRD vs SeqGRD-NM under the superior-item
-// configurations C5 and C6 on the two largest networks.
-//
-// Setup per §6.2.3: the inferior item j is fixed on the top-50 IMM seeds;
-// the superior item i receives a budget swept over {10, 30, 50}.
+// configurations C5 and C6 on the two largest networks. Thin wrapper over
+// the scenario engine (scenario "fig5-supgrd"): the engine fixes the
+// inferior item on the top-50 IMM seeds per network (§6.2.3) and sweeps
+// the superior item's budget over {10, 30, 50}.
 //
 // Paper shape: on C5 (small utility gap) the two algorithms produce
 // comparable welfare; on C6 (large gap) SupGRD clearly wins, because
 // SeqGRD-NM's marginal-spread objective steers i away from the top seeds
 // that j holds, while SupGRD happily displaces j where that pays.
 // Running time: SupGRD within ~2x of SeqGRD-NM.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "algo/seq_grd.h"
-#include "algo/sup_grd.h"
 #include "bench_common.h"
-#include "exp/configs.h"
-#include "rrset/imm.h"
 
 int main() {
-  using namespace cwm;
   using namespace cwm::bench;
   PrintHeader("Fig 5: SupGRD vs SeqGRD-NM on C5/C6",
               "Fig 5(a-d): welfare and running time on Orkut and Twitter");
-
-  struct Net {
-    std::string name;
-    Graph graph;
-  };
-  std::vector<Net> nets;
-  nets.push_back({"orkut-like", WithWeightedCascade(OrkutLike(OrkutNodes()))});
-  nets.push_back(
-      {"twitter-like", WithWeightedCascade(TwitterLike(TwitterNodes()))});
-
-  for (const Net& net : nets) {
-    std::printf("\n-- %s\n", NetworkStatsRow(net.name, net.graph).c_str());
-    // Fixed inferior seeds: top-50 IMM nodes (shared by C5 and C6).
-    const ImmResult top = Imm(net.graph, 50,
-                              {.epsilon = 0.5, .ell = 1.0, .seed = 71});
-    for (const char* config_name : {"C5", "C6"}) {
-      const UtilityConfig config = std::string(config_name) == "C5"
-                                       ? MakeConfigC5()
-                                       : MakeConfigC6();
-      Allocation sp(2);
-      for (NodeId v : top.seeds) sp.Add(v, 1);
-      ExperimentRunner runner(net.graph, config, EvalOptions(91));
-      for (const int budget : {10, 30, 50}) {
-        const AlgoParams params = MakeParams(3000 + budget);
-        PrintRow(net.name, config_name, budget,
-                 runner.Run("SupGRD",
-                            [&] {
-                              return SupGrd(net.graph, config, sp, budget,
-                                            params);
-                            },
-                            sp));
-        PrintRow(net.name, config_name, budget,
-                 runner.Run("SeqGRD-NM",
-                            [&] {
-                              BudgetVector budgets{budget, 1};
-                              return SeqGrdNm(net.graph, config, sp, {0},
-                                              budgets, params);
-                            },
-                            sp));
-      }
-    }
-  }
+  const int code = RunRegisteredScenarios({"fig5-supgrd"});
   std::printf("\nExpected shape (Fig 5): comparable welfare on C5; SupGRD "
               "ahead on C6; SupGRD time within ~2x of SeqGRD-NM.\n");
-  return 0;
+  return code;
 }

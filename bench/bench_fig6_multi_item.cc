@@ -1,146 +1,25 @@
-// Figure 6 reproduction: multi-item experiments.
+// Figure 6 reproduction: multi-item experiments, as three engine
+// scenarios:
 //
-//  (a,b) Runtime and welfare vs number of items (1..5 unit-utility items
-//        in pure competition, budget 50 each) on NetHEPT-like.
-//  (c)   Effect of the marginal check (SeqGRD vs SeqGRD-NM) under the
-//        Table 4 three-item configuration: budget of i fixed, budgets of
-//        j and k swept; blocking grows with the inferior budgets.
-//  (d)   Scalability of SeqGRD-NM on Orkut-like BFS subgraphs (50..100% of
-//        nodes) under weighted-cascade and constant-0.01 probabilities.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "algo/max_grd.h"
-#include "algo/seq_grd.h"
-#include "baselines/greedy_wm.h"
-#include "baselines/tcim.h"
+//  "fig6ab-num-items"  (a,b) runtime and welfare vs number of items
+//                      (1..5 unit-utility items, budget 50 each).
+//  "fig6c-blocking"    (c) effect of the marginal check (SeqGRD vs
+//                      SeqGRD-NM) under the Table 4 configuration.
+//  "fig6d-scaling"     (d) SeqGRD-NM on Orkut-like BFS subgraphs
+//                      (50..100% of nodes) under weighted-cascade and
+//                      constant-0.01 probabilities.
 #include "bench_common.h"
-#include "exp/configs.h"
-#include "graph/generators.h"
-#include "support/timer.h"
 
 int main() {
-  using namespace cwm;
   using namespace cwm::bench;
   PrintHeader("Fig 6: multi-item experiments",
               "Fig 6(a,b): #items sweep; Fig 6(c): marginal-check ablation; "
               "Fig 6(d): SeqGRD-NM scalability");
-
-  const Graph nethept = WithWeightedCascade(NetHeptLike());
-  std::printf("%s\n", NetworkStatsRow("nethept-like", nethept).c_str());
-
-  std::printf("\n-- (a,b) runtime and welfare vs number of items "
-              "(budget 50 each)\n");
-  for (int m = 1; m <= 5; ++m) {
-    const UtilityConfig config = MakeUniformPureCompetition(m);
-    std::vector<ItemId> items;
-    for (ItemId i = 0; i < m; ++i) items.push_back(i);
-    const BudgetVector budgets(m, 50);
-    const Allocation empty_sp(m);
-    const AlgoParams params = MakeParams(4000 + m);
-    ExperimentRunner runner(nethept, config, EvalOptions(m));
-    const std::string label = "m=" + std::to_string(m);
-
-    if (RunSlowBaselinesEverywhere() || m <= 2) {
-      PrintRow("nethept-like", label, 50,
-               runner.Run("greedyWM",
-                          [&] {
-                            return GreedyWm(nethept, config, empty_sp, items,
-                                            budgets, params,
-                                            {.candidate_pool = 70});
-                          },
-                          empty_sp));
-    }
-    PrintRow("nethept-like", label, 50,
-             runner.Run("TCIM",
-                        [&] {
-                          return Tcim(nethept, config, empty_sp, items,
-                                      budgets, params);
-                        },
-                        empty_sp));
-    PrintRow("nethept-like", label, 50,
-             runner.Run("MaxGRD",
-                        [&] {
-                          return MaxGrd(nethept, config, empty_sp, items,
-                                        budgets, params);
-                        },
-                        empty_sp));
-    PrintRow("nethept-like", label, 50,
-             runner.Run("SeqGRD",
-                        [&] {
-                          return SeqGrd(nethept, config, empty_sp, items,
-                                        budgets, params);
-                        },
-                        empty_sp));
-    PrintRow("nethept-like", label, 50,
-             runner.Run("SeqGRD-NM",
-                        [&] {
-                          return SeqGrdNm(nethept, config, empty_sp, items,
-                                          budgets, params);
-                        },
-                        empty_sp));
-  }
-
-  std::printf("\n-- (c) marginal-check ablation, Table 4 configuration "
-              "(b_i = 100; b_j = b_k swept)\n");
-  {
-    const UtilityConfig config = MakeThreeItemConfig();
-    const std::vector<ItemId> items{0, 1, 2};
-    const Allocation empty_sp(3);
-    ExperimentRunner runner(nethept, config, EvalOptions(17));
-    for (const int bjk : {20, 60, 100}) {
-      const BudgetVector budgets{100, bjk, bjk};
-      const AlgoParams params = MakeParams(5000 + bjk);
-      const std::string label = "T4 bjk=" + std::to_string(bjk);
-      PrintRow("nethept-like", label, bjk,
-               runner.Run("SeqGRD",
-                          [&] {
-                            return SeqGrd(nethept, config, empty_sp, items,
-                                          budgets, params);
-                          },
-                          empty_sp));
-      PrintRow("nethept-like", label, bjk,
-               runner.Run("SeqGRD-NM",
-                          [&] {
-                            return SeqGrdNm(nethept, config, empty_sp, items,
-                                            budgets, params);
-                          },
-                          empty_sp));
-    }
-  }
-
-  std::printf("\n-- (d) SeqGRD-NM scalability on orkut-like subgraphs "
-              "(3 items, budget 50 each)\n");
-  {
-    const Graph orkut_wc = WithWeightedCascade(OrkutLike(OrkutNodes()));
-    const Graph orkut_const = WithConstantProb(OrkutLike(OrkutNodes()), 0.01);
-    const UtilityConfig config = MakeUniformPureCompetition(3);
-    const std::vector<ItemId> items{0, 1, 2};
-    const BudgetVector budgets(3, 50);
-    for (const double frac : {0.5, 0.75, 1.0}) {
-      for (const bool wc : {true, false}) {
-        const Graph& base = wc ? orkut_wc : orkut_const;
-        const Graph sub =
-            frac < 1.0 ? InducedBfsSubgraph(base, frac, 99) : base;
-        const AlgoParams params =
-            MakeParams(6000 + static_cast<int>(frac * 100) + wc);
-        Timer timer;
-        const Allocation alloc =
-            SeqGrdNm(sub, config, Allocation(3), items, budgets, params);
-        std::printf("orkut-like %3.0f%% nodes, %-14s SeqGRD-NM time=%8.3fs "
-                    "(%zu nodes, %zu edges)\n",
-                    frac * 100, wc ? "p=1/din(v)" : "p=0.01", timer.Seconds(),
-                    sub.num_nodes(), sub.num_edges());
-        (void)alloc;
-        std::fflush(stdout);
-      }
-    }
-  }
-
+  const int code = RunRegisteredScenarios(
+      {"fig6ab-num-items", "fig6c-blocking", "fig6d-scaling"});
   std::printf("\nExpected shape (Fig 6): (a) SeqGRD-NM runtime nearly flat "
               "in m, others grow; (b) welfare grows with m for SeqGRD*, "
               "flat for MaxGRD/TCIM; (c) SeqGRD >= SeqGRD-NM, gap widens "
               "with inferior budgets; (d) roughly linear scaling.\n");
-  return 0;
+  return code;
 }

@@ -1,19 +1,15 @@
 // Figure 7 reproduction: running time and welfare under the real
 // (Last.fm-learned) utility configuration of Table 5, on NetHEPT-like and
-// Orkut-like networks, uniform budgets {10, 20, 30, 40}.
+// Orkut-like networks, uniform budgets {10, 20, 30, 40}. Thin wrapper
+// over the scenario engine (scenario "fig7-real-utility").
 //
 // Paper shape: SeqGRD-NM fastest by orders of magnitude; SeqGRD and
 // SeqGRD-NM coincide in welfare (pure competition); MaxGRD and TCIM fall
 // behind because they effectively push one item.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "algo/max_grd.h"
-#include "algo/seq_grd.h"
-#include "baselines/tcim.h"
 #include "bench_common.h"
+
 #include "exp/configs.h"
+#include "model/items.h"
 
 int main() {
   using namespace cwm;
@@ -21,61 +17,14 @@ int main() {
   PrintHeader("Fig 7: real utility configuration (Table 5)",
               "Fig 7(a-d): time and welfare, NetHEPT and Orkut, 4 genre "
               "items");
-
   const UtilityConfig config = MakeLastFmConfig();
   std::printf("Table 5 reconstruction (U(i) = ln(10000 * p_i)):\n");
   for (ItemId i = 0; i < config.num_items(); ++i) {
     std::printf("  %-18s UD = %.2f\n", kLastFmGenres[i],
                 config.DetUtility(SingletonSet(i)));
   }
-
-  struct Net {
-    std::string name;
-    Graph graph;
-  };
-  std::vector<Net> nets;
-  nets.push_back({"nethept-like", WithWeightedCascade(NetHeptLike())});
-  nets.push_back({"orkut-like", WithWeightedCascade(OrkutLike(OrkutNodes()))});
-
-  const std::vector<ItemId> items{0, 1, 2, 3};
-  for (const Net& net : nets) {
-    std::printf("\n-- %s\n", NetworkStatsRow(net.name, net.graph).c_str());
-    for (const int budget : {10, 20, 30, 40}) {
-      const BudgetVector budgets(4, budget);
-      const Allocation empty_sp(4);
-      const AlgoParams params = MakeParams(7000 + budget);
-      ExperimentRunner runner(net.graph, config, EvalOptions(budget));
-      PrintRow(net.name, "LastFM", budget,
-               runner.Run("TCIM",
-                          [&] {
-                            return Tcim(net.graph, config, empty_sp, items,
-                                        budgets, params);
-                          },
-                          empty_sp));
-      PrintRow(net.name, "LastFM", budget,
-               runner.Run("MaxGRD",
-                          [&] {
-                            return MaxGrd(net.graph, config, empty_sp, items,
-                                          budgets, params);
-                          },
-                          empty_sp));
-      PrintRow(net.name, "LastFM", budget,
-               runner.Run("SeqGRD",
-                          [&] {
-                            return SeqGrd(net.graph, config, empty_sp, items,
-                                          budgets, params);
-                          },
-                          empty_sp));
-      PrintRow(net.name, "LastFM", budget,
-               runner.Run("SeqGRD-NM",
-                          [&] {
-                            return SeqGrdNm(net.graph, config, empty_sp,
-                                            items, budgets, params);
-                          },
-                          empty_sp));
-    }
-  }
+  const int code = RunRegisteredScenarios({"fig7-real-utility"});
   std::printf("\nExpected shape (Fig 7): SeqGRD ~= SeqGRD-NM welfare (pure "
               "competition); both above MaxGRD and TCIM; SeqGRD-NM fastest.\n");
-  return 0;
+  return code;
 }

@@ -1,10 +1,12 @@
-// Table 2 stand-in: prints the statistics of the synthetic network catalog
-// used by every other bench, next to the figures the paper reports for the
-// real datasets.
+// Table 2 stand-in: prints the statistics of the synthetic network
+// catalog next to the figures the paper reports for the real datasets.
+// The graphs are built through the scenario engine's NetworkSpec — the
+// same resolution path every scenario and the cwm_run CLI use — so this
+// bench doubles as a smoke test of the network factory.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "exp/networks.h"
+#include "scenario/scenario.h"
 #include "support/timer.h"
 
 int main() {
@@ -25,28 +27,26 @@ int main() {
   std::printf("paper:  Twitter       41.7M nodes  1.47G directed edges    "
               "avg deg 70.5 (scaled here)\n\n");
 
-  Timer t;
-  const Graph nethept = NetHeptLike();
-  std::printf("%s  (%.2fs)\n", NetworkStatsRow("nethept-like", nethept).c_str(),
-              t.Seconds());
-  t.Reset();
-  const Graph book = DoubanBookLike();
-  std::printf("%s  (%.2fs)\n",
-              NetworkStatsRow("douban-book-like", book).c_str(), t.Seconds());
-  t.Reset();
-  const Graph movie = DoubanMovieLike();
-  std::printf("%s  (%.2fs)\n",
-              NetworkStatsRow("douban-movie-like", movie).c_str(),
-              t.Seconds());
-  t.Reset();
-  const Graph orkut = OrkutLike(OrkutNodes());
-  std::printf("%s  (%.2fs)\n", NetworkStatsRow("orkut-like", orkut).c_str(),
-              t.Seconds());
-  t.Reset();
-  const Graph twitter = TwitterLike(TwitterNodes());
-  std::printf("%s  (%.2fs)\n",
-              NetworkStatsRow("twitter-like", twitter).c_str(), t.Seconds());
-  std::printf("\nRaise CWM_BENCH_SCALE to grow the Orkut/Twitter stand-ins "
+  const double scale = EnvSweepOptions().scale;
+  for (const char* family :
+       {"nethept-like", "douban-book-like", "douban-movie-like",
+        "orkut-like", "twitter-like", "erdos-renyi", "barabasi-albert",
+        "directed-pa", "watts-strogatz"}) {
+    NetworkSpec net;
+    net.family = family;
+    Timer t;
+    const StatusOr<Graph> graph = net.Build(scale);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", family,
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s  (%.2fs)\n",
+                NetworkStatsRow(net.Label(), graph.value()).c_str(),
+                t.Seconds());
+    std::fflush(stdout);
+  }
+  std::printf("\nRaise CWM_BENCH_SCALE to grow the scalable stand-ins "
               "toward paper scale.\n");
   return 0;
 }

@@ -1,101 +1,25 @@
 // Table 6 reproduction: adoption count per item and overall welfare for
-// Round-robin (RR), Snake, and SeqGRD-NM (= block allocation over the same
-// PRIMA+ seed order), under the real (Table 5) and synthetic (Table 4)
-// utility configurations, on NetHEPT-like and Orkut-like networks with
-// per-item budgets 10 and 40.
+// Round-robin (RR), Snake, and utility-ordered blocks (= SeqGRD-NM's
+// placement) over one shared PRIMA+ seed ranking, under the real
+// (Table 5) and synthetic (Table 4) utility configurations, on
+// NetHEPT-like and Orkut-like networks with per-item budgets 10 and 40.
+// Thin wrapper over the scenario engine (scenario "table6-adoption");
+// per-item adopter counts appear in the adopters=[...] column.
 //
 // Paper shape: total adoptions roughly constant across the three
-// allocators; SeqGRD-NM shifts adoptions from inferior to superior items
-// and achieves the highest welfare (the paper reports welfare gains up to
-// +37.8% and inferior-item adoption drops up to -50.1%).
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "baselines/simple_alloc.h"
+// allocators; the utility-ordered block allocation shifts adoptions from
+// inferior to superior items and achieves the highest welfare (the paper
+// reports welfare gains up to +37.8% and inferior-item adoption drops up
+// to -50.1%).
 #include "bench_common.h"
-#include "exp/configs.h"
-#include "rrset/prima_plus.h"
-#include "simulate/estimator.h"
-
-namespace {
-
-using namespace cwm;
-using namespace cwm::bench;
-
-void PrintAdoptionRow(const std::string& algo, const UtilityConfig& config,
-                      const WelfareStats& stats, const char* const* names) {
-  std::printf("  %-10s", algo.c_str());
-  for (ItemId i = 0; i < config.num_items(); ++i) {
-    std::printf(" %s=%-9.1f", names == nullptr
-                                  ? ("i" + std::to_string(i)).c_str()
-                                  : names[i],
-                stats.adopters_per_item[i]);
-  }
-  std::printf(" welfare=%.1f\n", stats.welfare);
-  std::fflush(stdout);
-}
-
-void RunBlock(const std::string& net_name, const Graph& graph,
-              const UtilityConfig& config, const char* config_name,
-              const char* const* item_names, int budget) {
-  const int m = config.num_items();
-  std::vector<ItemId> items;
-  for (ItemId i = 0; i < m; ++i) items.push_back(i);
-  const BudgetVector budgets(m, budget);
-  // One shared seed ranking, as in §6.4.3: the seed nodes are fixed, only
-  // the item-to-node assignment differs.
-  const ImmResult prima =
-      PrimaPlus(graph, {}, budgets, m * budget,
-                {.epsilon = 0.5, .ell = 1.0, .seed = 97});
-  // SeqGRD-NM assigns blocks in decreasing utility order.
-  std::vector<ItemId> by_utility = config.ItemsByTruncatedUtilityDesc();
-
-  WelfareEstimator est(graph, config, EvalOptions(budget));
-  std::printf("\n%s, %s, budget %d per item:\n", net_name.c_str(),
-              config_name, budget);
-  PrintAdoptionRow(
-      "RR", config,
-      est.Stats(RoundRobinAllocate(m, prima.seeds, items, budgets)),
-      item_names);
-  PrintAdoptionRow(
-      "Snake", config,
-      est.Stats(SnakeAllocate(m, prima.seeds, items, budgets)), item_names);
-  PrintAdoptionRow(
-      "SGRD-NM", config,
-      est.Stats(BlockAllocate(m, prima.seeds, by_utility, budgets)),
-      item_names);
-}
-
-}  // namespace
 
 int main() {
+  using namespace cwm::bench;
   PrintHeader("Table 6: adoption count vs social welfare",
               "Table 6: RR / Snake / SeqGRD-NM adoption redistribution");
-
-  struct Net {
-    std::string name;
-    Graph graph;
-  };
-  std::vector<Net> nets;
-  nets.push_back({"nethept-like", WithWeightedCascade(NetHeptLike())});
-  nets.push_back({"orkut-like", WithWeightedCascade(OrkutLike(OrkutNodes()))});
-
-  const UtilityConfig real = MakeLastFmConfig();
-  const UtilityConfig synth = MakeThreeItemConfig();
-  static const char* const kSynthNames[3] = {"i", "j", "k"};
-
-  for (const Net& net : nets) {
-    std::printf("\n-- %s\n", NetworkStatsRow(net.name, net.graph).c_str());
-    for (const int budget : {10, 40}) {
-      RunBlock(net.name, net.graph, real, "Real (Table 5)", kLastFmGenres,
-               budget);
-      RunBlock(net.name, net.graph, synth, "Synthetic (Table 4)", kSynthNames,
-               budget);
-    }
-  }
+  const int code = RunRegisteredScenarios({"table6-adoption"});
   std::printf("\nExpected shape (Table 6): totals roughly equal across "
-              "allocators; SeqGRD-NM raises superior-item adoptions, cuts "
+              "allocators; BlockUtil raises superior-item adoptions, cuts "
               "inferior-item adoptions, and yields the top welfare.\n");
-  return 0;
+  return code;
 }

@@ -1,0 +1,338 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+
+namespace cwm {
+
+Status ScenarioRegistry::Register(ScenarioSpec spec) {
+  const Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  for (const ScenarioSpec& existing : specs_) {
+    if (existing.name == spec.name) {
+      return Status::InvalidArgument("duplicate scenario name: " + spec.name);
+    }
+  }
+  specs_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) names.push_back(spec.name);
+  return names;
+}
+
+StatusOr<ScenarioSpec> ScenarioRegistry::Find(std::string_view name) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  std::string message = "unknown scenario '" + std::string(name) + "'";
+  std::string close;
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.name.find(name) != std::string::npos) {
+      close += close.empty() ? "" : ", ";
+      close += spec.name;
+    }
+  }
+  if (!close.empty()) message += "; did you mean: " + close;
+  return Status::NotFound(std::move(message));
+}
+
+namespace {
+
+// Shared algorithm line-ups.
+const std::vector<AlgoKind> kAllMain = {
+    AlgoKind::kGreedyWm, AlgoKind::kBalanceC, AlgoKind::kTcim,
+    AlgoKind::kMaxGrd,   AlgoKind::kSeqGrd,   AlgoKind::kSeqGrdNm,
+};
+const std::vector<AlgoKind> kFastFour = {
+    AlgoKind::kTcim, AlgoKind::kMaxGrd, AlgoKind::kSeqGrd,
+    AlgoKind::kSeqGrdNm,
+};
+
+NetworkSpec Net(std::string family) {
+  NetworkSpec net;
+  net.family = std::move(family);
+  return net;
+}
+
+ScenarioRegistry BuildGlobalRegistry() {
+  ScenarioRegistry registry;
+  auto add = [&registry](ScenarioSpec spec) {
+    const Status status = registry.Register(std::move(spec));
+    CWM_CHECK_MSG(status.ok(), status.ToString().c_str());
+  };
+
+  // ------------------------------------------------------------------
+  // Paper experiments.
+  // ------------------------------------------------------------------
+  {
+    ScenarioSpec s;
+    s.name = "fig3-runtime";
+    s.title = "Running time of all algorithms under C1 on four networks";
+    s.paper_ref = "Fig 3(a-d)";
+    s.networks = {Net("nethept-like"), Net("douban-book-like"),
+                  Net("douban-movie-like"), Net("orkut-like")};
+    s.configs = {{.name = "C1"}};
+    s.algorithms = kAllMain;
+    s.budget_points = {{10}, {30}, {50}};
+    s.slow_gate = SlowGate::kFirstNetwork;  // Fig 3: all budgets on NetHEPT
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig4-welfare";
+    s.title = "Expected welfare under C1/C2/C3 on Douban-Movie";
+    s.paper_ref = "Fig 4(a-c), Table 3";
+    s.networks = {Net("douban-movie-like")};
+    s.configs = {{.name = "C1"}, {.name = "C2"}, {.name = "C3"}};
+    s.algorithms = kAllMain;
+    s.budget_points = {{10}, {30}, {50}};
+    s.slow_gate = SlowGate::kFirstBudget;  // Fig 4: budget 10, every config
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig4d-budget-skew";
+    s.title = "C4: C3 utilities with non-uniform budgets (b_i fixed at 50)";
+    s.paper_ref = "Fig 4(d)";
+    s.networks = {Net("douban-movie-like")};
+    s.configs = {{.name = "C3"}};
+    s.algorithms = kAllMain;
+    s.budget_points = {{50, 30}, {50, 70}, {50, 110}};
+    s.slow_gate = SlowGate::kFirstBudget;  // Fig 4(d): b_j = 30 only
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig5-supgrd";
+    s.title = "SupGRD vs SeqGRD-NM with the inferior item fixed on top "
+              "IMM seeds (C5/C6)";
+    s.paper_ref = "Fig 5(a-d), §6.2.3";
+    s.networks = {Net("orkut-like"), Net("twitter-like")};
+    s.configs = {{.name = "C5"}, {.name = "C6"}};
+    s.algorithms = {AlgoKind::kSupGrd, AlgoKind::kSeqGrdNm};
+    s.budget_points = {{10}, {30}, {50}};
+    s.fixed = {.kind = FixedSeedSpec::Kind::kTopSpread, .item = 1,
+               .count = 50};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig6ab-num-items";
+    s.title = "Runtime and welfare vs number of unit-utility items (1..5)";
+    s.paper_ref = "Fig 6(a,b)";
+    s.networks = {Net("nethept-like")};
+    for (int m = 1; m <= 5; ++m) {
+      s.configs.push_back({.name = "uniform", .num_items = m});
+    }
+    s.algorithms = {AlgoKind::kGreedyWm, AlgoKind::kTcim, AlgoKind::kMaxGrd,
+                    AlgoKind::kSeqGrd, AlgoKind::kSeqGrdNm};
+    s.budget_points = {{50}};
+    s.slow_gate = SlowGate::kFirstConfig;  // Fig 6(a,b): smallest item count
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig6c-blocking";
+    s.title = "Marginal-check ablation under the Table 4 three-item "
+              "configuration (b_i = 100, b_j = b_k swept)";
+    s.paper_ref = "Fig 6(c), §6.3.2";
+    s.networks = {Net("nethept-like")};
+    s.configs = {{.name = "table4"}};
+    s.algorithms = {AlgoKind::kSeqGrd, AlgoKind::kSeqGrdNm};
+    s.budget_points = {{100, 20, 20}, {100, 60, 60}, {100, 100, 100}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig6d-scaling";
+    s.title = "SeqGRD-NM scalability on Orkut-like BFS subgraphs under "
+              "weighted-cascade and constant probabilities";
+    s.paper_ref = "Fig 6(d), §6.3.3";
+    for (const double frac : {0.5, 0.75, 1.0}) {
+      for (const bool wc : {true, false}) {
+        NetworkSpec net = Net("orkut-like");
+        net.bfs_fraction = frac;
+        if (!wc) {
+          net.prob = ProbModel::kConstant;
+          net.prob_value = 0.01;
+        }
+        net.label = "orkut-" + std::to_string(static_cast<int>(frac * 100)) +
+                    "pct-" + (wc ? "wc" : "p01");
+        s.networks.push_back(std::move(net));
+      }
+    }
+    s.configs = {{.name = "uniform", .num_items = 3}};
+    s.algorithms = {AlgoKind::kSeqGrdNm};
+    s.budget_points = {{50}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "fig7-real-utility";
+    s.title = "Real (Last.fm, Table 5) utility configuration on NetHEPT "
+              "and Orkut";
+    s.paper_ref = "Fig 7(a-d), Table 5, §6.4";
+    s.networks = {Net("nethept-like"), Net("orkut-like")};
+    s.configs = {{.name = "lastfm"}};
+    s.algorithms = kFastFour;
+    s.budget_points = {{10}, {20}, {30}, {40}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "table6-adoption";
+    s.title = "Adoption count vs welfare: RR / Snake / utility-ordered "
+              "blocks over one PRIMA+ ranking";
+    s.paper_ref = "Table 6, §6.4.3";
+    s.networks = {Net("nethept-like"), Net("orkut-like")};
+    s.configs = {{.name = "lastfm"}, {.name = "table4"}};
+    s.algorithms = {AlgoKind::kRoundRobin, AlgoKind::kSnake,
+                    AlgoKind::kBlockUtility};
+    s.budget_points = {{10}, {40}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "theory-theorem1";
+    s.title = "Theorem 1 configuration: no uniform submodularity — "
+              "ordering effects on a small-world graph";
+    s.paper_ref = "Fig 1(a), Theorem 1";
+    NetworkSpec net = Net("watts-strogatz");
+    net.num_nodes = 2000;
+    s.networks = {std::move(net)};
+    s.configs = {{.name = "theorem1"}};
+    s.algorithms = {AlgoKind::kSeqGrd, AlgoKind::kMaxGrd, AlgoKind::kBestOf};
+    s.budget_points = {{5}, {10}};
+    s.sims = 100;
+    s.eval_sims = 200;
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "theory-theorem2";
+    s.title = "Theorem 2 hardness gadget: allocate i1 on the SET COVER "
+              "reduction instance";
+    s.paper_ref = "Theorem 2, Table 1, Fig 2";
+    NetworkSpec net = Net("theorem2-gadget");
+    net.num_nodes = 8;  // gadget copies N (multiple of the 4 elements)
+    net.prob = ProbModel::kAsIs;  // gadget edges are deterministic (p = 1)
+    s.networks = {std::move(net)};
+    s.configs = {{.name = "theorem2"}};
+    s.algorithms = {AlgoKind::kSeqGrdNm, AlgoKind::kMaxGrd, AlgoKind::kTcim};
+    s.budget_points = {{2}};  // k of the canned SET COVER instance
+    s.fixed = {.kind = FixedSeedSpec::Kind::kTheorem2};
+    s.sims = 100;
+    s.eval_sims = 200;
+    add(std::move(s));
+  }
+
+  // ------------------------------------------------------------------
+  // Beyond-paper workloads.
+  // ------------------------------------------------------------------
+  {
+    ScenarioSpec s;
+    s.name = "family-sweep";
+    s.title = "C1 across synthetic graph families (ER / BA / directed-PA "
+              "/ small-world) at equal node counts";
+    s.networks = {Net("erdos-renyi"), Net("barabasi-albert"),
+                  Net("directed-pa"), Net("watts-strogatz")};
+    s.configs = {{.name = "C1"}};
+    s.algorithms = kFastFour;
+    s.budget_points = {{10}, {30}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "many-items-scaling";
+    s.title = "Pure-competition scaling to 8 concurrent items";
+    s.networks = {Net("nethept-like")};
+    for (const int m : {2, 4, 6, 8}) {
+      s.configs.push_back({.name = "uniform", .num_items = m});
+    }
+    s.algorithms = {AlgoKind::kTcim, AlgoKind::kMaxGrd, AlgoKind::kSeqGrdNm};
+    s.budget_points = {{20}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "budget-skew";
+    s.title = "Welfare under skewed budget splits (b_i + b_j = 100, C1)";
+    s.networks = {Net("douban-book-like")};
+    s.configs = {{.name = "C1"}};
+    s.algorithms = kFastFour;
+    s.budget_points = {{10, 90}, {30, 70}, {50, 50}, {70, 30}, {90, 10}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "mixed-complement";
+    s.title = "Mixed competition + complementarity (two phones, one case; "
+              "§7 future work)";
+    s.networks = {Net("nethept-like")};
+    s.configs = {{.name = "mixed"}};
+    s.algorithms = kFastFour;
+    s.budget_points = {{10}, {30}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "trivalency-robustness";
+    s.title = "C1 under trivalency edge probabilities (vs the paper's "
+              "weighted cascade)";
+    NetworkSpec net = Net("nethept-like");
+    net.prob = ProbModel::kTrivalency;
+    s.networks = {std::move(net)};
+    s.configs = {{.name = "C1"}};
+    s.algorithms = {AlgoKind::kTcim, AlgoKind::kMaxGrd, AlgoKind::kSeqGrdNm};
+    s.budget_points = {{10}, {30}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "ranking-quality";
+    s.title = "Seed-ranking quality: PRIMA+ blocks vs degree / "
+              "degree-discount / reverse-PageRank rankings (Table 5 "
+              "utilities)";
+    s.networks = {Net("douban-movie-like")};
+    s.configs = {{.name = "lastfm"}};
+    s.algorithms = {AlgoKind::kBlockUtility, AlgoKind::kHighDegreeRank,
+                    AlgoKind::kDegreeDiscountRank, AlgoKind::kPageRankRank};
+    s.budget_points = {{10}};
+    add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "smoke-tiny";
+    s.title = "Tiny ER smoke sweep (fast; used by tests and CI)";
+    NetworkSpec net = Net("erdos-renyi");
+    net.num_nodes = 300;
+    net.degree = 4;
+    s.networks = {std::move(net)};
+    s.configs = {{.name = "C1"}};
+    s.algorithms = {AlgoKind::kSeqGrd, AlgoKind::kSeqGrdNm,
+                    AlgoKind::kMaxGrd, AlgoKind::kTcim,
+                    AlgoKind::kRoundRobin, AlgoKind::kSnake};
+    s.budget_points = {{5}, {10}};
+    s.seeds = {1, 2};
+    s.sims = 40;
+    s.eval_sims = 60;
+    add(std::move(s));
+  }
+
+  return registry;
+}
+
+}  // namespace
+
+const ScenarioRegistry& GlobalScenarioRegistry() {
+  static const ScenarioRegistry registry = BuildGlobalRegistry();
+  return registry;
+}
+
+}  // namespace cwm

@@ -1,0 +1,46 @@
+// Named catalog of experiment scenarios.
+//
+// Every paper figure/table reproduction and every beyond-paper workload is
+// registered here as a declarative ScenarioSpec, so one engine serves the
+// bench drivers, the cwm_run CLI, tests, and future serving layers. The
+// global registry is built once (thread-safe) and immutable afterwards;
+// additional registries can be constructed for tests.
+#ifndef CWM_SCENARIO_REGISTRY_H_
+#define CWM_SCENARIO_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// An ordered, name-keyed collection of scenario specs.
+class ScenarioRegistry {
+ public:
+  /// Adds a spec; fails on duplicate names or invalid specs.
+  Status Register(ScenarioSpec spec);
+
+  /// Registered names, in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Looks a scenario up by name; NotFound lists near-misses.
+  StatusOr<ScenarioSpec> Find(std::string_view name) const;
+
+  const std::vector<ScenarioSpec>& All() const { return specs_; }
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+/// The built-in catalog: all paper experiments (Fig 3–7, Tables 4–6,
+/// C1–C6, theory gadgets) plus beyond-paper workloads (graph-family
+/// sweeps, m-item scaling, budget skew, trivalency robustness, mixed
+/// competition/complementarity, ranking quality, smoke tests).
+const ScenarioRegistry& GlobalScenarioRegistry();
+
+}  // namespace cwm
+
+#endif  // CWM_SCENARIO_REGISTRY_H_

@@ -1,0 +1,342 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exp/configs.h"
+#include "exp/networks.h"
+#include "exp/reduction.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+
+namespace cwm {
+
+namespace {
+
+std::size_t OrDefault(std::size_t value, std::size_t fallback) {
+  return value == 0 ? fallback : value;
+}
+uint64_t OrDefault64(uint64_t value, uint64_t fallback) {
+  return value == 0 ? fallback : value;
+}
+double OrDefaultD(double value, double fallback) {
+  return value == 0.0 ? fallback : value;
+}
+
+std::size_t Scaled(std::size_t nodes, double scale) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(nodes) * scale));
+}
+
+}  // namespace
+
+const SetCoverInstance& DefaultSetCoverInstance() {
+  // A YES instance: {0,1} and {2,3} cover the 4 elements with k = 2.
+  static const SetCoverInstance instance{
+      .num_elements = 4,
+      .sets = {{0, 1}, {2, 3}, {0, 2}, {1, 3}, {3}},
+      .k = 2,
+  };
+  return instance;
+}
+
+bool IsKnownNetworkFamily(std::string_view family) {
+  return family == "nethept-like" || family == "douban-book-like" ||
+         family == "douban-movie-like" || family == "orkut-like" ||
+         family == "twitter-like" || family == "erdos-renyi" ||
+         family == "barabasi-albert" || family == "directed-pa" ||
+         family == "watts-strogatz" || family == "edge-list" ||
+         family == "theorem2-gadget";
+}
+
+std::string NetworkSpec::Label() const {
+  return label.empty() ? family : label;
+}
+
+StatusOr<Graph> NetworkSpec::Build(double scale) const {
+  Graph topology;
+  if (family == "nethept-like") {
+    topology = NetHeptLike(OrDefault64(seed, 11));
+  } else if (family == "douban-book-like") {
+    topology = DoubanBookLike(OrDefault64(seed, 12));
+  } else if (family == "douban-movie-like") {
+    topology = DoubanMovieLike(OrDefault64(seed, 13));
+  } else if (family == "orkut-like") {
+    topology = OrkutLike(Scaled(OrDefault(num_nodes, 20000), scale),
+                         OrDefault64(seed, 14));
+  } else if (family == "twitter-like") {
+    topology = TwitterLike(Scaled(OrDefault(num_nodes, 30000), scale),
+                           OrDefault64(seed, 15));
+  } else if (family == "erdos-renyi") {
+    const std::size_t n = Scaled(OrDefault(num_nodes, 10000), scale);
+    topology = ErdosRenyi(n, n * OrDefault(degree, 8), OrDefault64(seed, 21));
+  } else if (family == "barabasi-albert") {
+    topology = BarabasiAlbert(Scaled(OrDefault(num_nodes, 10000), scale),
+                              OrDefault(degree, 4), OrDefault64(seed, 22));
+  } else if (family == "directed-pa") {
+    topology = DirectedPreferentialAttachment(
+        Scaled(OrDefault(num_nodes, 10000), scale), OrDefault(degree, 6),
+        OrDefaultD(aux, 0.1), OrDefault64(seed, 23));
+  } else if (family == "watts-strogatz") {
+    topology = WattsStrogatz(Scaled(OrDefault(num_nodes, 10000), scale),
+                             OrDefault(degree, 6), OrDefaultD(aux, 0.1),
+                             OrDefault64(seed, 24));
+  } else if (family == "edge-list") {
+    if (path.empty()) {
+      return Status::InvalidArgument("edge-list network requires a path");
+    }
+    StatusOr<Graph> loaded = ReadEdgeList(path, {.default_prob = 0.0});
+    if (!loaded.ok()) return loaded.status();
+    topology = std::move(loaded).value();
+  } else if (family == "theorem2-gadget") {
+    topology = BuildTheorem2Gadget(DefaultSetCoverInstance(),
+                                   OrDefault(num_nodes, 8))
+                   .graph;
+  } else {
+    return Status::InvalidArgument("unknown network family: " + family);
+  }
+
+  // Probabilities are assigned on the *full* graph before any BFS
+  // subsampling (the §6.3.3 / Fig 6(d) methodology): subgraph edges keep
+  // the probabilities they had in the full network, e.g. p = 1/din(v)
+  // of the original degree, not of the truncated one.
+  switch (prob) {
+    case ProbModel::kWeightedCascade:
+      topology = WithWeightedCascade(topology);
+      break;
+    case ProbModel::kConstant:
+      topology = WithConstantProb(topology, prob_value);
+      break;
+    case ProbModel::kTrivalency:
+      topology = WithTrivalency(topology, OrDefault64(seed, 31));
+      break;
+    case ProbModel::kAsIs:
+      break;
+  }
+
+  if (bfs_fraction < 1.0) {
+    topology =
+        InducedBfsSubgraph(topology, bfs_fraction, OrDefault64(seed, 99));
+  }
+  return topology;
+}
+
+std::string ConfigSpec::Label() const {
+  if (name == "uniform") return "uniform-" + std::to_string(num_items);
+  return name;
+}
+
+/// Item count per factory; -1 for unknown names.
+static int ConfigNumItems(const ConfigSpec& spec) {
+  if (spec.name == "C1" || spec.name == "C2" || spec.name == "C3" ||
+      spec.name == "C5" || spec.name == "C6") {
+    return 2;
+  }
+  if (spec.name == "table4" || spec.name == "theorem1" ||
+      spec.name == "mixed") {
+    return 3;
+  }
+  if (spec.name == "lastfm" || spec.name == "theorem2") return 4;
+  if (spec.name == "uniform") return spec.num_items;
+  return -1;
+}
+
+StatusOr<UtilityConfig> ConfigSpec::Build() const {
+  if (name == "C1") return MakeConfigC1();
+  if (name == "C2") return MakeConfigC2();
+  if (name == "C3") return MakeConfigC3();
+  if (name == "C5") return MakeConfigC5();
+  if (name == "C6") return MakeConfigC6();
+  if (name == "table4") return MakeThreeItemConfig();
+  if (name == "lastfm") return MakeLastFmConfig();
+  if (name == "theorem1") return MakeTheorem1Config();
+  if (name == "theorem2") return MakeTheorem2Config();
+  if (name == "mixed") return MakeMixedComplementConfig();
+  if (name == "uniform") {
+    if (num_items < 1 || num_items > kMaxItems) {
+      return Status::InvalidArgument("uniform config: bad num_items");
+    }
+    return MakeUniformPureCompetition(num_items);
+  }
+  return Status::InvalidArgument("unknown utility config: " + name);
+}
+
+const char* AlgoName(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kSeqGrd: return "SeqGRD";
+    case AlgoKind::kSeqGrdNm: return "SeqGRD-NM";
+    case AlgoKind::kMaxGrd: return "MaxGRD";
+    case AlgoKind::kSupGrd: return "SupGRD";
+    case AlgoKind::kBestOf: return "BestOf";
+    case AlgoKind::kTcim: return "TCIM";
+    case AlgoKind::kGreedyWm: return "greedyWM";
+    case AlgoKind::kBalanceC: return "Balance-C";
+    case AlgoKind::kRoundRobin: return "RR";
+    case AlgoKind::kSnake: return "Snake";
+    case AlgoKind::kBlockUtility: return "BlockUtil";
+    case AlgoKind::kHighDegreeRank: return "HighDegree";
+    case AlgoKind::kDegreeDiscountRank: return "DegDiscount";
+    case AlgoKind::kPageRankRank: return "PageRank";
+  }
+  return "?";
+}
+
+std::optional<AlgoKind> ParseAlgo(std::string_view name) {
+  static constexpr AlgoKind kAll[] = {
+      AlgoKind::kSeqGrd,         AlgoKind::kSeqGrdNm,
+      AlgoKind::kMaxGrd,         AlgoKind::kSupGrd,
+      AlgoKind::kBestOf,         AlgoKind::kTcim,
+      AlgoKind::kGreedyWm,       AlgoKind::kBalanceC,
+      AlgoKind::kRoundRobin,     AlgoKind::kSnake,
+      AlgoKind::kBlockUtility,   AlgoKind::kHighDegreeRank,
+      AlgoKind::kDegreeDiscountRank, AlgoKind::kPageRankRank,
+  };
+  for (AlgoKind kind : kAll) {
+    if (name == AlgoName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool IsSlowAlgo(AlgoKind kind) {
+  return kind == AlgoKind::kGreedyWm || kind == AlgoKind::kBalanceC;
+}
+
+const char* SlowGateDescription(SlowGate gate) {
+  switch (gate) {
+    case SlowGate::kNone: return "every cell";
+    case SlowGate::kFirstCell: return "the first network/config/budget cell";
+    case SlowGate::kFirstNetwork: return "the first network";
+    case SlowGate::kFirstBudget: return "the first budget point";
+    case SlowGate::kFirstConfig: return "the first configuration";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when cell (n, c, b) lies inside the spec's slow-baseline window.
+bool InGateWindow(SlowGate gate, std::size_t n, std::size_t c,
+                  std::size_t b) {
+  switch (gate) {
+    case SlowGate::kNone: return true;
+    case SlowGate::kFirstCell: return n == 0 && c == 0 && b == 0;
+    case SlowGate::kFirstNetwork: return n == 0;
+    case SlowGate::kFirstBudget: return b == 0;
+    case SlowGate::kFirstConfig: return c == 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ScenarioSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("scenario has no name");
+  if (networks.empty()) {
+    return Status::InvalidArgument(name + ": no networks");
+  }
+  if (configs.empty()) return Status::InvalidArgument(name + ": no configs");
+  if (algorithms.empty()) {
+    return Status::InvalidArgument(name + ": no algorithms");
+  }
+  if (budget_points.empty()) {
+    return Status::InvalidArgument(name + ": no budget points");
+  }
+  if (seeds.empty()) return Status::InvalidArgument(name + ": no seeds");
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(name + ": epsilon out of (0, 1)");
+  }
+
+  for (const NetworkSpec& net : networks) {
+    if (!IsKnownNetworkFamily(net.family)) {
+      return Status::InvalidArgument(name + ": unknown network family '" +
+                                     net.family + "'");
+    }
+    if (net.family == "edge-list" && net.path.empty()) {
+      return Status::InvalidArgument(name + ": edge-list without a path");
+    }
+    if (net.bfs_fraction <= 0.0 || net.bfs_fraction > 1.0) {
+      return Status::InvalidArgument(name + ": bfs_fraction out of (0, 1]");
+    }
+  }
+
+  for (const ConfigSpec& config : configs) {
+    const int m = ConfigNumItems(config);
+    if (m < 1 || m > kMaxItems) {
+      return Status::InvalidArgument(name + ": unknown utility config '" +
+                                     config.name + "'");
+    }
+    for (const BudgetVector& point : budget_points) {
+      if (point.empty()) {
+        return Status::InvalidArgument(name + ": empty budget point");
+      }
+      if (point.size() != 1 && point.size() != static_cast<std::size_t>(m)) {
+        return Status::InvalidArgument(
+            name + ": budget point size does not match config '" +
+            config.Label() + "'");
+      }
+      for (int b : point) {
+        if (b < 0) {
+          return Status::InvalidArgument(name + ": negative budget");
+        }
+      }
+    }
+    if (fixed.kind == FixedSeedSpec::Kind::kTopSpread &&
+        (fixed.item < 0 || fixed.item >= m)) {
+      return Status::InvalidArgument(name + ": fixed item out of range");
+    }
+    for (AlgoKind algo : algorithms) {
+      if (algo == AlgoKind::kBalanceC && m != 2) {
+        return Status::InvalidArgument(
+            name + ": Balance-C requires exactly two items");
+      }
+    }
+  }
+
+  if (fixed.kind == FixedSeedSpec::Kind::kTopSpread && fixed.count <= 0) {
+    return Status::InvalidArgument(name + ": fixed seed count must be > 0");
+  }
+  for (AlgoKind algo : algorithms) {
+    if (algo == AlgoKind::kSupGrd &&
+        fixed.kind == FixedSeedSpec::Kind::kNone) {
+      return Status::InvalidArgument(
+          name + ": SupGRD requires a fixed allocation (FixedSeedSpec)");
+    }
+  }
+  if (sims < 0 || eval_sims < 0) {
+    return Status::InvalidArgument(name + ": negative simulation count");
+  }
+  return Status::OK();
+}
+
+std::vector<ScenarioTask> ExpandGrid(const ScenarioSpec& spec,
+                                     bool run_slow_everywhere) {
+  std::vector<ScenarioTask> grid;
+  grid.reserve(spec.networks.size() * spec.configs.size() *
+               spec.budget_points.size() * spec.seeds.size() *
+               spec.algorithms.size());
+  std::size_t index = 0;
+  for (std::size_t n = 0; n < spec.networks.size(); ++n) {
+    for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+      for (std::size_t b = 0; b < spec.budget_points.size(); ++b) {
+        for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+          for (AlgoKind algo : spec.algorithms) {
+            ScenarioTask task;
+            task.index = index++;
+            task.network_index = n;
+            task.config_index = c;
+            task.budget_index = b;
+            task.seed_index = s;
+            task.algo = algo;
+            task.gated = IsSlowAlgo(algo) && !run_slow_everywhere &&
+                         !InGateWindow(spec.slow_gate, n, c, b);
+            grid.push_back(task);
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace cwm

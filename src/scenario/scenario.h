@@ -1,0 +1,208 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec is a value type that fully describes one experiment
+// family: which networks to build (generator family + scale, or an
+// edge-list path), which utility configurations to run, which algorithms
+// to compare, and the budget/seed sweep axes. Specs expand into a flat,
+// deterministically indexed task grid
+//
+//   networks x configs x budget points x seeds x algorithms
+//
+// which the sweep runtime (scenario/sweep.h) executes in parallel and the
+// sinks (scenario/sink.h) serialize. The named catalog of paper figures
+// and beyond-paper workloads lives in scenario/registry.h.
+//
+// Determinism contract: everything a task does is derived from the spec
+// and the task's grid coordinates (never from thread ids or wall clock),
+// so a sweep produces bit-identical results at any thread count.
+#ifndef CWM_SCENARIO_SCENARIO_H_
+#define CWM_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/allocation.h"
+#include "model/utility.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Edge influence-probability model applied after topology generation.
+enum class ProbModel {
+  kWeightedCascade,  ///< p(u,v) = 1/din(v) (the paper's default, §6.1.3)
+  kConstant,         ///< p(u,v) = prob_value (Fig 6(d) uses 0.01)
+  kTrivalency,       ///< p(u,v) in {0.1, 0.01, 0.001} uniformly at random
+  kAsIs,             ///< keep the probabilities the source provides
+                     ///< (edge lists with a probability column; gadgets)
+};
+
+/// One network choice: a generator family with its scale knobs, an
+/// edge-list path, or a theory gadget. `num_nodes`/`degree`/`seed` of 0
+/// mean "family default".
+struct NetworkSpec {
+  /// One of: "nethept-like", "douban-book-like", "douban-movie-like",
+  /// "orkut-like", "twitter-like" (Table 2 stand-ins); "erdos-renyi",
+  /// "barabasi-albert", "directed-pa", "watts-strogatz" (raw generator
+  /// families); "edge-list" (SNAP file at `path`); "theorem2-gadget"
+  /// (the Theorem 2 hardness instance, exp/reduction.h).
+  std::string family = "nethept-like";
+  std::size_t num_nodes = 0;  ///< generator size; 0 = family default
+  std::size_t degree = 0;     ///< avg-degree knob; 0 = family default
+  double aux = 0.0;           ///< Watts-Strogatz beta / directed-pa random_frac
+  uint64_t seed = 0;          ///< generator seed; 0 = family default
+  std::string path;           ///< edge-list path (family "edge-list")
+  ProbModel prob = ProbModel::kWeightedCascade;
+  double prob_value = 0.01;   ///< constant-model probability
+  double bfs_fraction = 1.0;  ///< induced-BFS subsample (Fig 6(d)); 1 = all
+  std::string label;          ///< display name; empty = derived from family
+
+  /// Display name, e.g. "orkut-like" or "orkut-like-50pct-const".
+  std::string Label() const;
+
+  /// Builds topology + probabilities. `scale` multiplies the effective
+  /// node count of the scalable families (CWM_BENCH_SCALE semantics).
+  StatusOr<Graph> Build(double scale = 1.0) const;
+};
+
+/// True if `family` names a known NetworkSpec family.
+bool IsKnownNetworkFamily(std::string_view family);
+
+/// One utility-configuration choice, by factory name.
+struct ConfigSpec {
+  /// One of: "C1", "C2", "C3", "C5", "C6" (Table 3 / §6.2.3), "table4"
+  /// (three-item blocking config), "lastfm" (Table 5), "uniform"
+  /// (num_items unit items in pure competition, Fig 6(a,b)), "theorem1",
+  /// "theorem2" (theory configs), "mixed" (§7 competition +
+  /// complementarity).
+  std::string name = "C1";
+  int num_items = 2;  ///< only read by "uniform"
+
+  /// Display name: the factory name, plus "-m" for "uniform".
+  std::string Label() const;
+
+  StatusOr<UtilityConfig> Build() const;
+};
+
+/// Algorithms and positional allocators runnable by the engine.
+enum class AlgoKind {
+  kSeqGrd,          ///< SeqGRD (Algorithm 1, marginal check on)
+  kSeqGrdNm,        ///< SeqGRD-NM (no marginal check)
+  kMaxGrd,          ///< MaxGRD (Algorithm 2)
+  kSupGrd,          ///< SupGRD (§5.3; needs a superior item + fixed S_P)
+  kBestOf,          ///< better of SeqGRD / MaxGRD (Theorems 3+4)
+  kTcim,            ///< TCIM baseline (Lin & Lui)
+  kGreedyWm,        ///< lazy greedy on Monte-Carlo welfare (slow)
+  kBalanceC,        ///< balanced-exposure greedy (slow, 2 items only)
+  kRoundRobin,      ///< PRIMA+ ranking, round-robin item assignment
+  kSnake,           ///< PRIMA+ ranking, snake item assignment
+  kBlockUtility,    ///< PRIMA+ ranking, utility-ordered blocks (SeqGRD-NM's
+                    ///< placement, Table 6)
+  kHighDegreeRank,  ///< HighDegree ranking, utility-ordered blocks
+  kDegreeDiscountRank,  ///< DegreeDiscount ranking, utility-ordered blocks
+  kPageRankRank,        ///< reverse-PageRank ranking, utility-ordered blocks
+};
+
+/// Canonical display name ("SeqGRD-NM", "greedyWM", ...).
+const char* AlgoName(AlgoKind kind);
+
+/// Inverse of AlgoName; nullopt for unknown names.
+std::optional<AlgoKind> ParseAlgo(std::string_view name);
+
+/// True for the Monte-Carlo-greedy baselines the paper could not finish on
+/// large networks (greedyWM, Balance-C); the sweep gates them by default.
+bool IsSlowAlgo(AlgoKind kind);
+
+/// Which cells run the slow Monte-Carlo baselines (greedyWM, Balance-C)
+/// by default. The paper gates them differently per figure — Fig 3 runs
+/// them on the smallest network at every budget, Fig 4 at the smallest
+/// budget for every configuration, Fig 6(a,b) for the smallest item
+/// counts — so the gate window is part of the spec.
+/// SweepOptions::run_slow_everywhere overrides any gating.
+enum class SlowGate {
+  kNone,          ///< never gate: slow algorithms run on every cell
+  kFirstCell,     ///< first network + config + budget only (default)
+  kFirstNetwork,  ///< every cell of the first network (Fig 3)
+  kFirstBudget,   ///< every cell at the first budget point (Fig 4)
+  kFirstConfig,   ///< every cell of the first configuration (Fig 6(a,b))
+};
+
+/// Human-readable description of a gate window, for skip reasons.
+const char* SlowGateDescription(SlowGate gate);
+
+/// How the fixed allocation S_P is formed before each task's algorithm
+/// allocates the remaining items.
+struct FixedSeedSpec {
+  enum class Kind {
+    kNone,      ///< S_P = empty; allocate every item
+    kTopSpread, ///< fix `count` top-IMM nodes on `item` (§6.2.3, C5/C6)
+    kTheorem2,  ///< the Theorem 2 gadget's fixed allocation (items 1..3)
+  };
+  Kind kind = Kind::kNone;
+  ItemId item = 1;  ///< the fixed item (kTopSpread)
+  int count = 0;    ///< seeds fixed on `item` (kTopSpread)
+};
+
+/// A declarative experiment: every field is data, so specs can be
+/// registered, printed, serialized into result files, and expanded into a
+/// deterministic task grid.
+struct ScenarioSpec {
+  std::string name;       ///< registry key, e.g. "fig4-welfare"
+  std::string title;      ///< one-line description for --list
+  std::string paper_ref;  ///< figure/table reference ("" = beyond paper)
+
+  std::vector<NetworkSpec> networks;
+  std::vector<ConfigSpec> configs;
+  std::vector<AlgoKind> algorithms;
+  /// Budget grid points. A point of size 1 broadcasts its value to every
+  /// allocated item; otherwise the point is indexed by global ItemId and
+  /// must have one entry per item of the configuration.
+  std::vector<BudgetVector> budget_points;
+  /// One full sweep repetition per seed (distinct RNG universes).
+  std::vector<uint64_t> seeds = {1};
+
+  FixedSeedSpec fixed;
+
+  double epsilon = 0.5;  ///< RR-set accuracy (paper default)
+  double ell = 1.0;
+  int sims = 0;       ///< estimator worlds; 0 = SweepOptions default
+  int eval_sims = 0;  ///< evaluation worlds; 0 = SweepOptions default
+
+  /// Default gate window for the slow baselines (see SlowGate).
+  SlowGate slow_gate = SlowGate::kFirstCell;
+
+  /// Structural validation: known families/configs, consistent item
+  /// counts, non-empty axes, budget points broadcastable.
+  Status Validate() const;
+};
+
+/// One cell of the expanded grid. `index` is the row id: stable across
+/// thread counts and equal to the position in ExpandGrid()'s result.
+struct ScenarioTask {
+  std::size_t index = 0;
+  std::size_t network_index = 0;
+  std::size_t config_index = 0;
+  std::size_t budget_index = 0;
+  std::size_t seed_index = 0;
+  AlgoKind algo = AlgoKind::kSeqGrdNm;
+  bool gated = false;  ///< slow algorithm suppressed by the gating rule
+};
+
+/// Expands the grid in network-major order:
+///   for network / for config / for budget / for seed / for algorithm.
+/// Gated slow-algorithm cells are included (marked `gated`) so row counts
+/// and indices do not depend on gating.
+std::vector<ScenarioTask> ExpandGrid(const ScenarioSpec& spec,
+                                     bool run_slow_everywhere);
+
+/// The canned SET COVER instance behind the "theorem2-gadget" network
+/// family: 4 elements, 5 subsets, k = 2 (a YES instance).
+struct SetCoverInstance;
+const SetCoverInstance& DefaultSetCoverInstance();
+
+}  // namespace cwm
+
+#endif  // CWM_SCENARIO_SCENARIO_H_

@@ -1,0 +1,274 @@
+#include "scenario/sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cwm {
+
+namespace {
+
+const char* ProbModelName(ProbModel model) {
+  switch (model) {
+    case ProbModel::kWeightedCascade: return "weighted-cascade";
+    case ProbModel::kConstant: return "constant";
+    case ProbModel::kTrivalency: return "trivalency";
+    case ProbModel::kAsIs: return "as-is";
+  }
+  return "?";
+}
+
+const char* SlowGateName(SlowGate gate) {
+  switch (gate) {
+    case SlowGate::kNone: return "none";
+    case SlowGate::kFirstCell: return "first-cell";
+    case SlowGate::kFirstNetwork: return "first-network";
+    case SlowGate::kFirstBudget: return "first-budget";
+    case SlowGate::kFirstConfig: return "first-config";
+  }
+  return "?";
+}
+
+const char* FixedKindName(FixedSeedSpec::Kind kind) {
+  switch (kind) {
+    case FixedSeedSpec::Kind::kNone: return "none";
+    case FixedSeedSpec::Kind::kTopSpread: return "top-spread";
+    case FixedSeedSpec::Kind::kTheorem2: return "theorem2";
+  }
+  return "?";
+}
+
+template <typename T, typename Fn>
+std::string JoinJson(const std::vector<T>& values, Fn render) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += render(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string NetworkToJson(const NetworkSpec& net) {
+  std::ostringstream os;
+  os << "{\"family\":\"" << JsonEscape(net.family) << "\""
+     << ",\"num_nodes\":" << net.num_nodes << ",\"degree\":" << net.degree
+     << ",\"aux\":" << JsonDouble(net.aux) << ",\"seed\":" << net.seed;
+  if (!net.path.empty()) os << ",\"path\":\"" << JsonEscape(net.path) << "\"";
+  os << ",\"prob\":\"" << ProbModelName(net.prob) << "\"";
+  if (net.prob == ProbModel::kConstant) {
+    os << ",\"prob_value\":" << JsonDouble(net.prob_value);
+  }
+  if (net.bfs_fraction < 1.0) {
+    os << ",\"bfs_fraction\":" << JsonDouble(net.bfs_fraction);
+  }
+  os << ",\"label\":\"" << JsonEscape(net.Label()) << "\"}";
+  return os.str();
+}
+
+std::string ConfigToJson(const ConfigSpec& config) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << JsonEscape(config.name) << "\"";
+  if (config.name == "uniform") os << ",\"num_items\":" << config.num_items;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string SpecToJson(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "{\"type\":\"spec\",\"name\":\"" << JsonEscape(spec.name) << "\""
+     << ",\"title\":\"" << JsonEscape(spec.title) << "\""
+     << ",\"paper_ref\":\"" << JsonEscape(spec.paper_ref) << "\""
+     << ",\"networks\":" << JoinJson(spec.networks, NetworkToJson)
+     << ",\"configs\":" << JoinJson(spec.configs, ConfigToJson)
+     << ",\"algorithms\":"
+     << JoinJson(spec.algorithms,
+                 [](AlgoKind kind) {
+                   return "\"" + std::string(AlgoName(kind)) + "\"";
+                 })
+     << ",\"budget_points\":"
+     << JoinJson(spec.budget_points,
+                 [](const BudgetVector& point) {
+                   return JoinJson(point, [](int b) {
+                     return std::to_string(b);
+                   });
+                 })
+     << ",\"seeds\":"
+     << JoinJson(spec.seeds,
+                 [](uint64_t s) { return std::to_string(s); })
+     << ",\"fixed\":{\"kind\":\"" << FixedKindName(spec.fixed.kind) << "\"";
+  if (spec.fixed.kind == FixedSeedSpec::Kind::kTopSpread) {
+    os << ",\"item\":" << spec.fixed.item << ",\"count\":" << spec.fixed.count;
+  }
+  os << "},\"epsilon\":" << JsonDouble(spec.epsilon)
+     << ",\"ell\":" << JsonDouble(spec.ell) << ",\"sims\":" << spec.sims
+     << ",\"eval_sims\":" << spec.eval_sims << ",\"slow_gate\":\""
+     << SlowGateName(spec.slow_gate) << "\"}";
+  return os.str();
+}
+
+std::string TaskResultToJson(const TaskResult& row,
+                             const SinkOptions& options) {
+  std::ostringstream os;
+  os << "{\"type\":\"result\",\"scenario\":\"" << JsonEscape(row.scenario)
+     << "\",\"task\":" << row.task_index << ",\"network\":\""
+     << JsonEscape(row.network) << "\",\"config\":\""
+     << JsonEscape(row.config) << "\",\"algorithm\":\""
+     << JsonEscape(row.algorithm) << "\",\"budgets\":"
+     << JoinJson(row.budgets, [](int b) { return std::to_string(b); })
+     << ",\"seed\":" << row.seed << ",\"graph_nodes\":" << row.graph_nodes
+     << ",\"graph_edges\":" << row.graph_edges;
+  if (row.skipped) {
+    os << ",\"skipped\":true,\"skip_reason\":\""
+       << JsonEscape(row.skip_reason) << "\"";
+  } else {
+    os << ",\"welfare\":" << JsonDouble(row.welfare)
+       << ",\"adopting_nodes\":" << JsonDouble(row.adopting_nodes)
+       << ",\"adopters_per_item\":"
+       << JoinJson(row.adopters_per_item, JsonDouble)
+       << ",\"seeds_allocated\":" << row.seeds_allocated;
+    if (options.include_timing) {
+      os << ",\"seconds\":" << JsonDouble(row.seconds);
+    }
+    if (!row.note.empty()) {
+      os << ",\"note\":\"" << JsonEscape(row.note) << "\"";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+void WriteJsonLines(const SweepResult& result, std::ostream& out,
+                    const SinkOptions& options) {
+  out << SpecToJson(result.spec) << "\n";
+  for (const TaskResult& row : result.rows) {
+    out << TaskResultToJson(row, options) << "\n";
+  }
+}
+
+std::string CsvHeader() {
+  return "scenario,task,network,config,algorithm,budgets,seed,graph_nodes,"
+         "graph_edges,skipped,welfare,adopting_nodes,adopters_per_item,"
+         "seeds_allocated,seconds,note";
+}
+
+std::string TaskResultToCsv(const TaskResult& row,
+                            const SinkOptions& options) {
+  auto join_ints = [](const std::vector<int>& v) {
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += ";";
+      out += std::to_string(v[i]);
+    }
+    return out;
+  };
+  // RFC-4180 quoting for free-text fields (notes, skip reasons).
+  auto quoted = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += "\"";
+    return out;
+  };
+  std::ostringstream os;
+  os << row.scenario << "," << row.task_index << "," << row.network << ","
+     << row.config << "," << row.algorithm << "," << join_ints(row.budgets)
+     << "," << row.seed << "," << row.graph_nodes << "," << row.graph_edges
+     << "," << (row.skipped ? "1" : "0") << ",";
+  if (!row.skipped) {
+    os << JsonDouble(row.welfare) << ","
+       << JsonDouble(row.adopting_nodes) << ",";
+    for (std::size_t i = 0; i < row.adopters_per_item.size(); ++i) {
+      if (i > 0) os << ";";
+      os << JsonDouble(row.adopters_per_item[i]);
+    }
+    os << "," << row.seeds_allocated << ",";
+    if (options.include_timing) os << JsonDouble(row.seconds);
+    os << "," << quoted(row.note);
+  } else {
+    os << ",,,,," << quoted(row.skip_reason);
+  }
+  return os.str();
+}
+
+void WriteCsv(const SweepResult& result, std::ostream& out,
+              const SinkOptions& options) {
+  out << CsvHeader() << "\n";
+  for (const TaskResult& row : result.rows) {
+    out << TaskResultToCsv(row, options) << "\n";
+  }
+}
+
+TablePrinter::TablePrinter(std::FILE* out) : out_(out) {}
+
+void TablePrinter::Print(const TaskResult& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string budgets;
+  for (std::size_t i = 0; i < row.budgets.size(); ++i) {
+    if (i > 0) budgets += "/";
+    budgets += std::to_string(row.budgets[i]);
+  }
+  if (row.skipped) {
+    std::fprintf(out_, "%-20s %-10s budget=%-8s %-12s skipped (%s)\n",
+                 row.network.c_str(), row.config.c_str(), budgets.c_str(),
+                 row.algorithm.c_str(), row.skip_reason.c_str());
+  } else {
+    std::fprintf(out_,
+                 "%-20s %-10s budget=%-8s %-12s time=%9.3fs "
+                 "welfare=%12.2f",
+                 row.network.c_str(), row.config.c_str(), budgets.c_str(),
+                 row.algorithm.c_str(), row.seconds, row.welfare);
+    if (row.adopters_per_item.size() > 1) {
+      std::fprintf(out_, "  adopters=[");
+      for (std::size_t i = 0; i < row.adopters_per_item.size(); ++i) {
+        std::fprintf(out_, "%s%.1f", i > 0 ? " " : "",
+                     row.adopters_per_item[i]);
+      }
+      std::fprintf(out_, "]");
+    }
+    if (!row.note.empty()) std::fprintf(out_, "  (%s)", row.note.c_str());
+    std::fprintf(out_, "\n");
+  }
+  std::fflush(out_);
+}
+
+void TablePrinter::PrintAll(const SweepResult& result) {
+  for (const TaskResult& row : result.rows) Print(row);
+}
+
+}  // namespace cwm

@@ -1,0 +1,357 @@
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algo/best_of.h"
+#include "algo/max_grd.h"
+#include "algo/params.h"
+#include "algo/seq_grd.h"
+#include "algo/sup_grd.h"
+#include "baselines/balance_c.h"
+#include "baselines/greedy_wm.h"
+#include "baselines/heuristics.h"
+#include "baselines/simple_alloc.h"
+#include "baselines/tcim.h"
+#include "exp/reduction.h"
+#include "exp/runner.h"
+#include "rrset/imm.h"
+#include "rrset/prima_plus.h"
+#include "simulate/estimator.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace cwm {
+
+namespace {
+
+// Seed-derivation tags: every random stream a task consumes is
+// MixHash(cell or algo seed, tag), so streams never collide and never
+// depend on scheduling.
+constexpr uint64_t kEvalTag = 0xE7A1;
+constexpr uint64_t kRankTag = 0x7A2C;
+constexpr uint64_t kImmTag = 0x1221;
+constexpr uint64_t kEstTag = 0xE521;
+constexpr uint64_t kFixedTag = 0xF12ED;
+
+/// Broadcasts a budget grid point to one entry per global ItemId.
+BudgetVector ResolveBudgets(const BudgetVector& point, int num_items) {
+  if (point.size() == static_cast<std::size_t>(num_items)) return point;
+  return BudgetVector(num_items, point[0]);
+}
+
+/// The items a task's algorithm allocates (everything S_P does not fix).
+std::vector<ItemId> AllocatedItems(const ScenarioSpec& spec, int num_items) {
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (spec.fixed.kind == FixedSeedSpec::Kind::kTopSpread &&
+        i == spec.fixed.item) {
+      continue;
+    }
+    if (spec.fixed.kind == FixedSeedSpec::Kind::kTheorem2 && i != 0) {
+      continue;  // the gadget fixes i2..i4; only i1 is allocated
+    }
+    items.push_back(i);
+  }
+  return items;
+}
+
+int SumBudgets(const BudgetVector& budgets, const std::vector<ItemId>& items) {
+  int total = 0;
+  for (ItemId i : items) total += budgets[i];
+  return total;
+}
+
+/// Everything shared by the tasks of one (network, config) pair.
+struct CellInputs {
+  const Graph* graph = nullptr;
+  const UtilityConfig* config = nullptr;
+  Allocation sp;  ///< fixed allocation S_P (possibly empty)
+};
+
+/// Runs one non-gated task; fills the outcome fields of `row`.
+void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
+             const CellInputs& cell, const SweepOptions& options,
+             uint64_t cell_seed, TaskResult* row) {
+  const Graph& graph = *cell.graph;
+  const UtilityConfig& config = *cell.config;
+  const int m = config.num_items();
+  const BudgetVector budgets =
+      ResolveBudgets(spec.budget_points[task.budget_index], m);
+  const std::vector<ItemId> items = AllocatedItems(spec, m);
+  row->budgets = budgets;
+
+  const uint64_t algo_seed =
+      MixHash(cell_seed, static_cast<uint64_t>(task.algo) + 0x100);
+  const int sims = spec.sims > 0 ? spec.sims : options.default_sims;
+  const int eval_sims =
+      spec.eval_sims > 0 ? spec.eval_sims : options.default_eval_sims;
+
+  AlgoParams params;
+  params.imm = {.epsilon = spec.epsilon,
+                .ell = spec.ell,
+                .seed = MixHash(algo_seed, kImmTag)};
+  params.estimator = {.num_worlds = sims,
+                      .seed = MixHash(algo_seed, kEstTag),
+                      .num_threads = options.inner_threads};
+
+  // Slow baselines restrict candidates to a pool around the largest
+  // budget, like the bench drivers.
+  const std::size_t pool =
+      static_cast<std::size_t>(
+          *std::max_element(budgets.begin(), budgets.end())) +
+      20;
+
+  const int total_budget = SumBudgets(budgets, items);
+  // Positional allocators share one cell-keyed ranking, so RR / Snake /
+  // BlockUtil differ only in the item-to-position assignment (§6.4.3).
+  const ImmParams rank_params{.epsilon = spec.epsilon,
+                              .ell = spec.ell,
+                              .seed = MixHash(cell_seed, kRankTag)};
+  BudgetVector level_budgets;
+  for (ItemId i : items) level_budgets.push_back(budgets[i]);
+
+  std::vector<ItemId> items_by_utility;
+  for (ItemId i : config.ItemsByTruncatedUtilityDesc()) {
+    if (std::find(items.begin(), items.end(), i) != items.end()) {
+      items_by_utility.push_back(i);
+    }
+  }
+
+  Allocation allocation(m);
+  Timer timer;
+  switch (task.algo) {
+    case AlgoKind::kSeqGrd:
+      allocation = SeqGrd(graph, config, cell.sp, items, budgets, params);
+      break;
+    case AlgoKind::kSeqGrdNm:
+      allocation = SeqGrdNm(graph, config, cell.sp, items, budgets, params);
+      break;
+    case AlgoKind::kMaxGrd:
+      allocation = MaxGrd(graph, config, cell.sp, items, budgets, params);
+      break;
+    case AlgoKind::kBestOf: {
+      const char* chosen = nullptr;
+      allocation = BestOfSeqMax(graph, config, cell.sp, items, budgets,
+                                params, &chosen);
+      if (chosen != nullptr) row->note = std::string("chose ") + chosen;
+      break;
+    }
+    case AlgoKind::kSupGrd: {
+      const Status can = CanRunSupGrd(config, cell.sp);
+      if (!can.ok()) {
+        row->skipped = true;
+        row->skip_reason = "SupGRD preconditions: " + can.ToString();
+        return;
+      }
+      const ItemId superior = config.SuperiorItem().value();
+      allocation =
+          SupGrd(graph, config, cell.sp, budgets[superior], params);
+      break;
+    }
+    case AlgoKind::kTcim:
+      allocation = Tcim(graph, config, cell.sp, items, budgets, params);
+      break;
+    case AlgoKind::kGreedyWm:
+      allocation = GreedyWm(graph, config, cell.sp, items, budgets, params,
+                            {.candidate_pool = pool});
+      break;
+    case AlgoKind::kBalanceC:
+      allocation = BalanceC(graph, config, cell.sp, items, budgets, params,
+                            {.candidate_pool = pool});
+      break;
+    case AlgoKind::kRoundRobin:
+      allocation = RoundRobinAllocate(
+          m,
+          PrimaPlus(graph, cell.sp.SeedNodes(), level_budgets, total_budget,
+                    rank_params)
+              .seeds,
+          items, budgets);
+      break;
+    case AlgoKind::kSnake:
+      allocation = SnakeAllocate(
+          m,
+          PrimaPlus(graph, cell.sp.SeedNodes(), level_budgets, total_budget,
+                    rank_params)
+              .seeds,
+          items, budgets);
+      break;
+    case AlgoKind::kBlockUtility:
+      allocation = BlockAllocate(
+          m,
+          PrimaPlus(graph, cell.sp.SeedNodes(), level_budgets, total_budget,
+                    rank_params)
+              .seeds,
+          items_by_utility, budgets);
+      break;
+    case AlgoKind::kHighDegreeRank:
+      allocation = BlockAllocate(
+          m, HighDegreeRank(graph, static_cast<std::size_t>(total_budget)),
+          items_by_utility, budgets);
+      break;
+    case AlgoKind::kDegreeDiscountRank:
+      allocation = BlockAllocate(
+          m,
+          DegreeDiscountRank(graph, static_cast<std::size_t>(total_budget)),
+          items_by_utility, budgets);
+      break;
+    case AlgoKind::kPageRankRank:
+      allocation = BlockAllocate(
+          m, PageRankRank(graph, static_cast<std::size_t>(total_budget)),
+          items_by_utility, budgets);
+      break;
+  }
+  row->seconds = timer.Seconds();
+  row->seeds_allocated = allocation.TotalPairs();
+
+  // All algorithms of one cell share the evaluation worlds (cell-keyed
+  // seed): they are compared on the same sampled universes.
+  const WelfareEstimator evaluator(
+      graph, config,
+      {.num_worlds = eval_sims,
+       .seed = MixHash(cell_seed, kEvalTag),
+       .num_threads = options.inner_threads});
+  const WelfareStats stats =
+      evaluator.Stats(Allocation::Union(allocation, cell.sp));
+  row->welfare = stats.welfare;
+  row->adopting_nodes = stats.adopting_nodes;
+  row->adopters_per_item = stats.adopters_per_item;
+}
+
+}  // namespace
+
+SweepOptions EnvSweepOptions() {
+  SweepOptions options;
+  options.default_sims = EnvInt("CWM_SIMS", 200, /*min_value=*/1);
+  options.default_eval_sims = EnvInt("CWM_EVAL_SIMS", 500, /*min_value=*/1);
+  options.scale = EnvDouble("CWM_BENCH_SCALE", 1.0, /*min_value=*/1e-6);
+  options.run_slow_everywhere = EnvInt("CWM_GREEDY", 0) == 1;
+  options.num_threads =
+      static_cast<unsigned>(EnvInt("CWM_THREADS", 0, /*min_value=*/0));
+  options.inner_threads =
+      static_cast<unsigned>(EnvInt("CWM_INNER_THREADS", 1, /*min_value=*/1));
+  return options;
+}
+
+StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
+                               const SweepOptions& options) {
+  const Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+
+  Timer total_timer;
+
+  // Phase 1 (serial, deterministic): materialize networks and configs once.
+  std::vector<Graph> graphs;
+  graphs.reserve(spec.networks.size());
+  for (const NetworkSpec& net : spec.networks) {
+    StatusOr<Graph> graph = net.Build(options.scale);
+    if (!graph.ok()) return graph.status();
+    graphs.push_back(std::move(graph).value());
+  }
+  std::vector<UtilityConfig> configs;
+  configs.reserve(spec.configs.size());
+  for (const ConfigSpec& config_spec : spec.configs) {
+    StatusOr<UtilityConfig> config = config_spec.Build();
+    if (!config.ok()) return config.status();
+    configs.push_back(std::move(config).value());
+  }
+
+  // Fixed S_P inputs. Top-spread seeds are per network and shared by all
+  // configs (the §6.2.3 protocol: the inferior item's seeds do not move).
+  std::vector<std::vector<NodeId>> fixed_nodes(spec.networks.size());
+  if (spec.fixed.kind == FixedSeedSpec::Kind::kTopSpread) {
+    for (std::size_t n = 0; n < graphs.size(); ++n) {
+      fixed_nodes[n] = Imm(graphs[n], spec.fixed.count,
+                           {.epsilon = spec.epsilon,
+                            .ell = spec.ell,
+                            .seed = MixHash(kFixedTag, n)})
+                           .seeds;
+    }
+  }
+
+  // Per-(network, config) cell inputs.
+  std::vector<CellInputs> cells(spec.networks.size() * spec.configs.size());
+  for (std::size_t n = 0; n < spec.networks.size(); ++n) {
+    for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+      CellInputs& cell = cells[n * spec.configs.size() + c];
+      cell.graph = &graphs[n];
+      cell.config = &configs[c];
+      const int m = configs[c].num_items();
+      cell.sp = Allocation(m);
+      switch (spec.fixed.kind) {
+        case FixedSeedSpec::Kind::kNone:
+          break;
+        case FixedSeedSpec::Kind::kTopSpread:
+          cell.sp.AddAll(fixed_nodes[n], spec.fixed.item);
+          break;
+        case FixedSeedSpec::Kind::kTheorem2: {
+          // The gadget's graph is already cells' graph; rebuilding it for
+          // the fixed allocation is cheap and deterministic.
+          const Theorem2Gadget gadget = BuildTheorem2Gadget(
+              DefaultSetCoverInstance(),
+              spec.networks[n].num_nodes == 0 ? 8
+                                              : spec.networks[n].num_nodes);
+          cell.sp = gadget.fixed_sp;
+          break;
+        }
+      }
+    }
+  }
+
+  const std::vector<ScenarioTask> grid =
+      ExpandGrid(spec, options.run_slow_everywhere);
+
+  SweepResult result;
+  result.spec = spec;
+  result.rows.assign(grid.size(), TaskResult{});
+
+  ParallelFor(
+      grid.size(),
+      [&](std::size_t t) {
+        const ScenarioTask& task = grid[t];
+        TaskResult& row = result.rows[t];
+
+        row.task_index = task.index;
+        row.scenario = spec.name;
+        row.network = spec.networks[task.network_index].Label();
+        row.config = spec.configs[task.config_index].Label();
+        row.algorithm = AlgoName(task.algo);
+        row.seed = spec.seeds[task.seed_index];
+
+        const CellInputs& cell =
+            cells[task.network_index * spec.configs.size() +
+                  task.config_index];
+        row.graph_nodes = cell.graph->num_nodes();
+        row.graph_edges = cell.graph->num_edges();
+        row.budgets = ResolveBudgets(spec.budget_points[task.budget_index],
+                                     cell.config->num_items());
+
+        if (task.gated) {
+          row.skipped = true;
+          row.skip_reason =
+              std::string("slow baseline gated to ") +
+              SlowGateDescription(spec.slow_gate) +
+              " (CWM_GREEDY=1 or --slow runs it everywhere)";
+        } else {
+          // The cell id deliberately excludes the algorithm, so all
+          // algorithms of a cell share evaluation worlds and rankings.
+          const std::size_t cell_id =
+              ((task.network_index * spec.configs.size() +
+                task.config_index) *
+                   spec.budget_points.size() +
+               task.budget_index) *
+                  spec.seeds.size() +
+              task.seed_index;
+          const uint64_t cell_seed =
+              MixHash(spec.seeds[task.seed_index], cell_id + 1);
+          RunTask(spec, task, cell, options, cell_seed, &row);
+        }
+        if (options.on_result) options.on_result(row);
+      },
+      options.num_threads);
+
+  result.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace cwm

@@ -1,0 +1,97 @@
+// Parallel sweep runtime for declarative scenarios.
+//
+// RunSweep expands a ScenarioSpec into its task grid and executes it over
+// ParallelFor. Determinism: every task derives its RNG streams from
+// (sweep seed, cell coordinates) via MixHash — never from thread identity
+// — and results land in a pre-sized vector indexed by grid position, so a
+// sweep's output is bit-identical at 1 thread and at DefaultThreads().
+// Algorithms within one experiment cell (network, config, budget, seed)
+// share one evaluation-world seed, so they are compared on the same
+// possible worlds (the paper's protocol, §6.1.3).
+//
+// Monte-Carlo estimators are run with a *fixed* inner thread count
+// (default 1) because the estimator's world-to-chunk assignment depends
+// on its chunk count: raising SweepOptions::inner_threads is allowed but
+// produces estimates comparable only to runs with the same setting.
+#ifndef CWM_SCENARIO_SWEEP_H_
+#define CWM_SCENARIO_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Execution knobs; env defaults via EnvSweepOptions().
+struct SweepOptions {
+  /// Threads across tasks (0 = DefaultThreads()). Does not affect results.
+  unsigned num_threads = 0;
+  /// Threads inside each Monte-Carlo estimate. Values > 1 change estimator
+  /// chunking and therefore the sampled worlds; keep at 1 for
+  /// reproducibility across machines and runs.
+  unsigned inner_threads = 1;
+  /// Estimator worlds when the spec leaves ScenarioSpec::sims == 0.
+  int default_sims = 200;
+  /// Evaluation worlds when the spec leaves eval_sims == 0.
+  int default_eval_sims = 500;
+  /// Multiplier on the node counts of the scalable network families
+  /// (CWM_BENCH_SCALE semantics).
+  double scale = 1.0;
+  /// Run greedyWM / Balance-C on every cell (CWM_GREEDY=1 semantics).
+  bool run_slow_everywhere = false;
+  /// Progress callback, invoked in completion order from worker threads
+  /// (serialize externally if needed). May be empty.
+  std::function<void(const struct TaskResult&)> on_result;
+};
+
+/// SweepOptions populated from the CWM_SIMS / CWM_EVAL_SIMS /
+/// CWM_BENCH_SCALE / CWM_GREEDY / CWM_THREADS environment knobs.
+SweepOptions EnvSweepOptions();
+
+/// One executed (or skipped) grid cell.
+struct TaskResult {
+  std::size_t task_index = 0;  ///< position in the grid / output ordering
+
+  // Cell identity.
+  std::string scenario;
+  std::string network;
+  std::string config;
+  std::string algorithm;
+  std::vector<int> budgets;  ///< resolved per-item budgets
+  uint64_t seed = 0;         ///< the sweep seed of this repetition
+
+  // Graph shape (after scaling / subsampling).
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+
+  // Outcome.
+  bool skipped = false;
+  std::string skip_reason;     ///< why (gating, unmet preconditions)
+  double seconds = 0.0;        ///< seed-selection wall time
+  double welfare = 0.0;        ///< rho(alloc ∪ S_P), common evaluator
+  double adopting_nodes = 0.0;
+  std::vector<double> adopters_per_item;
+  std::size_t seeds_allocated = 0;  ///< (node, item) pairs chosen
+  std::string note;                 ///< e.g. BestOf's chosen arm
+};
+
+/// A finished sweep: one row per grid cell, in grid order.
+struct SweepResult {
+  ScenarioSpec spec;
+  std::vector<TaskResult> rows;
+  double total_seconds = 0.0;
+};
+
+/// Validates, expands and runs `spec`. Fails fast on validation or
+/// network-construction errors; per-task algorithm precondition failures
+/// (e.g. SupGRD without a superior item) become skipped rows instead.
+StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
+                               const SweepOptions& options = {});
+
+}  // namespace cwm
+
+#endif  // CWM_SCENARIO_SWEEP_H_

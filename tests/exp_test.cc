@@ -1,0 +1,67 @@
+// Unit tests for the experiment-harness helpers: environment knobs and
+// the shared ExperimentRunner.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/runner.h"
+
+namespace cwm {
+namespace {
+
+class EnvKnobTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "CWM_TEST_KNOB";
+  void TearDown() override { unsetenv(kVar); }
+};
+
+TEST_F(EnvKnobTest, UnsetFallsBack) {
+  unsetenv(kVar);
+  EXPECT_EQ(EnvInt(kVar, 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5), 1.5);
+}
+
+TEST_F(EnvKnobTest, EmptyFallsBack) {
+  setenv(kVar, "", 1);
+  EXPECT_EQ(EnvInt(kVar, 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5), 1.5);
+}
+
+TEST_F(EnvKnobTest, ParsesPositiveValues) {
+  setenv(kVar, "17", 1);
+  EXPECT_EQ(EnvInt(kVar, 42), 17);
+  setenv(kVar, "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5), 0.25);
+}
+
+TEST_F(EnvKnobTest, ExplicitZeroIsHonoured) {
+  // The historical bug: VAR=0 was indistinguishable from unset. An
+  // explicit zero must reach callers that accept it (e.g. CWM_GREEDY=0).
+  setenv(kVar, "0", 1);
+  EXPECT_EQ(EnvInt(kVar, 42), 0);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5), 0.0);
+}
+
+TEST_F(EnvKnobTest, MinValueRejectsZeroWhereMeaningless) {
+  // Knobs that need a positive value (simulation counts) opt in via
+  // min_value and still fall back on zero.
+  setenv(kVar, "0", 1);
+  EXPECT_EQ(EnvInt(kVar, 42, /*min_value=*/1), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5, /*min_value=*/1e-6), 1.5);
+}
+
+TEST_F(EnvKnobTest, BelowMinFallsBack) {
+  setenv(kVar, "-3", 1);
+  EXPECT_EQ(EnvInt(kVar, 42), 42);           // default min_value = 0
+  EXPECT_EQ(EnvInt(kVar, 42, -10), -3);      // negatives allowed on request
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5), 1.5);
+}
+
+TEST_F(EnvKnobTest, GarbageFallsBack) {
+  setenv(kVar, "not-a-number", 1);
+  EXPECT_EQ(EnvInt(kVar, 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble(kVar, 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace cwm

@@ -1,0 +1,240 @@
+// cwm_run — scenario-engine CLI.
+//
+//   cwm_run --list                      enumerate registered scenarios
+//   cwm_run --describe <scenario>      print a scenario's spec as JSON
+//   cwm_run <scenario>... [options]    run scenarios
+//
+// Options:
+//   --out FILE        write JSON-Lines results (FILE '-' = stdout)
+//   --csv FILE        write CSV results
+//   --threads N       task-level parallelism (0 = hardware concurrency)
+//   --inner-threads N Monte-Carlo threads per task (default 1; >1 trades
+//                     reproducibility across settings for speed)
+//   --sims N          estimator worlds for specs that don't pin them
+//   --eval-sims N     evaluation worlds for specs that don't pin them
+//   --scale X         node-count multiplier for scalable networks
+//   --seed S          override the spec's sweep seeds with {S}
+//   --slow            run greedyWM/Balance-C on every cell (CWM_GREEDY=1)
+//   --timing          include wall-clock seconds in --out/--csv records
+//                     (off by default so artifacts are bit-reproducible)
+//   --quiet           suppress the progress table on stdout
+//
+// Environment knobs (CWM_SIMS, CWM_EVAL_SIMS, CWM_BENCH_SCALE, CWM_GREEDY,
+// CWM_THREADS, CWM_INNER_THREADS) provide defaults; flags win.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+using namespace cwm;
+
+int Usage(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s --list\n"
+               "       %s --describe <scenario>\n"
+               "       %s <scenario>... [--out FILE] [--csv FILE]\n"
+               "         [--threads N] [--inner-threads N] [--sims N]\n"
+               "         [--eval-sims N] [--scale X] [--seed S] [--slow]\n"
+               "         [--timing] [--quiet]\n",
+               argv0, argv0, argv0);
+  return code;
+}
+
+void ListScenarios() {
+  const ScenarioRegistry& registry = GlobalScenarioRegistry();
+  std::printf("%zu registered scenarios:\n\n", registry.All().size());
+  for (const ScenarioSpec& spec : registry.All()) {
+    const std::size_t rows = ExpandGrid(spec, false).size();
+    std::printf("  %-22s %s\n", spec.name.c_str(), spec.title.c_str());
+    std::printf("  %-22s   %s; %zu networks x %zu configs x %zu budgets "
+                "x %zu seeds x %zu algos = %zu rows\n",
+                "",
+                spec.paper_ref.empty() ? "beyond paper"
+                                       : spec.paper_ref.c_str(),
+                spec.networks.size(), spec.configs.size(),
+                spec.budget_points.size(), spec.seeds.size(),
+                spec.algorithms.size(), rows);
+  }
+}
+
+bool ParseValue(int argc, char** argv, int* i, const char* flag,
+                std::string* out) {
+  if (std::strcmp(argv[*i], flag) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0], 2);
+
+  std::vector<std::string> scenario_names;
+  std::string out_path, csv_path, value;
+  bool list = false, quiet = false, timing = false;
+  std::string describe;
+  SweepOptions options = EnvSweepOptions();
+  uint64_t seed_override = 0;
+  bool has_seed_override = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage(argv[0], 0);
+    if (arg == "--list") { list = true; continue; }
+    if (ParseValue(argc, argv, &i, "--describe", &describe)) continue;
+    if (ParseValue(argc, argv, &i, "--out", &out_path)) continue;
+    if (ParseValue(argc, argv, &i, "--csv", &csv_path)) continue;
+    if (ParseValue(argc, argv, &i, "--threads", &value)) {
+      options.num_threads = static_cast<unsigned>(std::atoi(value.c_str()));
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--inner-threads", &value)) {
+      options.inner_threads =
+          static_cast<unsigned>(std::max(1, std::atoi(value.c_str())));
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--sims", &value)) {
+      options.default_sims = std::max(1, std::atoi(value.c_str()));
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--eval-sims", &value)) {
+      options.default_eval_sims = std::max(1, std::atoi(value.c_str()));
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--scale", &value)) {
+      options.scale = std::atof(value.c_str());
+      if (options.scale <= 0) {
+        std::fprintf(stderr, "--scale must be positive\n");
+        return 2;
+      }
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--seed", &value)) {
+      char* end = nullptr;
+      seed_override = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "--seed requires an unsigned integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      has_seed_override = true;
+      continue;
+    }
+    if (arg == "--slow") { options.run_slow_everywhere = true; continue; }
+    if (arg == "--timing") { timing = true; continue; }
+    if (arg == "--quiet") { quiet = true; continue; }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0], 2);
+    }
+    scenario_names.push_back(arg);
+  }
+
+  if (list) {
+    ListScenarios();
+    return 0;
+  }
+
+  const ScenarioRegistry& registry = GlobalScenarioRegistry();
+
+  if (!describe.empty()) {
+    StatusOr<ScenarioSpec> spec = registry.Find(describe);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", SpecToJson(spec.value()).c_str());
+    return 0;
+  }
+
+  if (scenario_names.empty()) {
+    std::fprintf(stderr, "no scenario named; try --list\n");
+    return 2;
+  }
+
+  // Resolve all names before running anything.
+  std::vector<ScenarioSpec> specs;
+  for (const std::string& name : scenario_names) {
+    StatusOr<ScenarioSpec> spec = registry.Find(name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    specs.push_back(std::move(spec).value());
+    if (has_seed_override) specs.back().seeds = {seed_override};
+  }
+
+  std::ofstream out_file, csv_file;
+  const bool out_to_stdout = out_path == "-";
+  if (!out_path.empty() && !out_to_stdout) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+
+  const SinkOptions sink_options{.include_timing = timing};
+  // The CSV header is written once, even when several scenarios stream
+  // into the same file.
+  if (csv_file.is_open()) csv_file << CsvHeader() << "\n";
+  TablePrinter table(stdout);
+  int failures = 0;
+  for (ScenarioSpec& spec : specs) {
+    if (!quiet) {
+      std::printf("== %s  (%s)\n", spec.name.c_str(),
+                  spec.paper_ref.empty() ? "beyond paper"
+                                         : spec.paper_ref.c_str());
+    }
+    SweepOptions run_options = options;
+    if (!quiet && !out_to_stdout) {
+      run_options.on_result = [&table](const TaskResult& row) {
+        table.Print(row);
+      };
+    }
+    StatusOr<SweepResult> result = RunSweep(spec, run_options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   result.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (!quiet) {
+      std::printf("== %s: %zu rows in %.2fs\n\n", spec.name.c_str(),
+                  result.value().rows.size(),
+                  result.value().total_seconds);
+    }
+    if (out_to_stdout) {
+      WriteJsonLines(result.value(), std::cout, sink_options);
+    } else if (out_file.is_open()) {
+      WriteJsonLines(result.value(), out_file, sink_options);
+    }
+    if (csv_file.is_open()) {
+      for (const TaskResult& row : result.value().rows) {
+        csv_file << TaskResultToCsv(row, sink_options) << "\n";
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
