@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include <memory>
+
 #include "exp/configs.h"
 #include "exp/networks.h"
 #include "graph/edge_prob.h"
@@ -12,6 +14,7 @@
 #include "model/allocation.h"
 #include "rrset/node_selection.h"
 #include "rrset/rr_collection.h"
+#include "rrset/rr_pipeline.h"
 #include "rrset/rr_sampler.h"
 #include "simulate/uic_simulator.h"
 
@@ -71,6 +74,44 @@ void BM_SampleWeightedRr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SampleWeightedRr);
+
+// Deterministic parallel pipeline throughput at 1/2/4/8 workers, fixed
+// seed. `items_per_second` (RR sets/s, wall clock) is the number the CI
+// perf gate compares across thread counts; `rr_sets_per_iter` documents
+// the fixed batch. Samples are identical at every thread count, so the
+// arg sweep measures pure scaling.
+void BM_RrPipelineSampling(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kRrSets = 16384;
+  const RrSourceFactory source = [&g]() -> RrSampleFn {
+    auto sampler = std::make_shared<RrSampler>(g);
+    return [sampler](Rng& rng, std::vector<NodeId>* out) {
+      sampler->SampleStandard(rng, out);
+      return 1.0;
+    };
+  };
+  std::size_t members = 0;
+  for (auto _ : state) {
+    RrPipeline pipeline(source, /*seed=*/123, threads);
+    RrCollection rr(g.num_nodes());
+    pipeline.ExtendTo(&rr, kRrSets);
+    members += rr.TotalMembers();
+    benchmark::DoNotOptimize(rr.TotalWeight());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRrSets));
+  state.counters["rr_sets_per_iter"] = static_cast<double>(kRrSets);
+  state.counters["avg_members"] =
+      static_cast<double>(members) /
+      static_cast<double>(state.iterations() * kRrSets);
+}
+BENCHMARK(BM_RrPipelineSampling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_UicWorldC1(benchmark::State& state) {
   const Graph& g = BenchGraph();

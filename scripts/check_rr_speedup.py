@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""CI perf gate for the parallel RR-set pipeline.
+
+Reads a google-benchmark JSON file containing BM_RrPipelineSampling runs
+and fails (exit 1) unless the multi-thread throughput is at least
+`--min-speedup` times the single-thread throughput.
+
+Usage:
+  check_rr_speedup.py bench.json [--threads 4] [--min-speedup 2.0]
+"""
+import argparse
+import json
+import sys
+
+
+def throughput(benchmarks, threads):
+    """Best items/s across repetitions of the `threads`-worker arm."""
+    name = f"BM_RrPipelineSampling/{threads}/real_time"
+    rates = [float(bench["items_per_second"]) for bench in benchmarks
+             if bench.get("name") == name
+             and bench.get("run_type", "iteration") == "iteration"]
+    if not rates:
+        raise SystemExit(f"benchmark '{name}' not found in the JSON input")
+    return max(rates)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="multi-thread arm to compare (default 4)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required throughput ratio vs 1 thread")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+
+    base = throughput(benchmarks, 1)
+    multi = throughput(benchmarks, args.threads)
+    speedup = multi / base if base > 0 else 0.0
+    print(f"RR sampling throughput: 1 thread = {base:,.0f} sets/s, "
+          f"{args.threads} threads = {multi:,.0f} sets/s "
+          f"(speedup {speedup:.2f}x, gate {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        print(f"FAIL: {args.threads}-thread throughput is only "
+              f"{speedup:.2f}x the single-thread baseline "
+              f"(needs >= {args.min_speedup:.2f}x)", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

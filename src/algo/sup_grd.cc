@@ -46,18 +46,20 @@ Allocation SupGrd(const Graph& graph, const UtilityConfig& config,
     return result;
   }
 
+  // The fixed-seed index is shared immutable state; each worker gets its
+  // own sampler (mutable BFS scratch).
   auto fixed = std::make_shared<FixedAllocationIndex>(
       FixedAllocationIndex::Build(graph.num_nodes(), config, sp));
-  auto sampler = std::make_shared<RrSampler>(graph);
-  auto scratch = std::make_shared<std::vector<NodeId>>();
-  const RrAdder adder = [sampler, scratch, fixed, wmax](Rng& rng,
-                                                        RrCollection* out) {
-    const double w = sampler->SampleWeighted(rng, *fixed, wmax, scratch.get());
-    out->Add(*scratch, w / wmax);  // normalized weight in [0, 1]
+  const RrSourceFactory source = [&graph, fixed, wmax]() -> RrSampleFn {
+    auto sampler = std::make_shared<RrSampler>(graph);
+    return [sampler, fixed, wmax](Rng& rng, std::vector<NodeId>* out) {
+      const double w = sampler->SampleWeighted(rng, *fixed, wmax, out);
+      return w / wmax;  // normalized weight in [0, 1]
+    };
   };
 
   const ImmResult imm =
-      RunImmDriver(graph.num_nodes(), {budget}, params.imm, adder);
+      RunImmDriver(graph.num_nodes(), {budget}, params.imm, source);
   if (diagnostics != nullptr) {
     diagnostics->rr_count = imm.rr_count;
     // Rescale from normalized coverage to welfare units.

@@ -46,7 +46,8 @@ double LambdaPrime(std::size_t n, int b, double eps_prime, double ell_prime) {
 
 ImmResult RunImmDriver(std::size_t num_nodes,
                        const std::vector<int>& budget_levels,
-                       const ImmParams& params, const RrAdder& add_rr) {
+                       const ImmParams& params,
+                       const RrSourceFactory& source) {
   CWM_CHECK(!budget_levels.empty());
   CWM_CHECK(std::is_sorted(budget_levels.begin(), budget_levels.end()));
   CWM_CHECK(num_nodes >= 2);
@@ -62,12 +63,12 @@ ImmResult RunImmDriver(std::size_t num_nodes,
       ell_adj +
       std::log(static_cast<double>(budget_levels.size())) / logn;
 
-  Rng rng(params.seed);
+  RrPipeline pipeline(source, params.seed, params.num_threads);
   RrCollection rr(n);
   auto sample_until = [&](double theta) {
     std::size_t want = static_cast<std::size_t>(std::ceil(theta));
     if (params.max_rr_sets > 0) want = std::min(want, params.max_rr_sets);
-    while (rr.size() < want) add_rr(rng, &rr);
+    pipeline.ExtendTo(&rr, want);
   };
 
   const int i_max = std::max(1, static_cast<int>(std::log2(
@@ -117,13 +118,14 @@ ImmResult RunImmDriver(std::size_t num_nodes,
 
 ImmResult Imm(const Graph& graph, int budget, const ImmParams& params) {
   CWM_CHECK(budget >= 1);
-  auto sampler = std::make_shared<RrSampler>(graph);
-  auto scratch = std::make_shared<std::vector<NodeId>>();
-  const RrAdder adder = [sampler, scratch](Rng& rng, RrCollection* out) {
-    sampler->SampleStandard(rng, scratch.get());
-    out->Add(*scratch, 1.0);
+  const RrSourceFactory source = [&graph]() -> RrSampleFn {
+    auto sampler = std::make_shared<RrSampler>(graph);
+    return [sampler](Rng& rng, std::vector<NodeId>* out) {
+      sampler->SampleStandard(rng, out);
+      return 1.0;
+    };
   };
-  return RunImmDriver(graph.num_nodes(), {budget}, params, adder);
+  return RunImmDriver(graph.num_nodes(), {budget}, params, source);
 }
 
 }  // namespace cwm

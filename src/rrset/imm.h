@@ -13,14 +13,18 @@
 // weight in [0, 1] (unit for spread, w(R)/wmax for welfare), so the
 // bounds of Lemma 7 / Eqs. (6)-(8) apply verbatim; callers rescale the
 // returned estimate by their wmax.
+//
+// Sampling runs on the deterministic parallel pipeline (rr_pipeline.h):
+// per-sample RNG streams derived from (ImmParams::seed, sample index), so
+// seed sets and estimates are bit-identical at any ImmParams::num_threads.
 #ifndef CWM_RRSET_IMM_H_
 #define CWM_RRSET_IMM_H_
 
-#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
 #include "rrset/rr_collection.h"
+#include "rrset/rr_pipeline.h"
 #include "support/rng.h"
 
 namespace cwm {
@@ -35,6 +39,11 @@ struct ImmParams {
   /// theoretical theta can explode when OPT is near zero, e.g. when S_P
   /// already saturates the graph). 0 = unlimited.
   std::size_t max_rr_sets = 50'000'000;
+  /// Worker threads for RR-set sampling (0 = hardware concurrency).
+  /// Never affects results — only wall time. Callers running many IMM
+  /// instances concurrently (the sweep engine) keep this at 1 unless the
+  /// product of outer tasks and inner threads stays within the pool.
+  unsigned num_threads = 1;
 };
 
 /// Result of a driver run.
@@ -52,16 +61,15 @@ struct ImmResult {
   std::size_t rr_count = 0;
 };
 
-/// Callback that appends exactly one RR set (normalized weight) to `out`.
-using RrAdder = std::function<void(Rng&, RrCollection*)>;
-
 /// Runs the sampling + selection pipeline of Algorithms 4/6.
 /// `budget_levels` must be ascending and non-empty; the returned seed set
 /// has size budget_levels.back() and every prefix of size budget_levels[j]
 /// is (1 - 1/e - epsilon)-optimal w.r.t. its own budget w.h.p.
+/// `source` builds one RR sampler per worker (rr_pipeline.h).
 ImmResult RunImmDriver(std::size_t num_nodes,
                        const std::vector<int>& budget_levels,
-                       const ImmParams& params, const RrAdder& add_rr);
+                       const ImmParams& params,
+                       const RrSourceFactory& source);
 
 /// Classic IMM: seeds maximizing expected spread sigma(S), |S| = budget.
 /// Used to place the fixed inferior-item seeds of configurations C5/C6 and

@@ -24,19 +24,21 @@ ImmResult PrimaPlus(const Graph& graph,
                levels.end());
   levels.push_back(total_b);
 
+  // The blocked mask is shared immutable state; each worker gets its own
+  // sampler (mutable BFS scratch).
   auto blocked = std::make_shared<std::vector<char>>(graph.num_nodes(), 0);
   for (NodeId v : prior_seeds) {
     CWM_CHECK(v < graph.num_nodes());
     (*blocked)[v] = 1;
   }
-  auto sampler = std::make_shared<RrSampler>(graph);
-  auto scratch = std::make_shared<std::vector<NodeId>>();
-  const RrAdder adder = [sampler, scratch, blocked](Rng& rng,
-                                                    RrCollection* out) {
-    sampler->SampleMarginal(rng, *blocked, scratch.get());
-    out->Add(*scratch, 1.0);
+  const RrSourceFactory source = [&graph, blocked]() -> RrSampleFn {
+    auto sampler = std::make_shared<RrSampler>(graph);
+    return [sampler, blocked](Rng& rng, std::vector<NodeId>* out) {
+      sampler->SampleMarginal(rng, *blocked, out);
+      return 1.0;
+    };
   };
-  ImmResult result = RunImmDriver(graph.num_nodes(), levels, params, adder);
+  ImmResult result = RunImmDriver(graph.num_nodes(), levels, params, source);
 
   // Blocked nodes appear in no marginal RR set, so greedy never picks
   // them; only the zero-gain budget filler can. Swap any such filler for

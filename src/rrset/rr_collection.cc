@@ -7,15 +7,50 @@ namespace cwm {
 uint32_t RrCollection::Add(std::span<const NodeId> members, double weight) {
   CWM_CHECK(weight >= 0.0 && weight <= 1.0 + 1e-9);
   const uint32_t id = static_cast<uint32_t>(size());
+  for (NodeId v : members) CWM_CHECK(v < num_nodes_);
   rr_members_.insert(rr_members_.end(), members.begin(), members.end());
   rr_offsets_.push_back(rr_members_.size());
   rr_weights_.push_back(weight);
   total_weight_ += weight;
-  for (NodeId v : members) {
-    CWM_CHECK(v < node_to_rr_.size());
-    node_to_rr_[v].push_back(id);
-  }
   return id;
+}
+
+void RrCollection::Merge(const RrShard& shard) {
+  for (NodeId v : shard.members) CWM_CHECK(v < num_nodes_);
+  const uint64_t base = rr_members_.size();
+  rr_members_.insert(rr_members_.end(), shard.members.begin(),
+                     shard.members.end());
+  rr_offsets_.reserve(rr_offsets_.size() + shard.size());
+  for (std::size_t s = 1; s < shard.offsets.size(); ++s) {
+    rr_offsets_.push_back(base + shard.offsets[s]);
+  }
+  rr_weights_.insert(rr_weights_.end(), shard.weights.begin(),
+                     shard.weights.end());
+  for (double w : shard.weights) {
+    CWM_CHECK(w >= 0.0 && w <= 1.0 + 1e-9);
+    total_weight_ += w;
+  }
+}
+
+void RrCollection::BuildIndex() const {
+  // Counting sort of (node -> RR id) pairs; ids emitted ascending, so each
+  // node's list is sorted.
+  node_to_rr_offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId v : rr_members_) node_to_rr_offsets_[v + 1]++;
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    node_to_rr_offsets_[v + 1] += node_to_rr_offsets_[v];
+  }
+  node_to_rr_ids_.resize(rr_members_.size());
+  std::vector<uint64_t> cursor(node_to_rr_offsets_.begin(),
+                               node_to_rr_offsets_.end() - 1);
+  const std::size_t sets = size();
+  for (std::size_t id = 0; id < sets; ++id) {
+    for (uint64_t m = rr_offsets_[id]; m < rr_offsets_[id + 1]; ++m) {
+      node_to_rr_ids_[cursor[rr_members_[m]]++] =
+          static_cast<uint32_t>(id);
+    }
+  }
+  indexed_sets_ = sets;
 }
 
 void RrCollection::Clear() {
@@ -23,7 +58,9 @@ void RrCollection::Clear() {
   rr_members_.clear();
   rr_weights_.clear();
   total_weight_ = 0.0;
-  for (auto& list : node_to_rr_) list.clear();
+  indexed_sets_ = 0;
+  node_to_rr_offsets_.assign(num_nodes_ + 1, 0);
+  node_to_rr_ids_.clear();
 }
 
 }  // namespace cwm

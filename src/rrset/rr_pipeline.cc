@@ -1,0 +1,51 @@
+#include "rrset/rr_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace cwm {
+
+RrPipeline::RrPipeline(RrSourceFactory factory, uint64_t seed,
+                       unsigned num_threads)
+    : factory_(std::move(factory)),
+      seed_(seed),
+      num_threads_(num_threads == 0 ? DefaultThreads() : num_threads) {
+  CWM_CHECK(factory_ != nullptr);
+  workers_.resize(num_threads_);
+  scratch_.resize(num_threads_);
+}
+
+void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
+  if (rr->size() >= target) return;
+  const std::size_t fresh = target - rr->size();
+  const std::size_t num_chunks = (fresh + kChunkSize - 1) / kChunkSize;
+  std::vector<RrShard> shards(num_chunks);
+
+  ParallelForWorkers(
+      num_chunks,
+      [&](std::size_t worker, std::size_t chunk) {
+        RrSampleFn& sample = workers_[worker];
+        if (!sample) sample = factory_();
+        std::vector<NodeId>& members = scratch_[worker];
+        RrShard& shard = shards[chunk];
+        const std::size_t begin = chunk * kChunkSize;
+        const std::size_t end = std::min(fresh, begin + kChunkSize);
+        for (std::size_t j = begin; j < end; ++j) {
+          // The sample's whole randomness budget comes from its global
+          // index, never from worker state: sample k is reproducible in
+          // isolation.
+          Rng rng(MixHash(seed_, kRrSampleTag ^ (next_sample_ + j)));
+          const double weight = sample(rng, &members);
+          shard.Add(members, weight);
+        }
+      },
+      num_threads_);
+
+  next_sample_ += fresh;
+  for (const RrShard& shard : shards) rr->Merge(shard);
+}
+
+}  // namespace cwm

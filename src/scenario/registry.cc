@@ -324,6 +324,25 @@ ScenarioRegistry BuildGlobalRegistry() {
     s.eval_sims = 60;
     add(std::move(s));
   }
+  {
+    ScenarioSpec s;
+    s.name = "smoke-supgrd";
+    s.title = "Tiny SupGRD smoke sweep over weighted RR sets (fast; the "
+              "CI inner-parallel determinism check)";
+    NetworkSpec net = Net("erdos-renyi");
+    net.num_nodes = 400;
+    net.degree = 4;
+    s.networks = {std::move(net)};
+    s.configs = {{.name = "C6"}};
+    s.algorithms = {AlgoKind::kSupGrd, AlgoKind::kSeqGrdNm};
+    s.budget_points = {{5}, {8}};
+    s.fixed = {.kind = FixedSeedSpec::Kind::kTopSpread, .item = 1,
+               .count = 5};
+    s.seeds = {1, 2};
+    s.sims = 40;
+    s.eval_sims = 60;
+    add(std::move(s));
+  }
 
   return registry;
 }

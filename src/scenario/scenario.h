@@ -170,6 +170,10 @@ struct ScenarioSpec {
   double ell = 1.0;
   int sims = 0;       ///< estimator worlds; 0 = SweepOptions default
   int eval_sims = 0;  ///< evaluation worlds; 0 = SweepOptions default
+  /// Worker threads for RR-set sampling inside each task (the inner level
+  /// of the two-level threading model; 0 = SweepOptions::rr_threads).
+  /// Deterministic: results never depend on this value.
+  unsigned rr_threads = 0;
 
   /// Default gate window for the slow baselines (see SlowGate).
   SlowGate slow_gate = SlowGate::kFirstCell;

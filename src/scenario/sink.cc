@@ -134,7 +134,8 @@ std::string SpecToJson(const ScenarioSpec& spec) {
   }
   os << "},\"epsilon\":" << JsonDouble(spec.epsilon)
      << ",\"ell\":" << JsonDouble(spec.ell) << ",\"sims\":" << spec.sims
-     << ",\"eval_sims\":" << spec.eval_sims << ",\"slow_gate\":\""
+     << ",\"eval_sims\":" << spec.eval_sims
+     << ",\"rr_threads\":" << spec.rr_threads << ",\"slow_gate\":\""
      << SlowGateName(spec.slow_gate) << "\"}";
   return os.str();
 }

@@ -69,6 +69,14 @@ struct CellInputs {
   Allocation sp;  ///< fixed allocation S_P (possibly empty)
 };
 
+/// Inner RR-sampling threads for a spec's tasks: the spec's own pin wins,
+/// then the sweep-level knob. Never affects results (rr_pipeline.h).
+unsigned ResolveRrThreads(const ScenarioSpec& spec,
+                          const SweepOptions& options) {
+  if (spec.rr_threads > 0) return spec.rr_threads;
+  return options.rr_threads > 0 ? options.rr_threads : 1;
+}
+
 /// Runs one non-gated task; fills the outcome fields of `row`.
 void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
              const CellInputs& cell, const SweepOptions& options,
@@ -87,10 +95,12 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
   const int eval_sims =
       spec.eval_sims > 0 ? spec.eval_sims : options.default_eval_sims;
 
+  const unsigned rr_threads = ResolveRrThreads(spec, options);
   AlgoParams params;
   params.imm = {.epsilon = spec.epsilon,
                 .ell = spec.ell,
-                .seed = MixHash(algo_seed, kImmTag)};
+                .seed = MixHash(algo_seed, kImmTag),
+                .num_threads = rr_threads};
   params.estimator = {.num_worlds = sims,
                       .seed = MixHash(algo_seed, kEstTag),
                       .num_threads = options.inner_threads};
@@ -107,7 +117,8 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
   // BlockUtil differ only in the item-to-position assignment (§6.4.3).
   const ImmParams rank_params{.epsilon = spec.epsilon,
                               .ell = spec.ell,
-                              .seed = MixHash(cell_seed, kRankTag)};
+                              .seed = MixHash(cell_seed, kRankTag),
+                              .num_threads = rr_threads};
   BudgetVector level_budgets;
   for (ItemId i : items) level_budgets.push_back(budgets[i]);
 
@@ -230,6 +241,8 @@ SweepOptions EnvSweepOptions() {
       static_cast<unsigned>(EnvInt("CWM_THREADS", 0, /*min_value=*/0));
   options.inner_threads =
       static_cast<unsigned>(EnvInt("CWM_INNER_THREADS", 1, /*min_value=*/1));
+  options.rr_threads =
+      static_cast<unsigned>(EnvInt("CWM_RR_THREADS", 1, /*min_value=*/1));
   return options;
 }
 
@@ -261,10 +274,17 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   std::vector<std::vector<NodeId>> fixed_nodes(spec.networks.size());
   if (spec.fixed.kind == FixedSeedSpec::Kind::kTopSpread) {
     for (std::size_t n = 0; n < graphs.size(); ++n) {
+      // Serial phase: the whole machine is free, so the fixed-seed IMM
+      // uses outer x inner threads.
+      const unsigned fixed_threads = std::max(
+          1u, (options.num_threads == 0 ? DefaultThreads()
+                                        : options.num_threads) *
+                  ResolveRrThreads(spec, options));
       fixed_nodes[n] = Imm(graphs[n], spec.fixed.count,
                            {.epsilon = spec.epsilon,
                             .ell = spec.ell,
-                            .seed = MixHash(kFixedTag, n)})
+                            .seed = MixHash(kFixedTag, n),
+                            .num_threads = fixed_threads})
                            .seeds;
     }
   }

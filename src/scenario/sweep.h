@@ -13,6 +13,13 @@
 // (default 1) because the estimator's world-to-chunk assignment depends
 // on its chunk count: raising SweepOptions::inner_threads is allowed but
 // produces estimates comparable only to runs with the same setting.
+//
+// RR-set sampling inside each task is different: the pipeline derives one
+// RNG stream per sample index (rrset/rr_pipeline.h), so
+// SweepOptions::rr_threads scales the IMM-family algorithms without
+// changing any result. Two-level budget: num_threads x rr_threads worker
+// threads can be live at once — keep the product within the machine's
+// core count (the engine does not clamp, so oversubscription is explicit).
 #ifndef CWM_SCENARIO_SWEEP_H_
 #define CWM_SCENARIO_SWEEP_H_
 
@@ -34,6 +41,10 @@ struct SweepOptions {
   /// chunking and therefore the sampled worlds; keep at 1 for
   /// reproducibility across machines and runs.
   unsigned inner_threads = 1;
+  /// Threads inside each task's RR-set sampling (specs may pin their own
+  /// via ScenarioSpec::rr_threads). Unlike inner_threads this never
+  /// changes results — the pipeline is deterministic at any value.
+  unsigned rr_threads = 1;
   /// Estimator worlds when the spec leaves ScenarioSpec::sims == 0.
   int default_sims = 200;
   /// Evaluation worlds when the spec leaves eval_sims == 0.
@@ -49,7 +60,8 @@ struct SweepOptions {
 };
 
 /// SweepOptions populated from the CWM_SIMS / CWM_EVAL_SIMS /
-/// CWM_BENCH_SCALE / CWM_GREEDY / CWM_THREADS environment knobs.
+/// CWM_BENCH_SCALE / CWM_GREEDY / CWM_THREADS / CWM_INNER_THREADS /
+/// CWM_RR_THREADS environment knobs.
 SweepOptions EnvSweepOptions();
 
 /// One executed (or skipped) grid cell.

@@ -14,25 +14,36 @@ unsigned DefaultThreads() {
 void ParallelFor(std::size_t num_chunks,
                  const std::function<void(std::size_t)>& fn,
                  unsigned num_threads) {
+  ParallelForWorkers(
+      num_chunks,
+      [&fn](std::size_t /*worker*/, std::size_t chunk) { fn(chunk); },
+      num_threads);
+}
+
+void ParallelForWorkers(
+    std::size_t num_chunks,
+    const std::function<void(std::size_t worker_index,
+                             std::size_t chunk_index)>& fn,
+    unsigned num_threads) {
   if (num_threads == 0) num_threads = DefaultThreads();
   if (num_threads <= 1 || num_chunks <= 1) {
-    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(0, i);
     return;
   }
   std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
+  auto worker = [&](std::size_t worker_index) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_chunks) return;
-      fn(i);
+      fn(worker_index, i);
     }
   };
   std::vector<std::thread> threads;
   const unsigned spawned =
       static_cast<unsigned>(std::min<std::size_t>(num_threads, num_chunks));
   threads.reserve(spawned);
-  for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(worker);
-  worker();
+  for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(worker, t);
+  worker(0);
   for (auto& th : threads) th.join();
 }
 

@@ -18,6 +18,17 @@ void ParallelFor(std::size_t num_chunks,
                  const std::function<void(std::size_t)>& fn,
                  unsigned num_threads = 0);
 
+/// Like ParallelFor, but also hands `fn` the stable index of the worker
+/// running the chunk (0 <= worker_index < min(num_threads, num_chunks)),
+/// so callers can reuse per-worker scratch state (e.g. one RrSampler per
+/// worker) without locking. Which worker runs which chunk is scheduling-
+/// dependent; deterministic callers must key results by chunk index only.
+void ParallelForWorkers(
+    std::size_t num_chunks,
+    const std::function<void(std::size_t worker_index,
+                             std::size_t chunk_index)>& fn,
+    unsigned num_threads = 0);
+
 /// Number of threads ParallelFor uses when num_threads == 0:
 /// std::thread::hardware_concurrency(), at least 1.
 unsigned DefaultThreads();

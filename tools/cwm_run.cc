@@ -8,6 +8,11 @@
 //   --out FILE        write JSON-Lines results (FILE '-' = stdout)
 //   --csv FILE        write CSV results
 //   --threads N       task-level parallelism (0 = hardware concurrency)
+//   --rr-threads N    RR-set sampling threads per task (default 1; any
+//                     value yields bit-identical results — the sampler
+//                     derives one RNG stream per sample index). Two-level
+//                     budget: threads x rr-threads workers may be live at
+//                     once; keep the product within the core count.
 //   --inner-threads N Monte-Carlo threads per task (default 1; >1 trades
 //                     reproducibility across settings for speed)
 //   --sims N          estimator worlds for specs that don't pin them
@@ -20,7 +25,8 @@
 //   --quiet           suppress the progress table on stdout
 //
 // Environment knobs (CWM_SIMS, CWM_EVAL_SIMS, CWM_BENCH_SCALE, CWM_GREEDY,
-// CWM_THREADS, CWM_INNER_THREADS) provide defaults; flags win.
+// CWM_THREADS, CWM_INNER_THREADS, CWM_RR_THREADS) provide defaults; flags
+// win.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -43,9 +49,9 @@ int Usage(const char* argv0, int code) {
                "usage: %s --list\n"
                "       %s --describe <scenario>\n"
                "       %s <scenario>... [--out FILE] [--csv FILE]\n"
-               "         [--threads N] [--inner-threads N] [--sims N]\n"
-               "         [--eval-sims N] [--scale X] [--seed S] [--slow]\n"
-               "         [--timing] [--quiet]\n",
+               "         [--threads N] [--rr-threads N] [--inner-threads N]\n"
+               "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
+               "         [--slow] [--timing] [--quiet]\n",
                argv0, argv0, argv0);
   return code;
 }
@@ -100,6 +106,11 @@ int main(int argc, char** argv) {
     if (ParseValue(argc, argv, &i, "--csv", &csv_path)) continue;
     if (ParseValue(argc, argv, &i, "--threads", &value)) {
       options.num_threads = static_cast<unsigned>(std::atoi(value.c_str()));
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--rr-threads", &value)) {
+      options.rr_threads =
+          static_cast<unsigned>(std::max(1, std::atoi(value.c_str())));
       continue;
     }
     if (ParseValue(argc, argv, &i, "--inner-threads", &value)) {
