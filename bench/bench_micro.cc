@@ -1,8 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels: RR-set
 // sampling (standard / marginal / weighted), UIC world simulation, bundle
-// utility tables, greedy coverage selection, and graph generation.
+// utility tables, greedy coverage selection, graph generation, edge-list
+// parsing, and artifact-store opens (cold regeneration vs. warm mmap).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
 #include <vector>
 
 #include <memory>
@@ -11,12 +16,14 @@
 #include "exp/networks.h"
 #include "graph/edge_prob.h"
 #include "graph/generators.h"
+#include "graph/loader.h"
 #include "model/allocation.h"
 #include "rrset/node_selection.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_pipeline.h"
 #include "rrset/rr_sampler.h"
 #include "simulate/uic_simulator.h"
+#include "store/graph_store.h"
 
 namespace cwm {
 namespace {
@@ -24,6 +31,16 @@ namespace {
 const Graph& BenchGraph() {
   static const Graph g = WithWeightedCascade(NetHeptLike());
   return g;
+}
+
+std::string BenchTempPath(const char* name) {
+  // Unique per process: a fixed name on a shared /tmp could collide with
+  // another user's (unwritable, differently-shaped) fixture and feed the
+  // CI perf gate a foreign file.
+  static const uint64_t token = std::random_device{}();
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(token) + "_" + name))
+      .string();
 }
 
 void BM_SampleStandardRr(benchmark::State& state) {
@@ -198,6 +215,75 @@ void BM_GenerateNetHeptLike(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateNetHeptLike);
+
+// Buffered from_chars edge-list ingestion; items/s = edges/s. The fixture
+// file (200K weighted edges, ~4.4 MB) is written once per process.
+void BM_EdgeListParse(benchmark::State& state) {
+  static const std::string path = [] {
+    const std::string p = BenchTempPath("cwm_bench_edges.txt");
+    const Graph g = WithWeightedCascade(
+        DirectedPreferentialAttachment(25000, 8, 0.1, 5));
+    // A failed fixture write must not be benchmarked; empty path makes
+    // the parse below fail and the benchmark skip with an error.
+    return WriteEdgeList(g, p).ok() ? p : std::string();
+  }();
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    StatusOr<Graph> g = ReadEdgeList(path, {.default_prob = 0.0});
+    if (!g.ok()) {
+      state.SkipWithError("parse failed");
+      break;
+    }
+    edges = g.value().num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * edges));
+  state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_EdgeListParse)->Unit(benchmark::kMillisecond);
+
+// Cold vs. warm "graph availability" on an Orkut-like network (Table 2
+// density at a CI-sized node count): regenerating + re-weighting from the
+// factory, versus one zero-copy mmap open of the binary store image. The
+// CI gate (scripts/check_store_speedup.py) asserts >= 10x.
+constexpr std::size_t kStoreBenchNodes = 20000;
+
+const std::string& StoreBenchFile() {
+  static const std::string path = [] {
+    const std::string p = BenchTempPath("cwm_bench_orkut.cwg");
+    const Graph g =
+        WithWeightedCascade(OrkutLike(kStoreBenchNodes, /*seed=*/14));
+    return WriteGraphFile(g, p).ok() ? p : std::string();
+  }();
+  return path;
+}
+
+void BM_GraphBuildOrkutLike(benchmark::State& state) {
+  for (auto _ : state) {
+    const Graph g =
+        WithWeightedCascade(OrkutLike(kStoreBenchNodes, /*seed=*/14));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphBuildOrkutLike)->Unit(benchmark::kMillisecond);
+
+void BM_GraphStoreOpenOrkutLike(benchmark::State& state) {
+  const std::string& path = StoreBenchFile();
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    StatusOr<Graph> g = OpenGraphFile(path);
+    if (!g.ok()) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    edges = g.value().num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_GraphStoreOpenOrkutLike)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace cwm

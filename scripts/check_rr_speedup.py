@@ -18,7 +18,8 @@ def throughput(benchmarks, threads):
     name = f"BM_RrPipelineSampling/{threads}/real_time"
     rates = [float(bench["items_per_second"]) for bench in benchmarks
              if bench.get("name") == name
-             and bench.get("run_type", "iteration") == "iteration"]
+             and bench.get("run_type", "iteration") == "iteration"
+             and not bench.get("error_occurred", False)]
     if not rates:
         raise SystemExit(f"benchmark '{name}' not found in the JSON input")
     return max(rates)

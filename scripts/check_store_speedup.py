@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""CI perf gate for the binary artifact store.
+
+Reads a google-benchmark JSON file containing BM_GraphBuildOrkutLike
+(cold: regenerate + re-weight the network) and BM_GraphStoreOpenOrkutLike
+(warm: one zero-copy mmap open of the .cwg image) and fails (exit 1)
+unless the warm path is at least `--min-speedup` times faster.
+
+Usage:
+  check_store_speedup.py bench.json [--min-speedup 10.0]
+"""
+import argparse
+import json
+import sys
+
+
+_NS_PER_UNIT = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def best_time(benchmarks, name):
+    """Best (lowest) real_time across repetitions of `name`, in ns."""
+    times = [float(bench["real_time"]) *
+             _NS_PER_UNIT.get(bench.get("time_unit", "ns"), 1)
+             for bench in benchmarks
+             if bench.get("name") == name
+             and bench.get("run_type", "iteration") == "iteration"
+             # SkipWithError still emits an entry with a near-zero time;
+             # counting it would let a broken open path "pass" the gate.
+             and not bench.get("error_occurred", False)]
+    if not times:
+        raise SystemExit(f"benchmark '{name}' not found in the JSON input")
+    return min(times)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required cold/warm time ratio (default 10)")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+
+    build = best_time(benchmarks, "BM_GraphBuildOrkutLike")
+    open_ = best_time(benchmarks, "BM_GraphStoreOpenOrkutLike")
+    speedup = build / open_ if open_ > 0 else float("inf")
+    print(f"Graph availability: regenerate = {build / 1e6:,.2f} ms, "
+          f"store open = {open_ / 1e6:,.3f} ms "
+          f"(speedup {speedup:.1f}x, gate {args.min_speedup:.1f}x)")
+    if speedup < args.min_speedup:
+        print(f"FAIL: the binary store open is only {speedup:.1f}x faster "
+              f"than regeneration (needs >= {args.min_speedup:.1f}x)",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

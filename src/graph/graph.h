@@ -9,11 +9,19 @@
 // ordering). The id keys the lazy possible-world coins (simulate/world.h),
 // which is what makes one sampled "edge world" consistent across all items
 // and all queries, as required by the possible-world model of §3.
+//
+// Storage model: accessors read std::span views that point either at
+// owned vectors (GraphBuilder path) or at an externally owned flat buffer
+// (the mmap-backed zero-copy open of store/graph_store.h, which pins the
+// mapping alive via `external_`). The two flavors are indistinguishable
+// to callers; copying an external graph just shares the mapping.
 #ifndef CWM_GRAPH_GRAPH_H_
 #define CWM_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "support/check.h"
@@ -41,12 +49,78 @@ struct InEdge {
 };
 
 /// Immutable CSR digraph with per-edge influence probabilities.
-/// Construct via GraphBuilder (graph/graph_builder.h).
+/// Construct via GraphBuilder (graph/graph_builder.h) or adopt flat
+/// external storage with Graph::FromExternal (store/graph_store.h).
 class Graph {
  public:
   Graph() = default;
 
-  std::size_t num_nodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+  Graph(const Graph& other) { *this = other; }
+  Graph& operator=(const Graph& other) {
+    if (this == &other) return *this;
+    if (other.external_ != nullptr) {
+      // External storage is immutable and shared: copying is O(1).
+      ClearOwned();
+      external_ = other.external_;
+      out_offsets_ = other.out_offsets_;
+      out_edges_ = other.out_edges_;
+      in_offsets_ = other.in_offsets_;
+      in_edges_ = other.in_edges_;
+    } else {
+      external_.reset();
+      out_offsets_storage_ = other.out_offsets_storage_;
+      out_edges_storage_ = other.out_edges_storage_;
+      in_offsets_storage_ = other.in_offsets_storage_;
+      in_edges_storage_ = other.in_edges_storage_;
+      RespanOwned();
+    }
+    return *this;
+  }
+
+  // Moving a vector transfers its heap buffer, so spans into owned
+  // storage remain valid after member-wise moves; the source is reset to
+  // the empty state for safety.
+  Graph(Graph&& other) noexcept { *this = std::move(other); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this == &other) return *this;
+    external_ = std::move(other.external_);
+    out_offsets_storage_ = std::move(other.out_offsets_storage_);
+    out_edges_storage_ = std::move(other.out_edges_storage_);
+    in_offsets_storage_ = std::move(other.in_offsets_storage_);
+    in_edges_storage_ = std::move(other.in_edges_storage_);
+    out_offsets_ = other.out_offsets_;
+    out_edges_ = other.out_edges_;
+    in_offsets_ = other.in_offsets_;
+    in_edges_ = other.in_edges_;
+    other.external_.reset();
+    other.ClearOwned();
+    return *this;
+  }
+
+  /// Adopts CSR arrays owned by `owner` (e.g. a file mapping) without
+  /// copying. The spans must stay valid for `owner`'s lifetime and satisfy
+  /// the CSR invariants; store/graph_store.h validates before calling.
+  static Graph FromExternal(std::shared_ptr<const void> owner,
+                            std::span<const uint64_t> out_offsets,
+                            std::span<const OutEdge> out_edges,
+                            std::span<const uint64_t> in_offsets,
+                            std::span<const InEdge> in_edges) {
+    Graph g;
+    g.external_ = std::move(owner);
+    g.out_offsets_ = out_offsets;
+    g.out_edges_ = out_edges;
+    g.in_offsets_ = in_offsets;
+    g.in_edges_ = in_edges;
+    return g;
+  }
+
+  /// True when the CSR arrays live in externally owned storage (a mapped
+  /// artifact file) rather than in this object's vectors.
+  bool is_external() const { return external_ != nullptr; }
+
+  std::size_t num_nodes() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
   std::size_t num_edges() const { return out_edges_.size(); }
 
   /// Outgoing edges of `u`, in canonical (EdgeId-contiguous) order.
@@ -82,13 +156,48 @@ class Graph {
                : static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
   }
 
+  // Raw CSR sections, exactly as laid out in memory and in the binary
+  // artifact format (store/format.h): serialization and content hashing.
+  std::span<const uint64_t> RawOutOffsets() const { return out_offsets_; }
+  std::span<const OutEdge> RawOutEdges() const { return out_edges_; }
+  std::span<const uint64_t> RawInOffsets() const { return in_offsets_; }
+  std::span<const InEdge> RawInEdges() const { return in_edges_; }
+
  private:
   friend class GraphBuilder;
 
-  std::vector<uint64_t> out_offsets_;  // size num_nodes()+1
-  std::vector<OutEdge> out_edges_;     // size num_edges(), canonical order
-  std::vector<uint64_t> in_offsets_;   // size num_nodes()+1
-  std::vector<InEdge> in_edges_;       // size num_edges()
+  void ClearOwned() {
+    out_offsets_storage_.clear();
+    out_edges_storage_.clear();
+    in_offsets_storage_.clear();
+    in_edges_storage_.clear();
+    out_offsets_ = {};
+    out_edges_ = {};
+    in_offsets_ = {};
+    in_edges_ = {};
+  }
+
+  void RespanOwned() {
+    out_offsets_ = out_offsets_storage_;
+    out_edges_ = out_edges_storage_;
+    in_offsets_ = in_offsets_storage_;
+    in_edges_ = in_edges_storage_;
+  }
+
+  // Owned storage; empty when the graph is backed by `external_`.
+  std::vector<uint64_t> out_offsets_storage_;  // size num_nodes()+1
+  std::vector<OutEdge> out_edges_storage_;     // size num_edges()
+  std::vector<uint64_t> in_offsets_storage_;   // size num_nodes()+1
+  std::vector<InEdge> in_edges_storage_;       // size num_edges()
+
+  // Views over either the owned vectors or `external_`'s buffer.
+  std::span<const uint64_t> out_offsets_;
+  std::span<const OutEdge> out_edges_;
+  std::span<const uint64_t> in_offsets_;
+  std::span<const InEdge> in_edges_;
+
+  // Keep-alive for externally owned storage (a mapped artifact file).
+  std::shared_ptr<const void> external_;
 };
 
 }  // namespace cwm

@@ -31,29 +31,32 @@ Graph GraphBuilder::Build() && {
   Graph g;
   const std::size_t n = num_nodes_;
   const std::size_t m = edges_.size();
-  g.out_offsets_.assign(n + 1, 0);
-  g.in_offsets_.assign(n + 1, 0);
-  g.out_edges_.resize(m);
-  g.in_edges_.resize(m);
+  g.out_offsets_storage_.assign(n + 1, 0);
+  g.in_offsets_storage_.assign(n + 1, 0);
+  g.out_edges_storage_.resize(m);
+  g.in_edges_storage_.resize(m);
 
   for (const PendingEdge& e : edges_) {
-    ++g.out_offsets_[e.u + 1];
-    ++g.in_offsets_[e.v + 1];
+    ++g.out_offsets_storage_[e.u + 1];
+    ++g.in_offsets_storage_[e.v + 1];
   }
   for (std::size_t i = 1; i <= n; ++i) {
-    g.out_offsets_[i] += g.out_offsets_[i - 1];
-    g.in_offsets_[i] += g.in_offsets_[i - 1];
+    g.out_offsets_storage_[i] += g.out_offsets_storage_[i - 1];
+    g.in_offsets_storage_[i] += g.in_offsets_storage_[i - 1];
   }
   // Forward edges are already sorted: EdgeId == position.
   for (std::size_t id = 0; id < m; ++id) {
-    g.out_edges_[id] = {edges_[id].v, edges_[id].prob};
+    g.out_edges_storage_[id] = {edges_[id].v, edges_[id].prob};
   }
   // Scatter reverse edges.
-  std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  std::vector<uint64_t> cursor(g.in_offsets_storage_.begin(),
+                               g.in_offsets_storage_.end() - 1);
   for (std::size_t id = 0; id < m; ++id) {
     const PendingEdge& e = edges_[id];
-    g.in_edges_[cursor[e.v]++] = {e.u, e.prob, static_cast<EdgeId>(id)};
+    g.in_edges_storage_[cursor[e.v]++] = {e.u, e.prob,
+                                          static_cast<EdgeId>(id)};
   }
+  g.RespanOwned();
   edges_.clear();
   edges_.shrink_to_fit();
   return g;

@@ -1,60 +1,227 @@
 #include "graph/loader.h"
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/graph_builder.h"
+#include "store/artifact_cache.h"
+#include "store/format.h"
 
 namespace cwm {
 
-StatusOr<Graph> ReadEdgeList(const std::string& path,
-                             const LoadOptions& options) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path);
+namespace {
+
+struct RawEdge {
+  uint64_t u, v;
+  double p;
+};
+
+/// from_chars-shaped double parse. libc++ (AppleClang) still lacks the
+/// floating-point from_chars overload; the fallback is a hand-rolled
+/// locale-independent decimal parser (strtod honours LC_NUMERIC, which
+/// would silently misparse "0.5" as 0 under a comma-decimal locale —
+/// recreating the p=0 failure class the loader sentinel eliminates).
+/// The fallback is not guaranteed correctly rounded in the last ulp;
+/// probabilities are stored as float, which absorbs that in practice.
+std::from_chars_result ParseDouble(const char* s, const char* end,
+                                   double* out) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  return std::from_chars(s, end, *out);
+#else
+  const char* p = s;
+  // Mirror from_chars's grammar exactly so both branches classify every
+  // token the same way: no leading '+', but "inf"/"infinity"/"nan" are
+  // numbers (the [0,1] range check then rejects them uniformly).
+  bool negative = false;
+  if (p < end && *p == '-') {
+    negative = true;
+    ++p;
   }
-  struct RawEdge {
-    uint64_t u, v;
-    double p;
-  };
-  std::vector<RawEdge> raw;
-  std::unordered_map<uint64_t, NodeId> dense;
-  char line[512];
-  std::size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    ++line_no;
-    const char* s = line;
-    while (*s == ' ' || *s == '\t') ++s;
-    if (*s == '#' || *s == '\n' || *s == '\0' || *s == '\r') continue;
-    uint64_t u = 0, v = 0;
-    double p = options.default_prob;
-    const int got = std::sscanf(s, "%lu %lu %lf", &u, &v, &p);
-    if (got < 2) {
-      std::fclose(f);
-      return Status::Corruption(path + ": malformed line " +
-                                std::to_string(line_no));
+  const auto matches = [&](const char* word) {
+    const char* q = p;
+    for (const char* w = word; *w != '\0'; ++w, ++q) {
+      if (q >= end || (*q | 0x20) != *w) return static_cast<const char*>(nullptr);
     }
-    if (p < 0.0 || p > 1.0) {
-      std::fclose(f);
+    return q;
+  };
+  for (const char* word : {"infinity", "inf", "nan"}) {
+    if (const char* q = matches(word)) {
+      *out = word[0] == 'n' ? std::nan("")
+                            : (negative ? -INFINITY : INFINITY);
+      return {q, std::errc()};
+    }
+  }
+  double value = 0.0;
+  bool any_digit = false;
+  while (p < end && *p >= '0' && *p <= '9') {
+    value = value * 10.0 + (*p++ - '0');
+    any_digit = true;
+  }
+  if (p < end && *p == '.') {
+    ++p;
+    double scale = 1.0;
+    while (p < end && *p >= '0' && *p <= '9') {
+      value = value * 10.0 + (*p++ - '0');
+      scale *= 10.0;
+      any_digit = true;
+    }
+    value /= scale;
+  }
+  if (!any_digit) return {s, std::errc::invalid_argument};
+  if (p < end && (*p == 'e' || *p == 'E')) {
+    const char* exp_start = p + 1;
+    const char* q = exp_start;
+    bool exp_negative = false;
+    if (q < end && (*q == '+' || *q == '-')) exp_negative = *q++ == '-';
+    long exponent = 0;
+    bool exp_digit = false;
+    while (q < end && *q >= '0' && *q <= '9' && exponent < 10000) {
+      exponent = exponent * 10 + (*q++ - '0');
+      exp_digit = true;
+    }
+    if (exp_digit) {  // else: trailing 'e' is not part of the number
+      value *= std::pow(10.0, exp_negative ? -exponent : exponent);
+      p = q;
+    }
+  }
+  *out = negative ? -value : value;
+  return {p, std::errc()};
+#endif
+}
+
+/// Parses one complete line (no trailing newline). Returns OK and leaves
+/// `out` untouched for comment/blank lines; extra columns beyond the
+/// probability are ignored (SNAP files sometimes carry timestamps).
+Status ParseLine(const char* begin, const char* end,
+                 const LoadOptions& options, const std::string& path,
+                 std::size_t line_no, std::vector<RawEdge>* out) {
+  const char* s = begin;
+  while (s < end && (*s == ' ' || *s == '\t' || *s == '\r')) ++s;
+  if (s == end || *s == '#') return Status::OK();
+
+  RawEdge edge{0, 0, options.default_prob};
+  auto parsed = std::from_chars(s, end, edge.u);
+  if (parsed.ec != std::errc()) {
+    return Status::Corruption(path + ": malformed line " +
+                              std::to_string(line_no));
+  }
+  s = parsed.ptr;
+  while (s < end && (*s == ' ' || *s == '\t')) ++s;
+  parsed = std::from_chars(s, end, edge.v);
+  if (parsed.ec != std::errc()) {
+    return Status::Corruption(path + ": malformed line " +
+                              std::to_string(line_no));
+  }
+  s = parsed.ptr;
+  while (s < end && (*s == ' ' || *s == '\t' || *s == '\r')) ++s;
+  bool have_prob = false;
+  if (s < end) {
+    const auto prob_parsed = ParseDouble(s, end, &edge.p);
+    // A third column that does not parse as a number is ignored, matching
+    // the historical sscanf behaviour on annotated SNAP lines.
+    have_prob = prob_parsed.ec == std::errc();
+  }
+  if (have_prob) {
+    // Negated form so NaN (accepted by the number parser as "nan") is
+    // rejected here instead of aborting later in GraphBuilder.
+    if (!(edge.p >= 0.0 && edge.p <= 1.0)) {
       return Status::Corruption(path + ": probability out of [0,1] at line " +
                                 std::to_string(line_no));
     }
-    raw.push_back({u, v, p});
-    dense.emplace(u, 0);
-    dense.emplace(v, 0);
+  } else if (!options.has_default_prob()) {
+    return Status::InvalidArgument(
+        path + ": line " + std::to_string(line_no) +
+        " has no probability column and LoadOptions::default_prob is "
+        "unset; set it explicitly (0.0 is fine if an edge-probability "
+        "model is applied afterwards)");
   }
+  out->push_back(edge);
+  return Status::OK();
+}
+
+/// Size of `path` in bytes, or 0 if unknown.
+std::size_t FileSize(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0) return 0;
+  if (std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long size = std::ftell(f);
+  std::fseek(f, pos, SEEK_SET);
+  return size < 0 ? 0 : static_cast<std::size_t>(size);
+}
+
+}  // namespace
+
+StatusOr<Graph> ReadEdgeList(const std::string& path,
+                             const LoadOptions& options,
+                             uint64_t* content_hash) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  uint64_t hash = kFnv1aBasis;
+  std::vector<RawEdge> raw;
+  // ~14 bytes per "u v" line is a safe lower bound for SNAP-scale ids;
+  // one reservation instead of log(m) regrows.
+  raw.reserve(FileSize(f) / 14 + 16);
+
+  // Chunked reads with a carry for the partial trailing line: no per-line
+  // I/O calls, no iostream locale machinery.
+  constexpr std::size_t kChunk = 1 << 20;
+  std::vector<char> buffer(kChunk);
+  std::string carry;
+  std::size_t line_no = 0;
+  Status status = Status::OK();
+  for (;;) {
+    const std::size_t got = std::fread(buffer.data(), 1, kChunk, f);
+    if (got == 0) break;
+    if (content_hash != nullptr) hash = Fnv1a64(buffer.data(), got, hash);
+    const char* begin = buffer.data();
+    const char* end = begin + got;
+    const char* line_start = begin;
+    for (const char* p = begin; p < end; ++p) {
+      if (*p != '\n') continue;
+      ++line_no;
+      if (!carry.empty()) {
+        carry.append(line_start, p);
+        status = ParseLine(carry.data(), carry.data() + carry.size(),
+                           options, path, line_no, &raw);
+        carry.clear();
+      } else {
+        status = ParseLine(line_start, p, options, path, line_no, &raw);
+      }
+      if (!status.ok()) {
+        std::fclose(f);
+        return status;
+      }
+      line_start = p + 1;
+    }
+    carry.append(line_start, end);
+  }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) return Status::IOError("read error on " + path);
+  if (!carry.empty()) {
+    ++line_no;
+    status = ParseLine(carry.data(), carry.data() + carry.size(), options,
+                       path, line_no, &raw);
+    if (!status.ok()) return status;
+  }
 
   // Densify ids in first-appearance order for determinism.
+  std::unordered_map<uint64_t, NodeId> dense;
+  dense.reserve(raw.size() * 2);
   NodeId next = 0;
-  for (auto& kv : dense) kv.second = static_cast<NodeId>(-1);
   for (const RawEdge& e : raw) {
     for (uint64_t id : {e.u, e.v}) {
-      auto it = dense.find(id);
-      if (it->second == static_cast<NodeId>(-1)) it->second = next++;
+      if (dense.emplace(id, next).second) ++next;
     }
   }
 
@@ -69,7 +236,48 @@ StatusOr<Graph> ReadEdgeList(const std::string& path,
       builder.AddEdge(du, dv, e.p);
     }
   }
+  if (content_hash != nullptr) *content_hash = hash;
   return std::move(builder).Build();
+}
+
+StatusOr<Graph> ReadEdgeListCached(const std::string& path,
+                                   const LoadOptions& options,
+                                   ArtifactCache* cache) {
+  if (cache == nullptr) return ReadEdgeList(path, options);
+
+  // Key on content, not on path/mtime: the same dataset in two checkouts
+  // hits, an edited file misses.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t content_hash = kFnv1aBasis;
+  std::vector<char> buffer(1 << 20);
+  for (;;) {
+    const std::size_t got = std::fread(buffer.data(), 1, buffer.size(), f);
+    if (got == 0) break;
+    content_hash = Fnv1a64(buffer.data(), got, content_hash);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read error on " + path);
+
+  char recipe[160];
+  std::snprintf(recipe, sizeof(recipe),
+                "edge-list;content=%s;default_prob=%.17g;undirected=%d;v=%u",
+                HashToHex(content_hash).c_str(), options.default_prob,
+                options.undirected ? 1 : 0, kFormatVersion);
+  return cache->GetOrBuildGraph(recipe, [&]() -> StatusOr<Graph> {
+    // The parse hashes exactly the bytes it reads; if the file changed
+    // between the key pass above and this parse, storing under the old
+    // key would poison the cache — fail loudly instead.
+    uint64_t parsed_hash = 0;
+    StatusOr<Graph> parsed = ReadEdgeList(path, options, &parsed_hash);
+    if (!parsed.ok()) return parsed;
+    if (parsed_hash != content_hash) {
+      return Status::IOError(path +
+                             " changed while being ingested; retry the run");
+    }
+    return parsed;
+  });
 }
 
 Status WriteEdgeList(const Graph& g, const std::string& path) {

@@ -3,7 +3,11 @@
 // Format: one edge per line, "u v" or "u v p"; lines starting with '#' are
 // comments. This matches the format of the SNAP datasets the paper uses
 // (Table 2), so a user with the real NetHEPT/Orkut/Twitter files can load
-// them directly in place of the synthetic catalog.
+// them directly in place of the synthetic catalog. Parsing is buffered
+// (1 MiB chunks) with std::from_chars — no per-line iostream overhead —
+// and the edge array is pre-reserved from the file size, so multi-GB SNAP
+// files ingest at I/O speed. For repeated loads, prefer `cwm_data import`
+// + the binary store (store/graph_store.h): the .cwg form opens zero-copy.
 #ifndef CWM_GRAPH_LOADER_H_
 #define CWM_GRAPH_LOADER_H_
 
@@ -14,19 +18,46 @@
 
 namespace cwm {
 
+class ArtifactCache;
+
 /// Options controlling edge-list parsing.
 struct LoadOptions {
-  /// If an edge line has no probability column, this value is used.
-  double default_prob = 0.0;
+  /// Sentinel for `default_prob`: "the caller did not opt in".
+  static constexpr double kNoDefaultProb = -1.0;
+
+  /// Probability used for edge lines with no probability column. The
+  /// default is a sentinel meaning *unset*: a probability-less line then
+  /// fails with InvalidArgument instead of silently producing p = 0
+  /// edges on which diffusion is impossible. Callers that really want a
+  /// fill-in (including 0.0, e.g. when an edge-probability model is
+  /// applied afterwards) must set a value in [0, 1] explicitly.
+  double default_prob = kNoDefaultProb;
   /// Treat each line as an undirected edge (add both directions).
   bool undirected = false;
+
+  bool has_default_prob() const {
+    return default_prob >= 0.0 && default_prob <= 1.0;
+  }
 };
 
 /// Reads an edge list from `path`. Node ids may be sparse; they are
 /// densified in first-appearance order. Returns the graph or a parse/IO
-/// error.
+/// error; a line without a probability column is an InvalidArgument
+/// unless `options.default_prob` was set (see LoadOptions).
+/// If `content_hash` is non-null it receives the FNV-1a hash of exactly
+/// the bytes that were parsed (computed in the same read pass, so it can
+/// never diverge from the parse under concurrent file modification).
 StatusOr<Graph> ReadEdgeList(const std::string& path,
-                             const LoadOptions& options = {});
+                             const LoadOptions& options = {},
+                             uint64_t* content_hash = nullptr);
+
+/// Cache-aware ReadEdgeList: keys the artifact cache on the file's
+/// *content hash* plus the load options, so a hit skips parsing entirely
+/// (zero-copy .cwg open) and an edited file is keyed afresh. With a null
+/// cache this is plain ReadEdgeList.
+StatusOr<Graph> ReadEdgeListCached(const std::string& path,
+                                   const LoadOptions& options,
+                                   ArtifactCache* cache);
 
 /// Writes `g` to `path` as "u v p" lines with a '#' header.
 Status WriteEdgeList(const Graph& g, const std::string& path);

@@ -6,6 +6,7 @@
 
 #include "rrset/node_selection.h"
 #include "rrset/rr_sampler.h"
+#include "store/format.h"
 #include "support/check.h"
 #include "support/mathx.h"
 
@@ -44,10 +45,22 @@ double LambdaPrime(std::size_t n, int b, double eps_prime, double ell_prime) {
          static_cast<double>(n) / (eps_prime * eps_prime);
 }
 
+uint64_t MarginalRrSourceId(std::vector<NodeId> prior_seeds) {
+  std::sort(prior_seeds.begin(), prior_seeds.end());
+  prior_seeds.erase(std::unique(prior_seeds.begin(), prior_seeds.end()),
+                    prior_seeds.end());
+  // Tagged so an empty blocked set still differs from the standard source.
+  uint64_t h = 0x4D72675252ull;  // "MrgRR"
+  const uint64_t count = prior_seeds.size();
+  h = Fnv1a64(&count, sizeof(count), h);
+  return Fnv1a64(prior_seeds.data(), prior_seeds.size() * sizeof(NodeId), h);
+}
+
 ImmResult RunImmDriver(std::size_t num_nodes,
                        const std::vector<int>& budget_levels,
                        const ImmParams& params,
-                       const RrSourceFactory& source) {
+                       const RrSourceFactory& source,
+                       uint64_t source_id) {
   CWM_CHECK(!budget_levels.empty());
   CWM_CHECK(std::is_sorted(budget_levels.begin(), budget_levels.end()));
   CWM_CHECK(num_nodes >= 2);
@@ -64,6 +77,9 @@ ImmResult RunImmDriver(std::size_t num_nodes,
       std::log(static_cast<double>(budget_levels.size())) / logn;
 
   RrPipeline pipeline(source, params.seed, params.num_threads);
+  if (params.cache != nullptr && params.graph_hash != 0 && source_id != 0) {
+    pipeline.BindCache(params.cache, params.graph_hash, source_id);
+  }
   RrCollection rr(n);
   auto sample_until = [&](double theta) {
     std::size_t want = static_cast<std::size_t>(std::ceil(theta));
@@ -125,7 +141,8 @@ ImmResult Imm(const Graph& graph, int budget, const ImmParams& params) {
       return 1.0;
     };
   };
-  return RunImmDriver(graph.num_nodes(), {budget}, params, source);
+  return RunImmDriver(graph.num_nodes(), {budget}, params, source,
+                      kStandardRrSourceId);
 }
 
 }  // namespace cwm

@@ -29,6 +29,8 @@
 
 namespace cwm {
 
+class ArtifactCache;
+
 /// Accuracy parameters shared by all RR-set algorithms (paper defaults
 /// epsilon = 0.5, ell = 1; §6.1.3).
 struct ImmParams {
@@ -44,6 +46,15 @@ struct ImmParams {
   /// instances concurrently (the sweep engine) keep this at 1 unless the
   /// product of outer tasks and inner threads stays within the pool.
   unsigned num_threads = 1;
+  /// Optional persistent RR cache (store/artifact_cache.h). Only consulted
+  /// when `graph_hash` is nonzero AND the driver invocation supplies a
+  /// sampler source id — drivers whose samplers cannot describe their
+  /// provenance (e.g. per-iteration blocked masks) stay uncached. Results
+  /// are bit-identical with or without a cache.
+  ArtifactCache* cache = nullptr;
+  /// Content hash of the graph being sampled (store/format.h's
+  /// GraphContentHash); 0 = unknown, disables caching.
+  uint64_t graph_hash = 0;
 };
 
 /// Result of a driver run.
@@ -61,15 +72,26 @@ struct ImmResult {
   std::size_t rr_count = 0;
 };
 
+/// Stable source id of the standard (unblocked) RR sampler; marginal
+/// samplers derive theirs from the blocked set (MarginalRrSourceId).
+inline constexpr uint64_t kStandardRrSourceId = 0x5374645252ull;  // "StdRR"
+
+/// Source id of a marginal sampler blocked on `prior_seeds` (order
+/// independent: the nodes are hashed in sorted order).
+uint64_t MarginalRrSourceId(std::vector<NodeId> prior_seeds);
+
 /// Runs the sampling + selection pipeline of Algorithms 4/6.
 /// `budget_levels` must be ascending and non-empty; the returned seed set
 /// has size budget_levels.back() and every prefix of size budget_levels[j]
 /// is (1 - 1/e - epsilon)-optimal w.r.t. its own budget w.h.p.
 /// `source` builds one RR sampler per worker (rr_pipeline.h).
+/// `source_id` identifies the sampler for the persistent RR cache
+/// (0 = this source is not cacheable; see ImmParams::cache).
 ImmResult RunImmDriver(std::size_t num_nodes,
                        const std::vector<int>& budget_levels,
                        const ImmParams& params,
-                       const RrSourceFactory& source);
+                       const RrSourceFactory& source,
+                       uint64_t source_id = 0);
 
 /// Classic IMM: seeds maximizing expected spread sigma(S), |S| = budget.
 /// Used to place the fixed inferior-item seeds of configurations C5/C6 and

@@ -38,7 +38,8 @@ ImmResult PrimaPlus(const Graph& graph,
       return 1.0;
     };
   };
-  ImmResult result = RunImmDriver(graph.num_nodes(), levels, params, source);
+  ImmResult result = RunImmDriver(graph.num_nodes(), levels, params, source,
+                                  MarginalRrSourceId(prior_seeds));
 
   // Blocked nodes appear in no marginal RR set, so greedy never picks
   // them; only the zero-gain budget filler can. Swap any such filler for

@@ -104,6 +104,13 @@ class RrCollection {
 
   std::size_t num_nodes() const { return num_nodes_; }
 
+  // Raw CSR sections in storage order, exactly as persisted by the
+  // artifact store (store/rr_store.h): offsets has size()+1 entries, set
+  // k's members span [offsets[k], offsets[k+1]).
+  std::span<const uint64_t> RawOffsets() const { return rr_offsets_; }
+  std::span<const NodeId> RawMembers() const { return rr_members_; }
+  std::span<const double> RawWeights() const { return rr_weights_; }
+
   /// Drops all RR sets but keeps the node universe (IMM's fresh final
   /// sampling pass, following the fix of Chen [17]).
   void Clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "store/artifact_cache.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -18,7 +19,70 @@ RrPipeline::RrPipeline(RrSourceFactory factory, uint64_t seed,
   scratch_.resize(num_threads_);
 }
 
+RrPipeline::~RrPipeline() = default;
+
+void RrPipeline::BindCache(ArtifactCache* cache, uint64_t graph_hash,
+                           uint64_t source_id) {
+  CWM_CHECK_MSG(next_sample_ == 0,
+                "BindCache must precede the first ExtendTo");
+  cache_ = cache;
+  graph_hash_ = graph_hash;
+  source_id_ = source_id;
+}
+
+void RrPipeline::ServeFromCache(RrCollection* rr, std::size_t target) {
+  // Era bookkeeping: the era's first sample has global index
+  // next_sample_ - rr->size(); it changes exactly when the caller Clears
+  // the collection (IMM's fresh final pass) or starts a new collection.
+  const uint64_t era_start = next_sample_ - rr->size();
+  if (!era_valid_ || era_start != era_start_) {
+    // Era provenance is derived from the collection's size, which is only
+    // sound if every era's samples land in one collection that started
+    // empty. Interleaving collections would store misattributed eras and
+    // silently poison the persistent cache — abort instead.
+    CWM_CHECK_MSG(rr->size() == 0,
+                  "cached RrPipeline eras must start from an empty "
+                  "RrCollection (one collection per era)");
+    era_valid_ = true;
+    era_start_ = era_start;
+    era_stored_ = 0;
+    era_data_.reset();
+    era_collection_ = rr;
+    const RrProvenance expect{.graph_hash = graph_hash_,
+                              .sample_seed = seed_,
+                              .source_id = source_id_,
+                              .era_start = era_start};
+    std::optional<RrEraData> loaded = cache_->LoadRrEra(
+        RrRecipeHash(graph_hash_, source_id_, seed_, era_start), expect,
+        rr->num_nodes());
+    if (loaded.has_value()) {
+      era_data_ = std::make_unique<RrEraData>(std::move(*loaded));
+      era_stored_ = era_data_->num_sets();
+    }
+  }
+  CWM_CHECK_MSG(rr == era_collection_,
+                "cached RrPipeline fed a different RrCollection mid-era");
+  if (era_data_ == nullptr) return;
+
+  // Serve cached samples [rr->size(), min(target, cached count)). Replay
+  // through Add in sample order, so weight accumulation and member layout
+  // are bit-identical to the cold path's chunk-ordered merges.
+  const std::size_t upto =
+      std::min<std::size_t>(target, era_data_->num_sets());
+  for (std::size_t k = rr->size(); k < upto; ++k) {
+    const uint64_t begin = era_data_->offsets[k];
+    const uint64_t end = era_data_->offsets[k + 1];
+    rr->Add({era_data_->members.data() + begin,
+             era_data_->members.data() + end},
+            era_data_->weights[k]);
+    ++next_sample_;
+  }
+  // Fully consumed: the arrays are dead weight (eras only grow past them).
+  if (rr->size() >= era_data_->num_sets()) era_data_.reset();
+}
+
 void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
+  if (cache_ != nullptr && rr->size() < target) ServeFromCache(rr, target);
   if (rr->size() >= target) return;
   const std::size_t fresh = target - rr->size();
   const std::size_t num_chunks = (fresh + kChunkSize - 1) / kChunkSize;
@@ -46,6 +110,22 @@ void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
 
   next_sample_ += fresh;
   for (const RrShard& shard : shards) rr->Merge(shard);
+
+  // Persist the grown era. Epochs grow geometrically, so rewriting the
+  // whole collection each time costs at most ~2x the final bytes.
+  if (cache_ != nullptr && rr->size() > era_stored_) {
+    // ServeFromCache ran earlier in this call and validated that `rr` is
+    // the era's single collection, so era_start_ is its true provenance.
+    const RrProvenance provenance{.graph_hash = graph_hash_,
+                                  .sample_seed = seed_,
+                                  .source_id = source_id_,
+                                  .era_start = era_start_};
+    const Status stored = cache_->StoreRrEra(
+        RrRecipeHash(graph_hash_, source_id_, seed_, era_start_),
+        provenance, *rr);
+    // A failed store only loses the warm start; sampling stays correct.
+    if (stored.ok()) era_stored_ = rr->size();
+  }
 }
 
 }  // namespace cwm

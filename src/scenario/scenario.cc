@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "exp/configs.h"
 #include "exp/networks.h"
@@ -9,6 +10,7 @@
 #include "graph/edge_prob.h"
 #include "graph/generators.h"
 #include "graph/loader.h"
+#include "store/artifact_cache.h"
 
 namespace cwm {
 
@@ -54,7 +56,30 @@ std::string NetworkSpec::Label() const {
   return label.empty() ? family : label;
 }
 
-StatusOr<Graph> NetworkSpec::Build(double scale) const {
+std::string NetworkSpec::CacheRecipe(double scale) const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "network;family=%s;n=%zu;deg=%zu;aux=%.17g;seed=%llu;"
+                "prob=%d;pv=%.17g;bfs=%.17g;scale=%.17g;path=%s;v=%u",
+                family.c_str(), num_nodes, degree, aux,
+                static_cast<unsigned long long>(seed),
+                static_cast<int>(prob), prob_value, bfs_fraction, scale,
+                path.c_str(), kFormatVersion);
+  return buf;
+}
+
+StatusOr<Graph> NetworkSpec::Build(double scale, ArtifactCache* cache) const {
+  // Generator families cache the *finished* graph (probabilities and BFS
+  // subsampling applied) under the full recipe. Edge lists are instead
+  // content-keyed at the load level (ReadEdgeListCached below), so an
+  // edited file can never serve stale bytes; the gadget is trivially
+  // cheap and stays uncached.
+  if (cache != nullptr && family != "edge-list" &&
+      family != "theorem2-gadget") {
+    return cache->GetOrBuildGraph(CacheRecipe(scale),
+                                  [&]() { return Build(scale, nullptr); });
+  }
+
   Graph topology;
   if (family == "nethept-like") {
     topology = NetHeptLike(OrDefault64(seed, 11));
@@ -86,7 +111,13 @@ StatusOr<Graph> NetworkSpec::Build(double scale) const {
     if (path.empty()) {
       return Status::InvalidArgument("edge-list network requires a path");
     }
-    StatusOr<Graph> loaded = ReadEdgeList(path, {.default_prob = 0.0});
+    // With kAsIs the file's probabilities are the model, so a missing
+    // probability column must fail loudly (LoadOptions sentinel). Every
+    // other model overwrites probabilities, so 0.0 is an explicit,
+    // harmless fill-in.
+    LoadOptions load_options;
+    if (prob != ProbModel::kAsIs) load_options.default_prob = 0.0;
+    StatusOr<Graph> loaded = ReadEdgeListCached(path, load_options, cache);
     if (!loaded.ok()) return loaded.status();
     topology = std::move(loaded).value();
   } else if (family == "theorem2-gadget") {

@@ -31,6 +31,8 @@
 
 namespace cwm {
 
+class ArtifactCache;
+
 /// Edge influence-probability model applied after topology generation.
 enum class ProbModel {
   kWeightedCascade,  ///< p(u,v) = 1/din(v) (the paper's default, §6.1.3)
@@ -65,7 +67,16 @@ struct NetworkSpec {
 
   /// Builds topology + probabilities. `scale` multiplies the effective
   /// node count of the scalable families (CWM_BENCH_SCALE semantics).
-  StatusOr<Graph> Build(double scale = 1.0) const;
+  /// With a non-null `cache` the finished graph (probabilities applied)
+  /// is served from / stored into the artifact store under this spec's
+  /// full recipe — a hit mmap-opens the binary image zero-copy and is
+  /// bit-identical to a rebuild.
+  StatusOr<Graph> Build(double scale = 1.0,
+                        ArtifactCache* cache = nullptr) const;
+
+  /// The canonical recipe string keying this spec (+ scale) in the
+  /// artifact cache; exposed for cwm_data and tests.
+  std::string CacheRecipe(double scale) const;
 };
 
 /// True if `family` names a known NetworkSpec family.
@@ -174,6 +185,10 @@ struct ScenarioSpec {
   /// of the two-level threading model; 0 = SweepOptions::rr_threads).
   /// Deterministic: results never depend on this value.
   unsigned rr_threads = 0;
+  /// Artifact-cache directory pinned by this spec ("" = use
+  /// SweepOptions::cache_dir / CWM_CACHE_DIR). Caching never changes
+  /// results — hits are bit-identical to rebuilds.
+  std::string cache_dir;
 
   /// Default gate window for the slow baselines (see SlowGate).
   SlowGate slow_gate = SlowGate::kFirstCell;

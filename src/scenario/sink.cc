@@ -135,8 +135,11 @@ std::string SpecToJson(const ScenarioSpec& spec) {
   os << "},\"epsilon\":" << JsonDouble(spec.epsilon)
      << ",\"ell\":" << JsonDouble(spec.ell) << ",\"sims\":" << spec.sims
      << ",\"eval_sims\":" << spec.eval_sims
-     << ",\"rr_threads\":" << spec.rr_threads << ",\"slow_gate\":\""
-     << SlowGateName(spec.slow_gate) << "\"}";
+     << ",\"rr_threads\":" << spec.rr_threads;
+  if (!spec.cache_dir.empty()) {
+    os << ",\"cache_dir\":\"" << JsonEscape(spec.cache_dir) << "\"";
+  }
+  os << ",\"slow_gate\":\"" << SlowGateName(spec.slow_gate) << "\"}";
   return os.str();
 }
 
@@ -151,6 +154,11 @@ std::string TaskResultToJson(const TaskResult& row,
      << JoinJson(row.budgets, [](int b) { return std::to_string(b); })
      << ",\"seed\":" << row.seed << ",\"graph_nodes\":" << row.graph_nodes
      << ",\"graph_edges\":" << row.graph_edges;
+  // Provenance: ties the row to its graph artifact (store/format.h).
+  // Content-derived, so cold and warm cache runs emit identical bytes.
+  if (!row.graph_hash.empty()) {
+    os << ",\"graph_hash\":\"" << JsonEscape(row.graph_hash) << "\"";
+  }
   if (row.skipped) {
     os << ",\"skipped\":true,\"skip_reason\":\""
        << JsonEscape(row.skip_reason) << "\"";
@@ -181,8 +189,8 @@ void WriteJsonLines(const SweepResult& result, std::ostream& out,
 
 std::string CsvHeader() {
   return "scenario,task,network,config,algorithm,budgets,seed,graph_nodes,"
-         "graph_edges,skipped,welfare,adopting_nodes,adopters_per_item,"
-         "seeds_allocated,seconds,note";
+         "graph_edges,graph_hash,skipped,welfare,adopting_nodes,"
+         "adopters_per_item,seeds_allocated,seconds,note";
 }
 
 std::string TaskResultToCsv(const TaskResult& row,
@@ -210,7 +218,7 @@ std::string TaskResultToCsv(const TaskResult& row,
   os << row.scenario << "," << row.task_index << "," << row.network << ","
      << row.config << "," << row.algorithm << "," << join_ints(row.budgets)
      << "," << row.seed << "," << row.graph_nodes << "," << row.graph_edges
-     << "," << (row.skipped ? "1" : "0") << ",";
+     << "," << row.graph_hash << "," << (row.skipped ? "1" : "0") << ",";
   if (!row.skipped) {
     os << JsonDouble(row.welfare) << ","
        << JsonDouble(row.adopting_nodes) << ",";

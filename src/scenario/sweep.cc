@@ -1,6 +1,8 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "algo/best_of.h"
@@ -18,6 +20,7 @@
 #include "rrset/imm.h"
 #include "rrset/prima_plus.h"
 #include "simulate/estimator.h"
+#include "store/format.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
 
@@ -67,6 +70,8 @@ struct CellInputs {
   const Graph* graph = nullptr;
   const UtilityConfig* config = nullptr;
   Allocation sp;  ///< fixed allocation S_P (possibly empty)
+  uint64_t graph_hash = 0;          ///< GraphContentHash(*graph)
+  ArtifactCache* cache = nullptr;   ///< null when caching is disabled
 };
 
 /// Inner RR-sampling threads for a spec's tasks: the spec's own pin wins,
@@ -100,7 +105,9 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
   params.imm = {.epsilon = spec.epsilon,
                 .ell = spec.ell,
                 .seed = MixHash(algo_seed, kImmTag),
-                .num_threads = rr_threads};
+                .num_threads = rr_threads,
+                .cache = cell.cache,
+                .graph_hash = cell.graph_hash};
   params.estimator = {.num_worlds = sims,
                       .seed = MixHash(algo_seed, kEstTag),
                       .num_threads = options.inner_threads};
@@ -118,7 +125,9 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
   const ImmParams rank_params{.epsilon = spec.epsilon,
                               .ell = spec.ell,
                               .seed = MixHash(cell_seed, kRankTag),
-                              .num_threads = rr_threads};
+                              .num_threads = rr_threads,
+                              .cache = cell.cache,
+                              .graph_hash = cell.graph_hash};
   BudgetVector level_budgets;
   for (ItemId i : items) level_budgets.push_back(budgets[i]);
 
@@ -243,6 +252,10 @@ SweepOptions EnvSweepOptions() {
       static_cast<unsigned>(EnvInt("CWM_INNER_THREADS", 1, /*min_value=*/1));
   options.rr_threads =
       static_cast<unsigned>(EnvInt("CWM_RR_THREADS", 1, /*min_value=*/1));
+  if (const char* dir = std::getenv("CWM_CACHE_DIR");
+      dir != nullptr && *dir != '\0') {
+    options.cache_dir = dir;
+  }
   return options;
 }
 
@@ -253,13 +266,34 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
 
   Timer total_timer;
 
+  // Artifact cache: the spec's own pin wins, then the sweep-level knob
+  // (CWM_CACHE_DIR). Opening failures fail the sweep fast — a
+  // half-working cache would silently change performance expectations.
+  const std::string& cache_dir =
+      !spec.cache_dir.empty() ? spec.cache_dir : options.cache_dir;
+  std::unique_ptr<ArtifactCache> cache_holder;
+  ArtifactCache* cache = nullptr;
+  if (!cache_dir.empty()) {
+    StatusOr<std::unique_ptr<ArtifactCache>> opened =
+        ArtifactCache::Open(cache_dir);
+    if (!opened.ok()) return opened.status();
+    cache_holder = std::move(opened).value();
+    cache = cache_holder.get();
+  }
+
   // Phase 1 (serial, deterministic): materialize networks and configs once.
   std::vector<Graph> graphs;
   graphs.reserve(spec.networks.size());
   for (const NetworkSpec& net : spec.networks) {
-    StatusOr<Graph> graph = net.Build(options.scale);
+    StatusOr<Graph> graph = net.Build(options.scale, cache);
     if (!graph.ok()) return graph.status();
     graphs.push_back(std::move(graph).value());
+  }
+  // Content hashes: provenance for result rows and the key half of every
+  // cached RR era. One O(edges) pass per network.
+  std::vector<uint64_t> graph_hashes(graphs.size());
+  for (std::size_t n = 0; n < graphs.size(); ++n) {
+    graph_hashes[n] = GraphContentHash(graphs[n]);
   }
   std::vector<UtilityConfig> configs;
   configs.reserve(spec.configs.size());
@@ -284,7 +318,9 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
                            {.epsilon = spec.epsilon,
                             .ell = spec.ell,
                             .seed = MixHash(kFixedTag, n),
-                            .num_threads = fixed_threads})
+                            .num_threads = fixed_threads,
+                            .cache = cache,
+                            .graph_hash = graph_hashes[n]})
                            .seeds;
     }
   }
@@ -296,6 +332,8 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
       CellInputs& cell = cells[n * spec.configs.size() + c];
       cell.graph = &graphs[n];
       cell.config = &configs[c];
+      cell.graph_hash = graph_hashes[n];
+      cell.cache = cache;
       const int m = configs[c].num_items();
       cell.sp = Allocation(m);
       switch (spec.fixed.kind) {
@@ -343,6 +381,7 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
                   task.config_index];
         row.graph_nodes = cell.graph->num_nodes();
         row.graph_edges = cell.graph->num_edges();
+        row.graph_hash = HashToHex(cell.graph_hash);
         row.budgets = ResolveBudgets(spec.budget_points[task.budget_index],
                                      cell.config->num_items());
 
@@ -371,6 +410,8 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
       options.num_threads);
 
   result.total_seconds = total_timer.Seconds();
+  result.cache_enabled = cache != nullptr;
+  if (cache != nullptr) result.cache_stats = cache->stats();
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "store/artifact_cache.h"
 #include "support/status.h"
 
 namespace cwm {
@@ -52,6 +53,11 @@ struct SweepOptions {
   /// Multiplier on the node counts of the scalable network families
   /// (CWM_BENCH_SCALE semantics).
   double scale = 1.0;
+  /// Artifact-cache directory ("" = disabled; CWM_CACHE_DIR). Graphs and
+  /// cacheable RR collections are served from / stored into it. Never
+  /// changes results: a hit is bit-identical to a rebuild, so artifacts
+  /// from cold and warm runs compare equal.
+  std::string cache_dir;
   /// Run greedyWM / Balance-C on every cell (CWM_GREEDY=1 semantics).
   bool run_slow_everywhere = false;
   /// Progress callback, invoked in completion order from worker threads
@@ -79,6 +85,10 @@ struct TaskResult {
   // Graph shape (after scaling / subsampling).
   std::size_t graph_nodes = 0;
   std::size_t graph_edges = 0;
+  /// Content hash of the task's graph (16 hex digits): provenance linking
+  /// result rows to store artifacts. Identical however the graph was
+  /// obtained (generated, loaded, or cache hit).
+  std::string graph_hash;
 
   // Outcome.
   bool skipped = false;
@@ -96,6 +106,10 @@ struct SweepResult {
   ScenarioSpec spec;
   std::vector<TaskResult> rows;
   double total_seconds = 0.0;
+  /// Artifact-cache counters for this sweep (all zero when disabled).
+  /// Execution telemetry like `total_seconds` — not part of the artifact.
+  bool cache_enabled = false;
+  CacheStats cache_stats;
 };
 
 /// Validates, expands and runs `spec`. Fails fast on validation or

@@ -1,0 +1,269 @@
+#include "store/artifact_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "store/graph_store.h"
+#include "store/mapped_file.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<std::string> ReadSmallFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+int64_t MtimeSeconds(const fs::path& path, std::error_code& ec) {
+  const auto t = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+uint64_t RrRecipeHash(uint64_t graph_hash, uint64_t source_id,
+                      uint64_t sample_seed, uint64_t era_start) {
+  uint64_t h = MixHash(graph_hash, source_id);
+  h = MixHash(h, sample_seed);
+  h = MixHash(h, era_start);
+  return MixHash(h, kFormatVersion);
+}
+
+StatusOr<std::unique_ptr<ArtifactCache>> ArtifactCache::Open(
+    std::string root) {
+  if (root.empty()) {
+    return Status::InvalidArgument("artifact cache root is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(fs::path(root) / "graphs", ec);
+  if (!ec) fs::create_directories(fs::path(root) / "rr", ec);
+  if (ec) {
+    return Status::IOError("cannot create cache directories under " + root +
+                           ": " + ec.message());
+  }
+  return std::unique_ptr<ArtifactCache>(new ArtifactCache(std::move(root)));
+}
+
+std::string ArtifactCache::GraphPathFor(const std::string& recipe) const {
+  return (fs::path(root_) / "graphs" / (HashToHex(Fnv1a64(recipe)) + ".cwg"))
+      .string();
+}
+
+std::string ArtifactCache::RrPathFor(uint64_t recipe_hash) const {
+  return (fs::path(root_) / "rr" / (HashToHex(recipe_hash) + ".cwr"))
+      .string();
+}
+
+StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
+    const std::string& recipe,
+    const std::function<StatusOr<Graph>()>& build) {
+  const std::string path = GraphPathFor(recipe);
+  const std::string recipe_path = path.substr(0, path.size() - 4) + ".recipe";
+
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    // The sidecar guards against recipe-hash collisions: a different
+    // recipe under the same hash is treated as a miss and overwritten.
+    const std::optional<std::string> stored = ReadSmallFile(recipe_path);
+    if (stored.has_value() && *stored == recipe) {
+      StatusOr<Graph> opened = OpenGraphFile(path);
+      if (opened.ok()) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.graph_hits;
+        return opened;
+      }
+      // Corrupt entry (e.g. torn disk): fall through and rebuild.
+    }
+  }
+
+  StatusOr<Graph> built = build();
+  if (!built.ok()) return built.status();
+  const uint64_t recipe_hash = Fnv1a64(recipe);
+  const Status write = WriteGraphFile(built.value(), path, recipe_hash);
+  if (write.ok()) {
+    const ByteSection section{recipe.data(), recipe.size()};
+    (void)WriteFileAtomic(recipe_path, {&section, 1});
+  }
+  // A failed store is not a failed build: return the graph regardless and
+  // let the next run retry the write.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.graph_misses;
+  if (write.ok()) {
+    std::error_code size_ec;
+    const uint64_t bytes = fs::file_size(path, size_ec);
+    if (!size_ec) stats_.bytes_written += bytes;
+  }
+  return built;
+}
+
+std::optional<RrEraData> ArtifactCache::LoadRrEra(uint64_t recipe_hash,
+                                                  const RrProvenance& expect,
+                                                  std::size_t num_nodes) {
+  const std::string path = RrPathFor(recipe_hash);
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    StatusOr<RrEraData> opened = OpenRrFile(path, &expect, num_nodes);
+    if (opened.ok()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rr_hits;
+      return std::move(opened).value();
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.rr_misses;
+  return std::nullopt;
+}
+
+Status ArtifactCache::StoreRrEra(uint64_t recipe_hash,
+                                 const RrProvenance& provenance,
+                                 const RrCollection& rr) {
+  const std::string path = RrPathFor(recipe_hash);
+  // Eras only ever grow; never replace a larger entry with a smaller one
+  // (two processes with different targets can race on the same key — the
+  // bytes of any shared prefix are identical, so keeping the longer
+  // collection serves both). A TOCTOU window remains, but losing it only
+  // costs resampling, never correctness.
+  if (StatusOr<RrFileHeader> existing = ReadRrHeader(path);
+      existing.ok() && existing.value().num_sets >= rr.size() &&
+      existing.value().graph_hash == provenance.graph_hash &&
+      existing.value().sample_seed == provenance.sample_seed &&
+      existing.value().source_id == provenance.source_id &&
+      existing.value().era_start == provenance.era_start) {
+    return Status::OK();
+  }
+  const Status status = WriteRrFile(rr, provenance, path);
+  if (status.ok()) {
+    std::error_code ec;
+    const uint64_t bytes = fs::file_size(path, ec);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!ec) stats_.bytes_written += bytes;
+  }
+  return status;
+}
+
+std::vector<CacheEntry> ArtifactCache::List() const {
+  std::vector<CacheEntry> entries;
+  std::error_code ec;
+  for (const char* sub : {"graphs", "rr"}) {
+    const fs::path dir = fs::path(root_) / sub;
+    fs::directory_iterator it(dir, ec);
+    if (ec) continue;
+    for (const fs::directory_entry& file : it) {
+      const std::string ext = file.path().extension().string();
+      if (ext != ".cwg" && ext != ".cwr") continue;
+      CacheEntry entry;
+      entry.path = file.path().string();
+      entry.is_graph = ext == ".cwg";
+      std::error_code size_ec;
+      entry.bytes = file.file_size(size_ec);
+      entry.mtime_seconds = MtimeSeconds(file.path(), size_ec);
+      if (entry.is_graph) {
+        const std::string recipe_path =
+            entry.path.substr(0, entry.path.size() - 4) + ".recipe";
+        entry.recipe = ReadSmallFile(recipe_path).value_or("");
+        // The sidecar is part of the entry's footprint: Gc evicts the
+        // pair together, so budgets and reports must count both.
+        std::error_code recipe_ec;
+        const uint64_t recipe_bytes = fs::file_size(recipe_path, recipe_ec);
+        if (!recipe_ec) entry.bytes += recipe_bytes;
+      } else {
+        StatusOr<RrFileHeader> header = ReadRrHeader(entry.path);
+        if (header.ok()) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "graph=%s seed=%llu source=%s era=%llu sets=%llu",
+                        HashToHex(header.value().graph_hash).c_str(),
+                        static_cast<unsigned long long>(
+                            header.value().sample_seed),
+                        HashToHex(header.value().source_id).c_str(),
+                        static_cast<unsigned long long>(
+                            header.value().era_start),
+                        static_cast<unsigned long long>(
+                            header.value().num_sets));
+          entry.recipe = buf;
+        }
+      }
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+GcResult ArtifactCache::Gc(uint64_t max_bytes) {
+  GcResult result;
+
+  // Writers killed mid-WriteFileAtomic leave *.tmp.* files that List()
+  // (and therefore the byte accounting) never sees; reclaim them here.
+  // The age threshold protects a concurrent writer's live temp file.
+  constexpr auto kStaleTmpAge = std::chrono::hours(1);
+  const auto now = fs::file_time_type::clock::now();
+  std::error_code ec;
+  for (const char* sub : {"graphs", "rr"}) {
+    fs::directory_iterator it(fs::path(root_) / sub, ec);
+    if (ec) continue;
+    for (const fs::directory_entry& file : it) {
+      const std::string name = file.path().filename().string();
+      bool reclaimable = name.find(".tmp.") != std::string::npos;
+      if (!reclaimable && file.path().extension() == ".recipe") {
+        // A sidecar whose .cwg is gone (interrupted eviction, manual
+        // delete) is invisible to List(); reclaim it once stale.
+        std::error_code exists_ec;
+        const fs::path graph_path =
+            fs::path(file.path()).replace_extension(".cwg");
+        reclaimable = !fs::exists(graph_path, exists_ec);
+      }
+      if (!reclaimable) continue;
+      std::error_code file_ec;
+      const auto mtime = fs::last_write_time(file.path(), file_ec);
+      if (file_ec || now - mtime < kStaleTmpAge) continue;
+      if (fs::remove(file.path(), file_ec) && !file_ec) {
+        ++result.files_removed;
+      }
+    }
+  }
+
+  std::vector<CacheEntry> entries = List();
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheEntry& a, const CacheEntry& b) {
+              return a.mtime_seconds != b.mtime_seconds
+                         ? a.mtime_seconds < b.mtime_seconds
+                         : a.path < b.path;
+            });
+  for (const CacheEntry& entry : entries) result.bytes_before += entry.bytes;
+  result.bytes_after = result.bytes_before;
+  for (const CacheEntry& entry : entries) {
+    if (result.bytes_after <= max_bytes) break;
+    std::error_code remove_ec;
+    if (!fs::remove(entry.path, remove_ec) || remove_ec) continue;
+    if (entry.is_graph) {
+      fs::remove(entry.path.substr(0, entry.path.size() - 4) + ".recipe",
+                 remove_ec);
+    }
+    result.bytes_after -= entry.bytes;
+    ++result.files_removed;
+  }
+  return result;
+}
+
+CacheStats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cwm

@@ -1,0 +1,127 @@
+// Content-addressed artifact cache for graphs and RR collections.
+//
+// Every artifact is keyed by a hash of its *full build recipe* — for a
+// graph, the canonical string rendering of everything that determines its
+// bytes (network family, scale knobs, seeds, edge-probability model,
+// loader options, source-file content hash for edge lists, and the format
+// version); for an RR collection, the tuple (graph content hash, sampler
+// source id, pipeline seed, era start, format version). Identical recipes
+// therefore always map to identical bytes, so a hit is bit-equivalent to
+// a rebuild — the determinism contract of the scenario engine survives
+// caching unchanged.
+//
+// Layout under the root (CWM_CACHE_DIR):
+//
+//   <root>/graphs/<hex16>.cwg       binary graph (store/graph_store.h)
+//   <root>/graphs/<hex16>.recipe    the recipe string (collision guard +
+//                                   human-readable `cwm_data list`)
+//   <root>/rr/<hex16>.cwr           RR collection (store/rr_store.h)
+//
+// Writes are atomic (temp + rename), so concurrent sweep workers may race
+// on a key safely: both compute identical bytes and the loser's rename
+// simply replaces the file with identical content. Hits are validated
+// (recipe string for graphs, header provenance for RR) so a hash
+// collision degrades to a miss, never to wrong data.
+#ifndef CWM_STORE_ARTIFACT_CACHE_H_
+#define CWM_STORE_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "store/rr_store.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Hit/miss counters; a snapshot is attached to SweepResult and printed
+/// by cwm_run.
+struct CacheStats {
+  uint64_t graph_hits = 0;
+  uint64_t graph_misses = 0;
+  uint64_t rr_hits = 0;
+  uint64_t rr_misses = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// One cache entry as reported by List().
+struct CacheEntry {
+  std::string path;
+  bool is_graph = false;  ///< false = RR collection
+  uint64_t bytes = 0;
+  int64_t mtime_seconds = 0;  ///< for GC ordering
+  std::string recipe;         ///< graphs: recipe string; rr: provenance text
+};
+
+/// Outcome of a Gc() pass.
+struct GcResult {
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+  std::size_t files_removed = 0;
+};
+
+/// A directory of content-addressed artifacts. Thread-safe: file
+/// operations are per-key and atomic; stats are mutex-guarded.
+class ArtifactCache {
+ public:
+  /// Opens (creating directories if needed) a cache rooted at `root`.
+  static StatusOr<std::unique_ptr<ArtifactCache>> Open(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Returns the cached graph for `recipe` (zero-copy mmap open), or
+  /// builds it with `build`, stores it, and returns the built graph.
+  /// A structurally invalid or recipe-mismatched entry is rebuilt in
+  /// place. Build failures are returned verbatim and nothing is stored.
+  StatusOr<Graph> GetOrBuildGraph(
+      const std::string& recipe,
+      const std::function<StatusOr<Graph>()>& build);
+
+  /// Path a graph with `recipe` would be stored at (for cwm_data).
+  std::string GraphPathFor(const std::string& recipe) const;
+
+  /// Loads the RR era stored under `recipe_hash` whose header matches
+  /// (`expect`, num_nodes) exactly; nullopt on absence or mismatch.
+  std::optional<RrEraData> LoadRrEra(uint64_t recipe_hash,
+                                     const RrProvenance& expect,
+                                     std::size_t num_nodes);
+
+  /// Stores `rr` under `recipe_hash`, replacing any previous entry (eras
+  /// only ever grow, so replacement is monotone).
+  Status StoreRrEra(uint64_t recipe_hash, const RrProvenance& provenance,
+                    const RrCollection& rr);
+
+  /// All entries currently in the cache (unordered).
+  std::vector<CacheEntry> List() const;
+
+  /// Deletes oldest-first (by mtime) until total size <= max_bytes.
+  /// Also reclaims stale `*.tmp.*` files (> 1 hour old) left behind by
+  /// writers killed mid-publication.
+  GcResult Gc(uint64_t max_bytes);
+
+  CacheStats stats() const;
+
+ private:
+  explicit ArtifactCache(std::string root) : root_(std::move(root)) {}
+
+  std::string RrPathFor(uint64_t recipe_hash) const;
+
+  std::string root_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+};
+
+/// Folds an RR sampling identity into the single cache key used by the
+/// RR pipeline: graph content, sampler source, seed, era start, and the
+/// on-disk format version.
+uint64_t RrRecipeHash(uint64_t graph_hash, uint64_t source_id,
+                      uint64_t sample_seed, uint64_t era_start);
+
+}  // namespace cwm
+
+#endif  // CWM_STORE_ARTIFACT_CACHE_H_

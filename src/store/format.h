@@ -1,0 +1,124 @@
+// Binary artifact formats: shared constants and hashing primitives.
+//
+// Two file kinds share the same skeleton — a fixed 64/96-byte header
+// (magic, version, endian tag, element counts, FNV-1a payload checksum,
+// provenance) followed by 8-byte-aligned flat sections that mirror the
+// in-memory CSR arrays exactly:
+//
+//   .cwg  Graph          out_offsets | out_edges | in_offsets | in_edges
+//   .cwr  RrCollection   rr_offsets  | rr_weights | rr_members
+//
+// Because the payload *is* the in-memory representation, a graph opens
+// zero-copy: the arrays are pointed at the mapping (store/graph_store.h)
+// and a multi-GB network is usable in milliseconds. Opens validate the
+// header and the structural invariants (offset monotonicity, bounds);
+// the full payload checksum is verified only by the Verify* entry points
+// and `cwm_data verify`, so hot-path opens stay O(num_nodes).
+//
+// Bump kFormatVersion on any layout change: the version is folded into
+// every cache recipe hash (store/artifact_cache.h), so stale artifacts
+// are never misread — they simply stop being cache hits — and CI keys its
+// persisted cache directory on this header's hash.
+#ifndef CWM_STORE_FORMAT_H_
+#define CWM_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "graph/graph.h"
+
+namespace cwm {
+
+/// Bump on any on-disk layout change (headers or section packing).
+inline constexpr uint16_t kFormatVersion = 1;
+
+/// 'CWMG' / 'CWMR' little-endian magics.
+inline constexpr uint32_t kGraphMagic = 0x474D5743u;
+inline constexpr uint32_t kRrMagic = 0x524D5743u;
+
+/// Written as 0xFEFF by the producing machine; a consumer reading 0xFFFE
+/// has the opposite byte order (we do not byte-swap — reject instead).
+inline constexpr uint16_t kEndianTag = 0xFEFFu;
+
+// The payload sections are raw memory images of these types; any change
+// to them is a format change.
+static_assert(sizeof(OutEdge) == 8 && std::is_trivially_copyable_v<OutEdge>);
+static_assert(sizeof(InEdge) == 12 && std::is_trivially_copyable_v<InEdge>);
+static_assert(sizeof(NodeId) == 4 && sizeof(uint64_t) == 8);
+
+/// Fixed header of a .cwg graph file (64 bytes).
+struct GraphFileHeader {
+  uint32_t magic = kGraphMagic;
+  uint16_t version = kFormatVersion;
+  uint16_t endian = kEndianTag;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t payload_bytes = 0;  ///< everything after this header
+  uint64_t checksum = 0;       ///< FNV-1a64 of the payload bytes
+  uint64_t recipe_hash = 0;    ///< build-recipe hash (0 = unknown/imported)
+  uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(GraphFileHeader) == 64);
+static_assert(std::is_trivially_copyable_v<GraphFileHeader>);
+
+/// Fixed header of a .cwr RR-collection file (96 bytes). The provenance
+/// block records the full sampling identity: the content hash of the
+/// graph sampled from, the pipeline seed, the sampler source id, and the
+/// global index of this era's first sample (rrset/rr_pipeline.h). All
+/// four must match on open — a recipe-hash collision can therefore never
+/// serve foreign samples.
+struct RrFileHeader {
+  uint32_t magic = kRrMagic;
+  uint16_t version = kFormatVersion;
+  uint16_t endian = kEndianTag;
+  uint64_t num_nodes = 0;
+  uint64_t num_sets = 0;     ///< RR sets, including empty ones
+  uint64_t num_members = 0;  ///< total member entries
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+  // Provenance (thread-count invariant by construction: the pipeline
+  // derives sample k purely from (seed, k)).
+  uint64_t graph_hash = 0;
+  uint64_t sample_seed = 0;
+  uint64_t source_id = 0;
+  uint64_t era_start = 0;
+  uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(RrFileHeader) == 96);
+static_assert(std::is_trivially_copyable_v<RrFileHeader>);
+
+/// FNV-1a 64-bit offset basis: the initial `state` for a fresh hash and
+/// for every chained multi-section checksum in the store.
+inline constexpr uint64_t kFnv1aBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64-bit over a byte range; chainable via `state`.
+inline uint64_t Fnv1a64(const void* data, std::size_t size,
+                        uint64_t state = kFnv1aBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= p[i];
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+/// FNV-1a 64-bit of a string (recipe keys).
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Content hash of a graph: num_nodes plus the forward CSR arrays (the
+/// reverse arrays are derived, so they are excluded). Identical for a
+/// generated, loaded, or mmap-opened graph with the same edges — this is
+/// the `graph_hash` that keys RR provenance and result-row provenance.
+uint64_t GraphContentHash(const Graph& g);
+
+/// `hash` rendered as 16 lowercase hex digits (cache file stems).
+std::string HashToHex(uint64_t hash);
+
+}  // namespace cwm
+
+#endif  // CWM_STORE_FORMAT_H_

@@ -1,0 +1,237 @@
+#include "store/graph_store.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "store/mapped_file.h"
+
+namespace cwm {
+
+namespace {
+
+/// Section sizes of a graph payload, in file order.
+struct GraphLayout {
+  std::size_t offsets_bytes;  // (n+1) uint64, both halves
+  std::size_t out_edges_bytes;
+  std::size_t in_edges_bytes;
+  std::size_t payload_bytes;
+};
+
+GraphLayout LayoutFor(uint64_t num_nodes, uint64_t num_edges) {
+  GraphLayout layout;
+  layout.offsets_bytes = (num_nodes + 1) * sizeof(uint64_t);
+  layout.out_edges_bytes = num_edges * sizeof(OutEdge);
+  layout.in_edges_bytes = num_edges * sizeof(InEdge);
+  layout.payload_bytes = 2 * layout.offsets_bytes + layout.out_edges_bytes +
+                         layout.in_edges_bytes;
+  return layout;
+}
+
+Status CheckOffsets(const char* what, const std::string& path,
+                    std::span<const uint64_t> offsets, uint64_t num_edges) {
+  if (offsets.empty() || offsets.front() != 0) {
+    return Status::Corruption(path + ": " + what + " does not start at 0");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::Corruption(path + ": " + what + " not monotone at " +
+                                std::to_string(i));
+    }
+  }
+  if (offsets.back() != num_edges) {
+    return Status::Corruption(path + ": " + what +
+                              " does not end at num_edges");
+  }
+  return Status::OK();
+}
+
+struct OpenedGraph {
+  std::shared_ptr<const MappedFile> mapping;
+  GraphFileHeader header;
+  std::span<const uint64_t> out_offsets;
+  std::span<const OutEdge> out_edges;
+  std::span<const uint64_t> in_offsets;
+  std::span<const InEdge> in_edges;
+};
+
+/// Maps `path` and validates structure; shared by Open and Verify.
+StatusOr<OpenedGraph> MapAndValidate(const std::string& path) {
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  auto mapping =
+      std::make_shared<const MappedFile>(std::move(mapped).value());
+
+  if (mapping->size() < sizeof(GraphFileHeader)) {
+    return Status::Corruption(path + ": truncated header (" +
+                              std::to_string(mapping->size()) + " bytes)");
+  }
+  GraphFileHeader header;
+  std::memcpy(&header, mapping->data(), sizeof(header));
+  if (header.magic != kGraphMagic) {
+    return Status::Corruption(path + ": not a cwm graph file (bad magic)");
+  }
+  if (header.endian != kEndianTag) {
+    return Status::Corruption(path + ": wrong byte order");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::Corruption(
+        path + ": format version " + std::to_string(header.version) +
+        " (this build reads " + std::to_string(kFormatVersion) + ")");
+  }
+  // NodeId/EdgeId are 32-bit, so legitimate counts fit well under 2^32;
+  // rejecting larger values here keeps every LayoutFor product far from
+  // 64-bit overflow (a crafted huge count could otherwise wrap
+  // payload_bytes to a value matching a tiny file).
+  if (header.num_nodes > (1ull << 32) || header.num_edges > (1ull << 32)) {
+    return Status::Corruption(path + ": implausible node/edge count");
+  }
+  const GraphLayout layout = LayoutFor(header.num_nodes, header.num_edges);
+  if (header.payload_bytes != layout.payload_bytes ||
+      mapping->size() != sizeof(GraphFileHeader) + layout.payload_bytes) {
+    return Status::Corruption(path + ": truncated or oversized payload");
+  }
+
+  OpenedGraph opened;
+  opened.header = header;
+  const std::byte* p = mapping->data() + sizeof(GraphFileHeader);
+  const std::size_t n1 = header.num_nodes + 1;
+  opened.out_offsets = {reinterpret_cast<const uint64_t*>(p), n1};
+  p += layout.offsets_bytes;
+  opened.out_edges = {reinterpret_cast<const OutEdge*>(p),
+                      static_cast<std::size_t>(header.num_edges)};
+  p += layout.out_edges_bytes;
+  opened.in_offsets = {reinterpret_cast<const uint64_t*>(p), n1};
+  p += layout.offsets_bytes;
+  opened.in_edges = {reinterpret_cast<const InEdge*>(p),
+                     static_cast<std::size_t>(header.num_edges)};
+
+  Status status = CheckOffsets("out_offsets", path, opened.out_offsets,
+                               header.num_edges);
+  if (!status.ok()) return status;
+  status = CheckOffsets("in_offsets", path, opened.in_offsets,
+                        header.num_edges);
+  if (!status.ok()) return status;
+  opened.mapping = std::move(mapping);
+  return opened;
+}
+
+}  // namespace
+
+uint64_t GraphContentHash(const Graph& g) {
+  const uint64_t n = g.num_nodes();
+  uint64_t h = Fnv1a64(&n, sizeof(n));
+  // Canonicalize the one representational difference between a
+  // default-constructed empty graph (no arrays) and its store image
+  // (offset array {0}), so the hash is truly storage-invariant.
+  static constexpr uint64_t kZeroOffset = 0;
+  std::span<const uint64_t> offsets = g.RawOutOffsets();
+  if (offsets.empty()) offsets = {&kZeroOffset, 1};
+  h = Fnv1a64(offsets.data(), offsets.size_bytes(), h);
+  const auto edges = g.RawOutEdges();
+  return Fnv1a64(edges.data(), edges.size_bytes(), h);
+}
+
+std::string HashToHex(uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+Status WriteGraphFile(const Graph& g, const std::string& path,
+                      uint64_t recipe_hash) {
+  GraphFileHeader header;
+  header.num_nodes = g.num_nodes();
+  header.num_edges = g.num_edges();
+  header.recipe_hash = recipe_hash;
+
+  // A default-constructed Graph has empty arrays; persist it as the
+  // canonical zero-node graph (offset arrays of size 1) so every file
+  // round-trips to a usable CSR.
+  static constexpr uint64_t kZeroOffset = 0;
+  std::span<const uint64_t> out_offsets = g.RawOutOffsets();
+  std::span<const uint64_t> in_offsets = g.RawInOffsets();
+  if (out_offsets.empty()) out_offsets = {&kZeroOffset, 1};
+  if (in_offsets.empty()) in_offsets = {&kZeroOffset, 1};
+
+  const ByteSection payload[] = {
+      {out_offsets.data(), out_offsets.size_bytes()},
+      {g.RawOutEdges().data(), g.RawOutEdges().size_bytes()},
+      {in_offsets.data(), in_offsets.size_bytes()},
+      {g.RawInEdges().data(), g.RawInEdges().size_bytes()},
+  };
+  uint64_t checksum = kFnv1aBasis;
+  header.payload_bytes = 0;
+  for (const ByteSection& section : payload) {
+    checksum = Fnv1a64(section.data, section.size, checksum);
+    header.payload_bytes += section.size;
+  }
+  header.checksum = checksum;
+
+  const ByteSection sections[] = {
+      {&header, sizeof(header)}, payload[0], payload[1], payload[2],
+      payload[3],
+  };
+  return WriteFileAtomic(path, sections);
+}
+
+StatusOr<Graph> OpenGraphFile(const std::string& path) {
+  StatusOr<OpenedGraph> opened = MapAndValidate(path);
+  if (!opened.ok()) return opened.status();
+  OpenedGraph& o = opened.value();
+  return Graph::FromExternal(std::move(o.mapping), o.out_offsets,
+                             o.out_edges, o.in_offsets, o.in_edges);
+}
+
+StatusOr<GraphFileHeader> ReadGraphHeader(const std::string& path) {
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  if (mapped.value().size() < sizeof(GraphFileHeader)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  GraphFileHeader header;
+  std::memcpy(&header, mapped.value().data(), sizeof(header));
+  if (header.magic != kGraphMagic) {
+    return Status::Corruption(path + ": not a cwm graph file (bad magic)");
+  }
+  return header;
+}
+
+Status VerifyGraphFile(const std::string& path) {
+  StatusOr<OpenedGraph> opened = MapAndValidate(path);
+  if (!opened.ok()) return opened.status();
+  const OpenedGraph& o = opened.value();
+  const std::byte* payload = o.mapping->data() + sizeof(GraphFileHeader);
+  const uint64_t checksum = Fnv1a64(payload, o.header.payload_bytes);
+  if (checksum != o.header.checksum) {
+    return Status::Corruption(path + ": payload checksum mismatch");
+  }
+  // Edge payloads: every endpoint must be a valid node, every reverse
+  // edge id a valid forward id, and every probability in [0, 1]
+  // (negated comparison so NaN fails) — the O(num_edges) half of
+  // validation that the hot open path skips (it would page in the whole
+  // file).
+  for (std::size_t i = 0; i < o.out_edges.size(); ++i) {
+    if (o.out_edges[i].to >= o.header.num_nodes ||
+        !(o.out_edges[i].prob >= 0.0f && o.out_edges[i].prob <= 1.0f)) {
+      return Status::Corruption(path + ": out-edge payload out of range at " +
+                                std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < o.in_edges.size(); ++i) {
+    if (o.in_edges[i].from >= o.header.num_nodes ||
+        o.in_edges[i].id >= o.header.num_edges ||
+        !(o.in_edges[i].prob >= 0.0f && o.in_edges[i].prob <= 1.0f)) {
+      return Status::Corruption(path + ": in-edge payload out of range at " +
+                                std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cwm

@@ -1,0 +1,48 @@
+// Binary graph persistence (.cwg): write once, mmap forever.
+//
+// WriteGraphFile lays the graph's four CSR arrays down verbatim after a
+// fixed header (store/format.h), so OpenGraphFile can hand back a Graph
+// whose spans point straight into the mapping — no parsing, no allocation
+// proportional to the graph, no copies. Opening a multi-GB Orkut/Twitter
+// image costs one mmap plus an O(num_nodes) structural validation; the
+// kernel pages edges in lazily as algorithms touch them.
+//
+// Open-time validation (always): magic/version/endianness, section sizes
+// vs. file size, and offset monotonicity/bounds for both CSR halves —
+// everything checkable without paging in the edge sections. Edge
+// *payloads* (endpoints, reverse edge ids, probabilities) are NOT
+// validated on open: that is O(num_edges) and would fault in the whole
+// file, defeating the lazy mmap. Trust boundary: files the ArtifactCache
+// wrote itself are well-formed by construction; run VerifyGraphFile (or
+// `cwm_data verify`) on anything imported or hand-delivered — it adds
+// the full payload checksum plus per-edge endpoint/id range checks.
+#ifndef CWM_STORE_GRAPH_STORE_H_
+#define CWM_STORE_GRAPH_STORE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "store/format.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Writes `g` to `path` atomically (temp file + rename). `recipe_hash`
+/// is recorded as provenance (0 = unknown, e.g. ad-hoc imports).
+Status WriteGraphFile(const Graph& g, const std::string& path,
+                      uint64_t recipe_hash = 0);
+
+/// Opens a .cwg file zero-copy: the returned Graph aliases the mapping
+/// (Graph::is_external()) and keeps it alive. Corruption/IOError on any
+/// structural problem.
+StatusOr<Graph> OpenGraphFile(const std::string& path);
+
+/// Header fields of a .cwg file without mapping the payload.
+StatusOr<GraphFileHeader> ReadGraphHeader(const std::string& path);
+
+/// Full integrity check: structural validation plus the payload checksum.
+Status VerifyGraphFile(const std::string& path);
+
+}  // namespace cwm
+
+#endif  // CWM_STORE_GRAPH_STORE_H_

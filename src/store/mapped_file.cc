@@ -1,0 +1,169 @@
+#include "store/mapped_file.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CWM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cwm {
+
+namespace {
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+#if CWM_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+    return;
+  }
+#endif
+  if (!mapped_) delete[] data_;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  std::swap(data_, other.data_);
+  std::swap(size_, other.size_);
+  std::swap(mapped_, other.mapped_);
+  std::swap(path_, other.path_);
+  return *this;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile file;
+  file.path_ = path;
+#if CWM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " + ErrnoString());
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status =
+        Status::IOError("cannot stat " + path + ": " + ErrnoString());
+    ::close(fd);
+    return status;
+  }
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status =
+          Status::IOError("cannot mmap " + path + ": " + ErrnoString());
+      ::close(fd);
+      return status;
+    }
+    file.data_ = static_cast<std::byte*>(addr);
+    file.mapped_ = true;
+  }
+  ::close(fd);
+  return file;
+#else
+  // ftell returns long (32-bit on LLP64 Windows), which cannot size the
+  // multi-GB artifacts this store exists for; filesystem::file_size is
+  // 64-bit everywhere.
+  std::error_code size_ec;
+  const std::uintmax_t size =
+      std::filesystem::file_size(std::filesystem::path(path), size_ec);
+  if (size_ec) {
+    return Status::IOError("cannot size " + path + ": " +
+                           size_ec.message());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  file.size_ = static_cast<std::size_t>(size);
+  if (file.size_ > 0) {
+    file.data_ = new std::byte[file.size_];
+    if (std::fread(file.data_, 1, file.size_, f) != file.size_) {
+      std::fclose(f);
+      return Status::IOError("short read of " + path);
+    }
+  }
+  std::fclose(f);
+  return file;
+#endif
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const ByteSection> sections) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directories for " + path + ": " +
+                             ec.message());
+    }
+  }
+  // Unique per writer: racing writers of the same key each publish their
+  // own temp file; the final rename is atomic either way. The counter
+  // disambiguates threads within a process, the pid (or, on platforms
+  // without one, the ASLR-randomized counter address) across processes.
+  static std::atomic<uint64_t> tmp_counter{0};
+#if CWM_HAVE_MMAP
+  const uint64_t writer_id = static_cast<uint64_t>(::getpid());
+#else
+  const uint64_t writer_id =
+      reinterpret_cast<uintptr_t>(&tmp_counter) >> 4;
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(writer_id) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing: " +
+                           ErrnoString());
+  }
+  for (const ByteSection& section : sections) {
+    if (section.size == 0) continue;
+    if (std::fwrite(section.data, 1, section.size, f) != section.size) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot flush " + tmp);
+  }
+#if CWM_HAVE_MMAP
+  // Data must be durable before the rename publishes it; otherwise a
+  // crash could leave a complete-looking but empty file at `path`.
+  if (::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot fsync " + tmp + ": " + ErrnoString());
+  }
+#endif
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot close " + tmp);
+  }
+  // std::filesystem::rename replaces an existing destination on every
+  // platform (plain std::rename does not on Windows), which the
+  // grow-and-overwrite RR era entries rely on.
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace cwm

@@ -1,0 +1,66 @@
+// Read-only file mapping and atomic file publication.
+//
+// MappedFile wraps mmap(2) (with a plain buffered-read fallback on
+// platforms without it) so artifact opens are zero-copy: the kernel pages
+// data in on demand and shares clean pages across processes. WriteFileAtomic
+// publishes artifacts crash-safely: bytes land in a same-directory temp
+// file which is fsync'd and then rename(2)'d over the destination, so
+// concurrent readers — including other sweep workers racing on the same
+// cache key — only ever observe absent or complete files.
+#ifndef CWM_STORE_MAPPED_FILE_H_
+#define CWM_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace cwm {
+
+/// An open read-only mapping of a whole file. Move-only; the mapping is
+/// released on destruction. Zero-length files map to an empty span.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only. IOError if the file cannot be opened/mapped.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  ///< true: munmap on close; false: heap fallback
+  std::string path_;
+};
+
+/// One contiguous section of an artifact file to be written.
+struct ByteSection {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Writes the concatenation of `sections` to `path` atomically: a unique
+/// temp file in the same directory is written, fsync'd, and renamed over
+/// `path`. Parent directories are created. On error the temp file is
+/// removed and `path` is untouched.
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const ByteSection> sections);
+
+}  // namespace cwm
+
+#endif  // CWM_STORE_MAPPED_FILE_H_

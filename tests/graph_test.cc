@@ -272,10 +272,60 @@ TEST_F(LoaderTest, UndirectedOption) {
 
 TEST_F(LoaderTest, DensifiesSparseIds) {
   WriteFile("1000000 5\n5 70000\n");
-  StatusOr<Graph> g = ReadEdgeList(path_);
+  LoadOptions opts;
+  opts.default_prob = 0.5;
+  StatusOr<Graph> g = ReadEdgeList(path_, opts);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g.value().num_nodes(), 3u);
   EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(LoaderTest, MissingProbColumnWithoutOptInIsInvalidArgument) {
+  // A probability-less line with the sentinel default would silently
+  // produce p = 0 edges (diffusion impossible); it must fail loudly.
+  WriteFile("0 1\n");
+  StatusOr<Graph> g = ReadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(LoaderTest, ExplicitZeroDefaultProbIsAnOptIn) {
+  // 0.0 is a legitimate explicit choice (an edge-probability model is
+  // applied afterwards); only the unset sentinel rejects.
+  WriteFile("0 1\n1 2\n");
+  LoadOptions opts;
+  opts.default_prob = 0.0;
+  StatusOr<Graph> g = ReadEdgeList(path_, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 2u);
+  EXPECT_FLOAT_EQ(g.value().OutEdges(0)[0].prob, 0.0f);
+}
+
+TEST_F(LoaderTest, HandlesCrlfAndExtraColumns) {
+  // Windows line endings and SNAP-style trailing annotations both parse.
+  WriteFile("0 1 0.5\r\n1 2 0.25 timestamp\r\n2 0\r\n");
+  LoadOptions opts;
+  opts.default_prob = 0.75;
+  StatusOr<Graph> g = ReadEdgeList(path_, opts);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g.value().num_edges(), 3u);
+  EXPECT_FLOAT_EQ(g.value().OutEdges(0)[0].prob, 0.5f);
+  EXPECT_FLOAT_EQ(g.value().OutEdges(1)[0].prob, 0.25f);
+  EXPECT_FLOAT_EQ(g.value().OutEdges(2)[0].prob, 0.75f);
+}
+
+TEST_F(LoaderTest, LastLineWithoutNewlineParses) {
+  WriteFile("0 1 0.5\n1 2 0.25");
+  StatusOr<Graph> g = ReadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST_F(LoaderTest, NegativeNodeIdIsCorruption) {
+  WriteFile("-1 2 0.5\n");
+  StatusOr<Graph> g = ReadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kCorruption);
 }
 
 TEST_F(LoaderTest, MissingFileIsIOError) {
@@ -285,7 +335,7 @@ TEST_F(LoaderTest, MissingFileIsIOError) {
 }
 
 TEST_F(LoaderTest, MalformedLineIsCorruption) {
-  WriteFile("0 1\nhello world\n");
+  WriteFile("0 1 0.5\nhello world\n");
   StatusOr<Graph> g = ReadEdgeList(path_);
   ASSERT_FALSE(g.ok());
   EXPECT_EQ(g.status().code(), Status::Code::kCorruption);

@@ -8,6 +8,11 @@
 //   --out FILE        write JSON-Lines results (FILE '-' = stdout)
 //   --csv FILE        write CSV results
 //   --threads N       task-level parallelism (0 = hardware concurrency)
+//   --cache-dir DIR   artifact cache (CWM_CACHE_DIR): graphs and RR
+//                     collections are mmap-served from DIR when their
+//                     build recipe matches, and stored there on miss.
+//                     Bit-identical results either way; hit/miss stats
+//                     print to stderr after each sweep.
 //   --rr-threads N    RR-set sampling threads per task (default 1; any
 //                     value yields bit-identical results — the sampler
 //                     derives one RNG stream per sample index). Two-level
@@ -51,7 +56,7 @@ int Usage(const char* argv0, int code) {
                "       %s <scenario>... [--out FILE] [--csv FILE]\n"
                "         [--threads N] [--rr-threads N] [--inner-threads N]\n"
                "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
-               "         [--slow] [--timing] [--quiet]\n",
+               "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n",
                argv0, argv0, argv0);
   return code;
 }
@@ -145,6 +150,10 @@ int main(int argc, char** argv) {
       has_seed_override = true;
       continue;
     }
+    if (ParseValue(argc, argv, &i, "--cache-dir", &value)) {
+      options.cache_dir = value;
+      continue;
+    }
     if (arg == "--slow") { options.run_slow_everywhere = true; continue; }
     if (arg == "--timing") { timing = true; continue; }
     if (arg == "--quiet") { quiet = true; continue; }
@@ -235,6 +244,19 @@ int main(int argc, char** argv) {
       std::printf("== %s: %zu rows in %.2fs\n\n", spec.name.c_str(),
                   result.value().rows.size(),
                   result.value().total_seconds);
+    }
+    if (result.value().cache_enabled) {
+      // stderr, even under --quiet: CI's warm-cache smoke greps this, and
+      // it must never contaminate --out - (JSONL on stdout).
+      const CacheStats& stats = result.value().cache_stats;
+      std::fprintf(stderr,
+                   "%s cache: graphs hits=%llu misses=%llu; "
+                   "rr hits=%llu misses=%llu\n",
+                   spec.name.c_str(),
+                   static_cast<unsigned long long>(stats.graph_hits),
+                   static_cast<unsigned long long>(stats.graph_misses),
+                   static_cast<unsigned long long>(stats.rr_hits),
+                   static_cast<unsigned long long>(stats.rr_misses));
     }
     if (out_to_stdout) {
       WriteJsonLines(result.value(), std::cout, sink_options);
