@@ -22,6 +22,7 @@
 #include "rrset/rr_collection.h"
 #include "rrset/rr_pipeline.h"
 #include "rrset/rr_sampler.h"
+#include "simulate/estimator.h"
 #include "simulate/uic_simulator.h"
 #include "store/graph_store.h"
 
@@ -127,6 +128,49 @@ BENCHMARK(BM_RrPipelineSampling)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Batched welfare estimation: score `batch` candidate allocations with
+// one StatsBatch call on a fresh estimator, so every iteration pays the
+// world materialization (snapshot + utility table per world) exactly
+// once, amortized over the batch — the cost shape of MaxGRD's argmax and
+// greedyWM's CELF population. `items_per_second` counts candidates, so
+// per-candidate throughput rising with the batch arg is the win the CI
+// gate (scripts/check_batch_speedup.py) asserts: batch 16 >= 3x batch 1.
+// Single estimator thread for stable cross-arm ratios.
+void BM_WelfareBatch(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const UtilityConfig config = MakeConfigC1();
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<Allocation> candidates;
+  candidates.reserve(batch);
+  for (int j = 0; j < batch; ++j) {
+    Allocation a(2);
+    for (NodeId k = 0; k < 5; ++k) {
+      a.Add(static_cast<NodeId>((j * 131 + k * 37) %
+                                static_cast<int>(g.num_nodes())),
+            static_cast<ItemId>(k % 2));
+    }
+    candidates.push_back(std::move(a));
+  }
+  double acc = 0.0;
+  for (auto _ : state) {
+    const WelfareEstimator estimator(
+        g, config, {.num_worlds = 64, .seed = 29, .num_threads = 1});
+    const std::vector<WelfareStats> stats =
+        estimator.StatsBatch(candidates);
+    acc += stats.back().welfare;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * batch);
+  state.counters["candidates"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_WelfareBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI perf gate for the batched world-snapshot welfare estimator.
+
+Reads a google-benchmark JSON file containing BM_WelfareBatch runs
+(items/s = candidate allocations scored per second; every iteration
+builds its world snapshots once and sweeps the whole batch through them)
+and fails (exit 1) unless per-candidate throughput at `--batch` is at
+least `--min-speedup` times the batch-1 baseline.
+
+Usage:
+  check_batch_speedup.py bench.json [--batch 16] [--min-speedup 3.0]
+"""
+import argparse
+import json
+import sys
+
+
+def throughput(benchmarks, batch):
+    """Best candidates/s across repetitions of the `batch`-candidate arm."""
+    name = f"BM_WelfareBatch/{batch}/real_time"
+    rates = [float(bench["items_per_second"]) for bench in benchmarks
+             if bench.get("name") == name
+             and bench.get("run_type", "iteration") == "iteration"
+             and not bench.get("error_occurred", False)]
+    if not rates:
+        raise SystemExit(f"benchmark '{name}' not found in the JSON input")
+    return max(rates)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="batch arm to compare (default 16)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required per-candidate throughput ratio vs "
+                             "batch 1 (default 3.0)")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+
+    base = throughput(benchmarks, 1)
+    batched = throughput(benchmarks, args.batch)
+    speedup = batched / base if base > 0 else 0.0
+    print(f"Welfare estimation throughput: batch 1 = {base:,.0f} "
+          f"candidates/s, batch {args.batch} = {batched:,.0f} candidates/s "
+          f"(per-candidate speedup {speedup:.2f}x, "
+          f"gate {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        print(f"FAIL: batch-{args.batch} per-candidate throughput is only "
+              f"{speedup:.2f}x the batch-1 baseline "
+              f"(needs >= {args.min_speedup:.2f}x)", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,13 @@ Allocation BestOfSeqMax(const Graph& graph, const UtilityConfig& config,
   Allocation max =
       MaxGrd(graph, config, sp_or_empty, items, budgets, params);
   WelfareEstimator estimator(graph, config, params.estimator);
-  const double seq_welfare =
-      estimator.Welfare(Allocation::Union(seq, sp_or_empty));
-  const double max_welfare =
-      estimator.Welfare(Allocation::Union(max, sp_or_empty));
+  // One batched pass: both arms share each world's snapshot and utility
+  // table instead of materializing the world sequence twice.
+  const Allocation finals[] = {Allocation::Union(seq, sp_or_empty),
+                               Allocation::Union(max, sp_or_empty)};
+  const std::vector<WelfareStats> stats = estimator.StatsBatch(finals);
+  const double seq_welfare = stats[0].welfare;
+  const double max_welfare = stats[1].welfare;
   if (seq_welfare >= max_welfare) {
     if (chosen != nullptr) *chosen = "SeqGRD";
     return seq;

@@ -36,21 +36,33 @@ Allocation MaxGrd(const Graph& graph, const UtilityConfig& config,
   // Line 3: pick the item whose prefix allocation yields the best marginal
   // welfare. With S_P = ∅ this is E[U+(i)] * sigma(S_i) (single-item
   // allocations diffuse independently), estimated by Monte Carlo for
-  // consistency with S_P != ∅ runs.
+  // consistency with S_P != ∅ runs. All candidates are scored in one
+  // batched pass, so every possible world is materialized once for the
+  // whole argmax instead of once per item.
   WelfareEstimator estimator(graph, config, params.estimator);
-  double best_welfare = -1.0;
-  Allocation best(config.num_items());
+  std::vector<Allocation> candidates;
+  candidates.reserve(items.size());
   for (ItemId i : items) {
     Allocation candidate(config.num_items());
     const std::size_t bi = static_cast<std::size_t>(budgets[i]);
     for (std::size_t k = 0; k < bi; ++k) candidate.Add(prima.seeds[k], i);
-    const double welfare =
-        sp_or_empty.Empty()
-            ? estimator.Welfare(candidate)
-            : estimator.MarginalWelfare(sp_or_empty, candidate);
-    if (welfare > best_welfare) {
-      best_welfare = welfare;
-      best = candidate;
+    candidates.push_back(std::move(candidate));
+  }
+  std::vector<double> welfare;
+  if (sp_or_empty.Empty()) {
+    welfare.reserve(candidates.size());
+    for (const WelfareStats& stats : estimator.StatsBatch(candidates)) {
+      welfare.push_back(stats.welfare);
+    }
+  } else {
+    welfare = estimator.MarginalWelfareBatch(sp_or_empty, candidates);
+  }
+  double best_welfare = -1.0;
+  Allocation best(config.num_items());
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (welfare[j] > best_welfare) {
+      best_welfare = welfare[j];
+      best = candidates[j];
     }
   }
   return best;

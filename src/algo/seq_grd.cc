@@ -56,9 +56,14 @@ Allocation SeqGrd(const Graph& graph, const UtilityConfig& config,
     bool accept = true;
     if (options.marginal_check) {
       // Line 8: commit only if the block adds positive marginal welfare on
-      // top of everything allocated so far (including S_P).
+      // top of everything allocated so far (including S_P). Checks are
+      // inherently sequential (each base depends on the previous accept),
+      // so the batch is a single candidate — but routing it through the
+      // batch API shares the estimator's world-snapshot pool across all
+      // of this run's checks.
       const Allocation base = Allocation::Union(result, sp_or_empty);
-      accept = estimator.MarginalWelfare(base, candidate) > 0.0;
+      accept =
+          estimator.MarginalWelfareBatch(base, {&candidate, 1})[0] > 0.0;
     }
     if (accept) {
       result = Allocation::Union(result, candidate);

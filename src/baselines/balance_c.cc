@@ -42,15 +42,25 @@ Allocation BalanceC(const Graph& graph, const UtilityConfig& config,
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
 
   Allocation result(config.num_items());
+  // Lazy CELF refreshes go through the batch API (batch of one) so every
+  // re-evaluation reuses the estimator's world-snapshot pool.
   auto marginal = [&](NodeId v, ItemId i) {
     Allocation extra(config.num_items());
     extra.Add(v, i);
-    return estimator.MarginalBalancedExposure(
-        Allocation::Union(result, sp_or_empty), extra);
+    return estimator.MarginalBalancedExposureBatch(
+        Allocation::Union(result, sp_or_empty), {&extra, 1})[0];
   };
 
-  for (NodeId v : pool) {
-    for (ItemId i : items) heap.push({marginal(v, i), 0, v, i});
+  // The initial candidate grid shares one base; sweep it in one batch.
+  {
+    const std::vector<double> gains =
+        estimator.MarginalBalancedExposureBatch(
+            Allocation::Union(result, sp_or_empty),
+            CandidatePairGrid(config.num_items(), pool, items));
+    std::size_t j = 0;
+    for (NodeId v : pool) {
+      for (ItemId i : items) heap.push({gains[j++], 0, v, i});
+    }
   }
 
   int round = 0;

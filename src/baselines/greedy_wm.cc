@@ -32,6 +32,21 @@ std::vector<NodeId> TopSpreadNodes(const Graph& graph, std::size_t pool,
       .seeds;
 }
 
+std::vector<Allocation> CandidatePairGrid(int num_items,
+                                          const std::vector<NodeId>& pool,
+                                          const std::vector<ItemId>& items) {
+  std::vector<Allocation> grid;
+  grid.reserve(pool.size() * items.size());
+  for (NodeId v : pool) {
+    for (ItemId i : items) {
+      Allocation extra(num_items);
+      extra.Add(v, i);
+      grid.push_back(std::move(extra));
+    }
+  }
+  return grid;
+}
+
 Allocation GreedyWm(const Graph& graph, const UtilityConfig& config,
                     const Allocation& sp, const std::vector<ItemId>& items,
                     const BudgetVector& budgets, const AlgoParams& params,
@@ -71,16 +86,31 @@ Allocation GreedyWm(const Graph& graph, const UtilityConfig& config,
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
 
   Allocation result(config.num_items());
+  // Batch-of-one refresh: lazy CELF re-evaluations are sequential (each
+  // base depends on the picks so far), but the batch API lets them reuse
+  // the estimator's world-snapshot pool instead of re-deriving every
+  // world per call.
   auto marginal = [&](NodeId v, ItemId i) {
     Allocation extra(config.num_items());
     extra.Add(v, i);
-    return estimator.MarginalWelfare(Allocation::Union(result, sp_or_empty),
-                                     extra);
+    return estimator
+        .MarginalWelfareBatch(Allocation::Union(result, sp_or_empty),
+                              {&extra, 1})[0];
   };
 
-  for (NodeId v : pool) {
-    for (ItemId i : items) {
-      heap.push({marginal(v, i), 0, v, i});
+  // Initial heap population: the full (node, item) candidate grid shares
+  // one base (nothing picked yet), so all pool x items marginals go
+  // through a single batched sweep — one snapshot build and one base
+  // diffusion per world for the entire grid.
+  {
+    const std::vector<double> gains = estimator.MarginalWelfareBatch(
+        Allocation::Union(result, sp_or_empty),
+        CandidatePairGrid(config.num_items(), pool, items));
+    std::size_t j = 0;
+    for (NodeId v : pool) {
+      for (ItemId i : items) {
+        heap.push({gains[j++], 0, v, i});
+      }
     }
   }
 

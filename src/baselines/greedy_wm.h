@@ -45,6 +45,14 @@ std::vector<NodeId> TopOutDegreeNodes(const Graph& graph, std::size_t pool);
 std::vector<NodeId> TopSpreadNodes(const Graph& graph, std::size_t pool,
                                    const ImmParams& params);
 
+/// Shared helper: the pool x items candidate grid as single-pair
+/// allocations, pool-major with items innermost — the enumeration order
+/// both CELF baselines use to populate their heaps from one batched
+/// marginal sweep.
+std::vector<Allocation> CandidatePairGrid(int num_items,
+                                          const std::vector<NodeId>& pool,
+                                          const std::vector<ItemId>& items);
+
 }  // namespace cwm
 
 #endif  // CWM_BASELINES_GREEDY_WM_H_

@@ -53,11 +53,21 @@ StatusOr<Graph> ReadEdgeList(const std::string& path,
 
 /// Cache-aware ReadEdgeList: keys the artifact cache on the file's
 /// *content hash* plus the load options, so a hit skips parsing entirely
-/// (zero-copy .cwg open) and an edited file is keyed afresh. With a null
-/// cache this is plain ReadEdgeList.
+/// (zero-copy .cwg open) and an edited file is keyed afresh. The content
+/// hash itself is memoized in a (size, mtime)-validated sidecar under
+/// the cache root, so warm loads of multi-GB files skip even the hashing
+/// read; a sidecar disproved by the keyed parse self-heals with a
+/// re-hash. Caveat shared with every mtime-keyed cache: a rewrite that
+/// preserves both byte size and nanosecond mtime is indistinguishable
+/// from the original and would be served stale. With a null cache this
+/// is plain ReadEdgeList.
+/// If `graph_hash` is non-null it receives GraphContentHash of the
+/// returned graph — from the .cwg header on a cache hit (no edge
+/// page-in), computed once on a miss, 0 when `cache` is null.
 StatusOr<Graph> ReadEdgeListCached(const std::string& path,
                                    const LoadOptions& options,
-                                   ArtifactCache* cache);
+                                   ArtifactCache* cache,
+                                   uint64_t* graph_hash = nullptr);
 
 /// Writes `g` to `path` as "u v p" lines with a '#' header.
 Status WriteEdgeList(const Graph& g, const std::string& path);

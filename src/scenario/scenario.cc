@@ -68,16 +68,22 @@ std::string NetworkSpec::CacheRecipe(double scale) const {
   return buf;
 }
 
-StatusOr<Graph> NetworkSpec::Build(double scale, ArtifactCache* cache) const {
+StatusOr<Graph> NetworkSpec::Build(double scale, ArtifactCache* cache,
+                                   uint64_t* content_hash) const {
+  if (content_hash != nullptr) *content_hash = 0;
   // Generator families cache the *finished* graph (probabilities and BFS
   // subsampling applied) under the full recipe. Edge lists are instead
   // content-keyed at the load level (ReadEdgeListCached below), so an
   // edited file can never serve stale bytes; the gadget is trivially
-  // cheap and stays uncached.
+  // cheap and stays uncached. The header's content hash is propagated
+  // wherever the cached artifact is returned untransformed: this branch
+  // always, and the edge-list path when neither a probability model nor
+  // BFS subsampling rewrites the loaded graph.
   if (cache != nullptr && family != "edge-list" &&
       family != "theorem2-gadget") {
     return cache->GetOrBuildGraph(CacheRecipe(scale),
-                                  [&]() { return Build(scale, nullptr); });
+                                  [&]() { return Build(scale, nullptr); },
+                                  content_hash);
   }
 
   Graph topology;
@@ -117,7 +123,14 @@ StatusOr<Graph> NetworkSpec::Build(double scale, ArtifactCache* cache) const {
     // harmless fill-in.
     LoadOptions load_options;
     if (prob != ProbModel::kAsIs) load_options.default_prob = 0.0;
-    StatusOr<Graph> loaded = ReadEdgeListCached(path, load_options, cache);
+    // A real SNAP dataset used as-is (no probability rewrite, no BFS
+    // cut) is returned straight from the store: its header hash is the
+    // finished graph's hash, so warm sweeps skip the O(edges) page-in.
+    const bool untransformed =
+        prob == ProbModel::kAsIs && bfs_fraction >= 1.0;
+    StatusOr<Graph> loaded =
+        ReadEdgeListCached(path, load_options, cache,
+                           untransformed ? content_hash : nullptr);
     if (!loaded.ok()) return loaded.status();
     topology = std::move(loaded).value();
   } else if (family == "theorem2-gadget") {

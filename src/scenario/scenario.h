@@ -70,9 +70,13 @@ struct NetworkSpec {
   /// With a non-null `cache` the finished graph (probabilities applied)
   /// is served from / stored into the artifact store under this spec's
   /// full recipe — a hit mmap-opens the binary image zero-copy and is
-  /// bit-identical to a rebuild.
-  StatusOr<Graph> Build(double scale = 1.0,
-                        ArtifactCache* cache = nullptr) const;
+  /// bit-identical to a rebuild. If `content_hash` is non-null it
+  /// receives GraphContentHash of the returned graph when the cached
+  /// path can provide it cheaply (from the .cwg header on warm opens —
+  /// no edge page-in), or 0 when the caller must compute it itself
+  /// (uncached families, post-load transforms).
+  StatusOr<Graph> Build(double scale = 1.0, ArtifactCache* cache = nullptr,
+                        uint64_t* content_hash = nullptr) const;
 
   /// The canonical recipe string keying this spec (+ scale) in the
   /// artifact cache; exposed for cwm_data and tests.

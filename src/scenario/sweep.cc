@@ -110,7 +110,8 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
                 .graph_hash = cell.graph_hash};
   params.estimator = {.num_worlds = sims,
                       .seed = MixHash(algo_seed, kEstTag),
-                      .num_threads = options.inner_threads};
+                      .num_threads = options.inner_threads,
+                      .snapshot_budget_bytes = options.snapshot_budget_bytes};
 
   // Slow baselines restrict candidates to a pool around the largest
   // budget, like the bench drivers.
@@ -252,6 +253,10 @@ SweepOptions EnvSweepOptions() {
       static_cast<unsigned>(EnvInt("CWM_INNER_THREADS", 1, /*min_value=*/1));
   options.rr_threads =
       static_cast<unsigned>(EnvInt("CWM_RR_THREADS", 1, /*min_value=*/1));
+  options.snapshot_budget_bytes =
+      static_cast<std::size_t>(
+          EnvInt("CWM_SNAPSHOT_BUDGET_MB", 256, /*min_value=*/0))
+      << 20;
   if (const char* dir = std::getenv("CWM_CACHE_DIR");
       dir != nullptr && *dir != '\0') {
     options.cache_dir = dir;
@@ -282,18 +287,21 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   }
 
   // Phase 1 (serial, deterministic): materialize networks and configs once.
+  // Content hashes are provenance for result rows and the key half of
+  // every cached RR era; warm cache opens serve them from the .cwg header
+  // (O(1), no edge page-in), everything else pays one O(edges) pass.
   std::vector<Graph> graphs;
   graphs.reserve(spec.networks.size());
+  std::vector<uint64_t> graph_hashes;
+  graph_hashes.reserve(spec.networks.size());
   for (const NetworkSpec& net : spec.networks) {
-    StatusOr<Graph> graph = net.Build(options.scale, cache);
+    uint64_t stored_hash = 0;
+    StatusOr<Graph> graph = net.Build(options.scale, cache, &stored_hash);
     if (!graph.ok()) return graph.status();
     graphs.push_back(std::move(graph).value());
-  }
-  // Content hashes: provenance for result rows and the key half of every
-  // cached RR era. One O(edges) pass per network.
-  std::vector<uint64_t> graph_hashes(graphs.size());
-  for (std::size_t n = 0; n < graphs.size(); ++n) {
-    graph_hashes[n] = GraphContentHash(graphs[n]);
+    graph_hashes.push_back(stored_hash != 0
+                               ? stored_hash
+                               : GraphContentHash(graphs.back()));
   }
   std::vector<UtilityConfig> configs;
   configs.reserve(spec.configs.size());

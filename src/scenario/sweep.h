@@ -46,6 +46,11 @@ struct SweepOptions {
   /// via ScenarioSpec::rr_threads). Unlike inner_threads this never
   /// changes results — the pipeline is deterministic at any value.
   unsigned rr_threads = 1;
+  /// Byte budget per estimator for materialized world snapshots backing
+  /// the batched welfare evaluations (CWM_SNAPSHOT_BUDGET_MB, cwm_run
+  /// --snapshot-budget-mb; 0 disables materialization). Never changes
+  /// results — snapshot evaluation is bit-identical to streaming.
+  std::size_t snapshot_budget_bytes = 256ull << 20;
   /// Estimator worlds when the spec leaves ScenarioSpec::sims == 0.
   int default_sims = 200;
   /// Evaluation worlds when the spec leaves eval_sims == 0.

@@ -9,15 +9,14 @@ namespace cwm {
 namespace {
 
 // World w derives its edge seed and noise stream deterministically from the
-// estimator seed, so every estimate (and both sides of a marginal) sees the
-// same sequence of possible worlds.
+// estimator seed (simulate/world.h), so every estimate (and both sides of a
+// marginal) sees the same sequence of possible worlds.
 uint64_t EdgeSeedOf(uint64_t base, int world) {
-  return MixHash(base, static_cast<uint64_t>(world) * 2 + 1);
+  return WorldEdgeSeedOf(base, world);
 }
 
 Rng NoiseRngOf(uint64_t base, int world) {
-  return Rng(MixHash(base ^ 0x9e3779b97f4a7c15ULL,
-                     static_cast<uint64_t>(world) * 2));
+  return WorldNoiseRngOf(base, world);
 }
 
 }  // namespace
@@ -29,15 +28,36 @@ WelfareEstimator::WelfareEstimator(const Graph& graph,
   CWM_CHECK(options_.num_worlds > 0);
 }
 
+std::size_t WelfareEstimator::NumChunks() const {
+  const unsigned threads =
+      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+  return std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, options_.num_worlds));
+}
+
+const WorldPool& WelfareEstimator::EnsurePool() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) {
+    const unsigned threads =
+        options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+    pool_ = std::make_shared<const WorldPool>(
+        graph_, config_, options_.seed, options_.num_worlds,
+        options_.snapshot_budget_bytes, threads);
+  }
+  return *pool_;
+}
+
+WorldPoolStats WelfareEstimator::snapshot_stats() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_ == nullptr ? WorldPoolStats{} : pool_->stats();
+}
+
 double WelfareEstimator::Welfare(const Allocation& allocation) const {
   return Stats(allocation).welfare;
 }
 
 WelfareStats WelfareEstimator::Stats(const Allocation& allocation) const {
-  const unsigned threads =
-      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
-  const std::size_t chunks = std::max<std::size_t>(
-      1, std::min<std::size_t>(threads, options_.num_worlds));
+  const std::size_t chunks = NumChunks();
   std::vector<WelfareStats> partial(chunks);
   ParallelFor(
       chunks,
@@ -76,6 +96,191 @@ WelfareStats WelfareEstimator::Stats(const Allocation& allocation) const {
   total.adopting_nodes *= inv;
   for (double& x : total.adopters_per_item) x *= inv;
   return total;
+}
+
+std::vector<WelfareStats> WelfareEstimator::StatsBatch(
+    std::span<const Allocation> allocations) const {
+  const std::size_t count = allocations.size();
+  std::vector<WelfareStats> totals(count);
+  for (WelfareStats& t : totals) {
+    t.adopters_per_item.assign(config_.num_items(), 0.0);
+  }
+  if (count == 0) return totals;
+
+  const WorldPool& pool = EnsurePool();
+  const std::size_t chunks = NumChunks();
+  // partial[c][j]: chunk c's accumulator for candidate j. Worlds stride
+  // over chunks exactly like Stats(), so per-candidate accumulation order
+  // — and therefore the floating-point sum — matches the streaming path
+  // bit for bit.
+  std::vector<std::vector<WelfareStats>> partial(chunks);
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        std::vector<WelfareStats>& acc = partial[c];
+        acc.resize(count);
+        for (WelfareStats& a : acc) {
+          a.adopters_per_item.assign(config_.num_items(), 0.0);
+        }
+        auto accumulate = [&](WelfareStats& a, const WorldOutcome& out) {
+          a.welfare += out.welfare;
+          a.adopting_nodes += static_cast<double>(out.adopting_nodes);
+          for (ItemId i = 0; i < config_.num_items(); ++i) {
+            a.adopters_per_item[i] +=
+                static_cast<double>(out.adopters_per_item[i]);
+          }
+        };
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          if (const WorldSnapshot* snapshot = pool.Get(w)) {
+            for (std::size_t j = 0; j < count; ++j) {
+              accumulate(acc[j], sim.RunWorld(allocations[j], *snapshot));
+            }
+          } else {
+            const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+            Rng noise_rng = NoiseRngOf(options_.seed, w);
+            const WorldUtilityTable table(config_, noise_rng);
+            for (std::size_t j = 0; j < count; ++j) {
+              accumulate(acc[j],
+                         sim.RunWorld(allocations[j], edges, table));
+            }
+          }
+        }
+      },
+      static_cast<unsigned>(chunks));
+
+  const double inv = 1.0 / options_.num_worlds;
+  for (std::size_t j = 0; j < count; ++j) {
+    WelfareStats& total = totals[j];
+    for (const std::vector<WelfareStats>& p : partial) {
+      total.welfare += p[j].welfare;
+      total.adopting_nodes += p[j].adopting_nodes;
+      for (ItemId i = 0; i < config_.num_items(); ++i) {
+        total.adopters_per_item[i] += p[j].adopters_per_item[i];
+      }
+    }
+    total.welfare *= inv;
+    total.adopting_nodes *= inv;
+    for (double& x : total.adopters_per_item) x *= inv;
+  }
+  return totals;
+}
+
+std::vector<double> WelfareEstimator::MarginalWelfareBatch(
+    const Allocation& base, std::span<const Allocation> extras) const {
+  const std::size_t count = extras.size();
+  if (count == 0) return {};
+  std::vector<Allocation> merged;
+  merged.reserve(count);
+  for (const Allocation& extra : extras) {
+    merged.push_back(Allocation::Union(base, extra));
+  }
+
+  const WorldPool& pool = EnsurePool();
+  const std::size_t chunks = NumChunks();
+  std::vector<std::vector<double>> partial(chunks);
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        std::vector<double>& acc = partial[c];
+        acc.assign(count, 0.0);
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          // The base diffusion runs once per world for the whole batch;
+          // RunWorld is a pure function of (allocation, world), so the
+          // shared `without` is the exact double the streaming marginal
+          // computes per candidate.
+          if (const WorldSnapshot* snapshot = pool.Get(w)) {
+            const double without = sim.RunWorld(base, *snapshot).welfare;
+            for (std::size_t j = 0; j < count; ++j) {
+              acc[j] += sim.RunWorld(merged[j], *snapshot).welfare - without;
+            }
+          } else {
+            const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+            Rng noise_rng = NoiseRngOf(options_.seed, w);
+            const WorldUtilityTable table(config_, noise_rng);
+            const double without = sim.RunWorld(base, edges, table).welfare;
+            for (std::size_t j = 0; j < count; ++j) {
+              acc[j] +=
+                  sim.RunWorld(merged[j], edges, table).welfare - without;
+            }
+          }
+        }
+      },
+      static_cast<unsigned>(chunks));
+
+  std::vector<double> totals(count, 0.0);
+  for (std::size_t j = 0; j < count; ++j) {
+    for (const std::vector<double>& p : partial) totals[j] += p[j];
+    totals[j] /= options_.num_worlds;
+  }
+  return totals;
+}
+
+std::vector<double> WelfareEstimator::MarginalBalancedExposureBatch(
+    const Allocation& base, std::span<const Allocation> extras) const {
+  const std::size_t count = extras.size();
+  if (count == 0) return {};
+  std::vector<Allocation> merged;
+  merged.reserve(count);
+  for (const Allocation& extra : extras) {
+    merged.push_back(Allocation::Union(base, extra));
+  }
+  const bool base_empty = base.Empty();
+
+  const WorldPool& pool = EnsurePool();
+  const std::size_t chunks = NumChunks();
+  std::vector<std::vector<double>> partial(chunks);
+  ParallelFor(
+      chunks,
+      [&](std::size_t c) {
+        UicSimulator sim(graph_, config_);
+        std::vector<double>& acc = partial[c];
+        acc.assign(count, 0.0);
+        for (int w = static_cast<int>(c); w < options_.num_worlds;
+             w += static_cast<int>(chunks)) {
+          // balance = n - one_sided; the n terms cancel in the marginal,
+          // and the empty allocation has one_sided == 0 (same arithmetic
+          // as MarginalBalancedExposure).
+          if (const WorldSnapshot* snapshot = pool.Get(w)) {
+            const double without =
+                base_empty ? 0.0
+                           : -static_cast<double>(
+                                 sim.RunWorld(base, *snapshot)
+                                     .one_sided_exposure_01);
+            for (std::size_t j = 0; j < count; ++j) {
+              const double with = -static_cast<double>(
+                  sim.RunWorld(merged[j], *snapshot).one_sided_exposure_01);
+              acc[j] += with - without;
+            }
+          } else {
+            const EdgeWorld edges{EdgeSeedOf(options_.seed, w)};
+            Rng noise_rng = NoiseRngOf(options_.seed, w);
+            const WorldUtilityTable table(config_, noise_rng);
+            const double without =
+                base_empty ? 0.0
+                           : -static_cast<double>(
+                                 sim.RunWorld(base, edges, table)
+                                     .one_sided_exposure_01);
+            for (std::size_t j = 0; j < count; ++j) {
+              const double with = -static_cast<double>(
+                  sim.RunWorld(merged[j], edges, table)
+                      .one_sided_exposure_01);
+              acc[j] += with - without;
+            }
+          }
+        }
+      },
+      static_cast<unsigned>(chunks));
+
+  std::vector<double> totals(count, 0.0);
+  for (std::size_t j = 0; j < count; ++j) {
+    for (const std::vector<double>& p : partial) totals[j] += p[j];
+    totals[j] /= options_.num_worlds;
+  }
+  return totals;
 }
 
 double WelfareEstimator::MarginalWelfare(const Allocation& base,

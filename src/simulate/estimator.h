@@ -8,16 +8,32 @@
 // (§6.1.3); the default here is 500 for the single-core container and is
 // raised via EstimatorOptions or the CWM_SIMS environment variable in the
 // bench harness.
+//
+// Batched evaluation: StatsBatch / MarginalWelfareBatch /
+// MarginalBalancedExposureBatch sweep every candidate allocation through
+// each possible world in one pass, amortizing world materialization (a
+// WorldPool of live-edge snapshots + per-world utility tables,
+// simulate/world_pool.h) over the whole batch — and, for marginals, the
+// base allocation's diffusion over all extras. The pool is built lazily
+// on the first batch call and reused by every later batch on the same
+// estimator, within EstimatorOptions::snapshot_budget_bytes; worlds past
+// the budget stream lazily exactly like the non-batch path. Batched
+// results are bit-identical to calling the corresponding streaming method
+// per candidate, at any thread count.
 #ifndef CWM_SIMULATE_ESTIMATOR_H_
 #define CWM_SIMULATE_ESTIMATOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "model/allocation.h"
 #include "model/utility.h"
 #include "simulate/uic_simulator.h"
+#include "simulate/world_pool.h"
 
 namespace cwm {
 
@@ -29,6 +45,11 @@ struct EstimatorOptions {
   uint64_t seed = 0x5eedu;
   /// Worker threads (0 = hardware concurrency).
   unsigned num_threads = 0;
+  /// Byte budget for the world-snapshot pool backing the batch API
+  /// (CWM_SNAPSHOT_BUDGET_MB in the sweep engine). Worlds whose
+  /// snapshots exceed the budget are streamed lazily instead; 0 disables
+  /// materialization entirely. Never changes results — only wall time.
+  std::size_t snapshot_budget_bytes = 256ull << 20;
 };
 
 /// Expected-value statistics of an allocation.
@@ -56,9 +77,22 @@ class WelfareEstimator {
   /// experiment, Table 6).
   WelfareStats Stats(const Allocation& allocation) const;
 
+  /// Batched Stats: element j is bit-identical to Stats(allocations[j]),
+  /// but every world is materialized once (snapshot + utility table) and
+  /// shared by all candidates instead of being re-derived per candidate.
+  std::vector<WelfareStats> StatsBatch(
+      std::span<const Allocation> allocations) const;
+
   /// rho(base ∪ extra) - rho(base), with common random numbers.
   double MarginalWelfare(const Allocation& base,
                          const Allocation& extra) const;
+
+  /// Batched MarginalWelfare against one shared base: element j is
+  /// bit-identical to MarginalWelfare(base, extras[j]). On top of the
+  /// shared world snapshots, the base allocation's diffusion runs once
+  /// per world for the whole batch.
+  std::vector<double> MarginalWelfareBatch(
+      const Allocation& base, std::span<const Allocation> extras) const;
 
   /// sigma(S): expected number of nodes reachable from `seeds` over live
   /// edges (classic IC spread; item-independent).
@@ -78,14 +112,33 @@ class WelfareEstimator {
   double MarginalBalancedExposure(const Allocation& base,
                                   const Allocation& extra) const;
 
+  /// Batched MarginalBalancedExposure against one shared base; element j
+  /// is bit-identical to MarginalBalancedExposure(base, extras[j]).
+  std::vector<double> MarginalBalancedExposureBatch(
+      const Allocation& base, std::span<const Allocation> extras) const;
+
+  /// Snapshot-pool telemetry. All zeros until the first batch call
+  /// builds the pool.
+  WorldPoolStats snapshot_stats() const;
+
   const EstimatorOptions& options() const { return options_; }
   const Graph& graph() const { return graph_; }
   const UtilityConfig& config() const { return config_; }
 
  private:
+  /// World-to-chunk striding shared by every estimate (streaming and
+  /// batched): max(1, min(threads, num_worlds)).
+  std::size_t NumChunks() const;
+
+  /// The lazily built snapshot pool (one per estimator lifetime).
+  const WorldPool& EnsurePool() const;
+
   const Graph& graph_;
   const UtilityConfig& config_;
   EstimatorOptions options_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::shared_ptr<const WorldPool> pool_;
 };
 
 }  // namespace cwm

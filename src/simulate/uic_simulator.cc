@@ -1,5 +1,7 @@
 #include "simulate/uic_simulator.h"
 
+#include "simulate/world_pool.h"
+
 namespace cwm {
 
 UicSimulator::UicSimulator(const Graph& graph, const UtilityConfig& config)
@@ -22,6 +24,31 @@ void UicSimulator::Touch(NodeId v) {
 WorldOutcome UicSimulator::RunWorld(const Allocation& allocation,
                                     const EdgeWorld& edges,
                                     const WorldUtilityTable& utilities) {
+  return RunDiffusion(allocation, utilities,
+                      [&](NodeId u, const auto& visit) {
+                        const auto out = graph_.OutEdges(u);
+                        for (std::size_t k = 0; k < out.size(); ++k) {
+                          const OutEdge& e = out[k];
+                          if (!edges.Live(graph_.OutEdgeId(u, k), e.prob)) {
+                            continue;
+                          }
+                          visit(e.to);
+                        }
+                      });
+}
+
+WorldOutcome UicSimulator::RunWorld(const Allocation& allocation,
+                                    const WorldSnapshot& snapshot) {
+  return RunDiffusion(allocation, snapshot.utilities(),
+                      [&](NodeId u, const auto& visit) {
+                        for (NodeId to : snapshot.LiveOut(u)) visit(to);
+                      });
+}
+
+template <typename LiveOutFn>
+WorldOutcome UicSimulator::RunDiffusion(const Allocation& allocation,
+                                        const WorldUtilityTable& utilities,
+                                        const LiveOutFn& live_out) {
   ++epoch_;
   touched_.clear();
   frontier_.clear();
@@ -43,20 +70,17 @@ WorldOutcome UicSimulator::RunWorld(const Allocation& allocation,
     ++affected_epoch_;
     affected_.clear();
     for (const FrontierEntry& entry : frontier_) {
-      const auto out = graph_.OutEdges(entry.node);
-      for (std::size_t k = 0; k < out.size(); ++k) {
-        const OutEdge& e = out[k];
-        if (!edges.Live(graph_.OutEdgeId(entry.node, k), e.prob)) continue;
-        Touch(e.to);
-        const ItemSet before = desire_[e.to];
+      live_out(entry.node, [&](NodeId to) {
+        Touch(to);
+        const ItemSet before = desire_[to];
         const ItemSet after = static_cast<ItemSet>(before | entry.fresh);
-        if (after == before) continue;
-        desire_[e.to] = after;
-        if (affected_stamp_[e.to] != affected_epoch_) {
-          affected_stamp_[e.to] = affected_epoch_;
-          affected_.push_back(e.to);
+        if (after == before) return;
+        desire_[to] = after;
+        if (affected_stamp_[to] != affected_epoch_) {
+          affected_stamp_[to] = affected_epoch_;
+          affected_.push_back(to);
         }
-      }
+      });
     }
     next_frontier_.clear();
     for (NodeId v : affected_) {

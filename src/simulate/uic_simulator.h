@@ -25,6 +25,8 @@
 
 namespace cwm {
 
+class WorldSnapshot;
+
 /// Outcome of one deterministic possible-world diffusion.
 struct WorldOutcome {
   /// rho_w(S): sum over nodes of the utility of their final adoption set.
@@ -49,6 +51,13 @@ class UicSimulator {
   WorldOutcome RunWorld(const Allocation& allocation, const EdgeWorld& edges,
                         const WorldUtilityTable& utilities);
 
+  /// Runs the diffusion of `allocation` in a materialized world
+  /// (simulate/world_pool.h). Bit-identical to the lazy overload for the
+  /// same world: the snapshot's live edges are stored in canonical order,
+  /// so the traversal touches nodes in exactly the same sequence.
+  WorldOutcome RunWorld(const Allocation& allocation,
+                        const WorldSnapshot& snapshot);
+
   /// Influence spread special case: number of nodes reachable from `seeds`
   /// via live edges (the sigma(S) of classic IC; used by Lemma 2 style
   /// bounds and tests).
@@ -56,6 +65,14 @@ class UicSimulator {
                           const EdgeWorld& edges);
 
  private:
+  /// Shared diffusion engine. `live_out(u, visit)` calls visit(NodeId to)
+  /// for every live out-neighbour of `u` in canonical edge order; the two
+  /// RunWorld overloads differ only in how they enumerate live edges.
+  template <typename LiveOutFn>
+  WorldOutcome RunDiffusion(const Allocation& allocation,
+                            const WorldUtilityTable& utilities,
+                            const LiveOutFn& live_out);
+
   /// Ensures node scratch entries are current for this run.
   void Touch(NodeId v);
 

@@ -41,6 +41,22 @@ inline std::vector<double> SampleNoiseWorld(const UtilityConfig& config,
   return noise;
 }
 
+// World-stream derivation shared by the streaming estimator and the
+// snapshot engine (simulate/world_pool.h): world w of an estimate seeded
+// with `base` always uses these exact streams, so a materialized snapshot
+// is bit-identical to the lazy on-the-fly world.
+
+/// Edge-world seed of world `world` under estimator seed `base`.
+inline uint64_t WorldEdgeSeedOf(uint64_t base, int world) {
+  return MixHash(base, static_cast<uint64_t>(world) * 2 + 1);
+}
+
+/// Noise-world RNG of world `world` under estimator seed `base`.
+inline Rng WorldNoiseRngOf(uint64_t base, int world) {
+  return Rng(MixHash(base ^ 0x9e3779b97f4a7c15ULL,
+                     static_cast<uint64_t>(world) * 2));
+}
+
 }  // namespace cwm
 
 #endif  // CWM_SIMULATE_WORLD_H_

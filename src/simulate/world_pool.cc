@@ -1,0 +1,79 @@
+#include "simulate/world_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/thread_pool.h"
+
+namespace cwm {
+
+WorldSnapshot::WorldSnapshot(const Graph& graph, const UtilityConfig& config,
+                             uint64_t edge_seed, Rng noise_rng,
+                             std::size_t expected_live)
+    : table_(config, noise_rng) {
+  const EdgeWorld world{edge_seed};
+  const std::size_t n = graph.num_nodes();
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  targets_.reserve(expected_live);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto out = graph.OutEdges(u);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      if (world.Live(graph.OutEdgeId(u, k), out[k].prob)) {
+        targets_.push_back(out[k].to);
+      }
+    }
+    offsets_[u + 1] = static_cast<uint32_t>(targets_.size());
+  }
+  targets_.shrink_to_fit();
+}
+
+WorldPool::WorldPool(const Graph& graph, const UtilityConfig& config,
+                     uint64_t seed, int num_worlds,
+                     std::size_t budget_bytes, unsigned num_threads)
+    : num_worlds_(num_worlds) {
+  // Materialization disabled: skip even the footprint-estimate edge scan.
+  if (budget_bytes == 0) return;
+  // Per-world footprint estimate: the offset array is exact, the live
+  // edge count is taken at its expectation (sum of edge probabilities).
+  // Estimating instead of counting avoids a second full coin-flip pass;
+  // the budget is a soft cap and the estimate is deterministic, so the
+  // materialized prefix never depends on sampled worlds or threads.
+  double expected_live = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const OutEdge& e : graph.OutEdges(u)) {
+      expected_live += std::min(1.0f, std::max(0.0f, e.prob));
+    }
+  }
+  const std::size_t live_hint =
+      static_cast<std::size_t>(std::ceil(expected_live));
+  const std::size_t per_world =
+      (graph.num_nodes() + 1) * sizeof(uint32_t) +
+      live_hint * sizeof(NodeId);
+  const std::size_t limit =
+      per_world == 0 ? static_cast<std::size_t>(num_worlds)
+                     : budget_bytes / per_world;
+  const std::size_t prefix =
+      std::min<std::size_t>(static_cast<std::size_t>(num_worlds), limit);
+
+  snapshots_.resize(prefix);
+  if (prefix == 0) return;
+  ParallelFor(
+      prefix,
+      [&](std::size_t w) {
+        snapshots_[w] = std::make_unique<WorldSnapshot>(
+            graph, config, WorldEdgeSeedOf(seed, static_cast<int>(w)),
+            WorldNoiseRngOf(seed, static_cast<int>(w)), live_hint);
+      },
+      num_threads);
+}
+
+WorldPoolStats WorldPool::stats() const {
+  WorldPoolStats stats;
+  stats.num_worlds = num_worlds_;
+  stats.snapshotted = static_cast<int>(snapshots_.size());
+  for (const auto& snapshot : snapshots_) stats.bytes += snapshot->bytes();
+  return stats;
+}
+
+}  // namespace cwm

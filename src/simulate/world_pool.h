@@ -1,0 +1,113 @@
+// Materialized possible worlds for batched welfare estimation.
+//
+// The streaming estimator realizes a possible world lazily: every edge
+// coin is a MixHash of (world seed, edge id), re-flipped on every
+// traversal, and the per-world noise/utility table is rebuilt per
+// estimate. That is optimal when a world is visited once — but MaxGRD's
+// argmax, SeqGRD's marginal checks, greedyWM's CELF loop and BestOf's
+// final comparison all sweep *many* candidate allocations through the
+// *same* sequence of worlds, paying O(candidates x worlds x edges) in
+// hashing where O(worlds x edges) suffices.
+//
+// A WorldSnapshot materializes one world once: the live-edge subgraph as
+// a flat CSR (targets in canonical EdgeId order, so diffusion visits
+// nodes in exactly the order the lazy path does) plus the world's noise
+// utility table. Both are derived from the same WorldEdgeSeedOf /
+// WorldNoiseRngOf streams as the streaming path (simulate/world.h), so
+// evaluating an allocation against a snapshot is bit-identical to
+// evaluating it on the fly — snapshots only ever change wall time.
+//
+// A WorldPool owns the snapshots of one estimator's world sequence,
+// capped by a byte budget: worlds [0, k) are materialized where k is the
+// largest prefix whose estimated footprint fits, and Get() returns
+// nullptr for the rest, which callers stream exactly as before
+// (transparent fallback — results are identical either way). The cutoff
+// depends only on the graph and the budget, never on thread count.
+#ifndef CWM_SIMULATE_WORLD_POOL_H_
+#define CWM_SIMULATE_WORLD_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/utility.h"
+#include "simulate/world.h"
+
+namespace cwm {
+
+/// One fully materialized possible world: live out-edges as a CSR over
+/// the full node universe, plus the world's fixed-noise utility table.
+class WorldSnapshot {
+ public:
+  /// Materializes world (`edge_seed`, `noise_rng`) of `graph` + `config`.
+  /// `expected_live` pre-reserves the target array (0 = grow on demand);
+  /// the pool passes its per-world estimate so concurrent builds do not
+  /// transiently overshoot the byte budget through geometric growth.
+  WorldSnapshot(const Graph& graph, const UtilityConfig& config,
+                uint64_t edge_seed, Rng noise_rng,
+                std::size_t expected_live = 0);
+
+  /// Live out-neighbours of `u`, in canonical (EdgeId) order — the same
+  /// order the lazy EdgeWorld path visits survivors in.
+  std::span<const NodeId> LiveOut(NodeId u) const {
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+
+  const WorldUtilityTable& utilities() const { return table_; }
+
+  std::size_t live_edges() const { return targets_.size(); }
+
+  /// Heap footprint of this snapshot (pool accounting).
+  std::size_t bytes() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           targets_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  std::vector<uint32_t> offsets_;  // num_nodes + 1
+  std::vector<NodeId> targets_;    // live edges, canonical order
+  WorldUtilityTable table_;
+};
+
+/// Telemetry of one pool (exposed via WelfareEstimator::snapshot_stats).
+struct WorldPoolStats {
+  int num_worlds = 0;    ///< worlds in the estimator's sequence
+  int snapshotted = 0;   ///< worlds materialized (prefix [0, snapshotted))
+  std::size_t bytes = 0; ///< total snapshot footprint
+};
+
+/// The materialized prefix of one estimator's world sequence. Immutable
+/// after construction; safe to share across threads.
+class WorldPool {
+ public:
+  /// Builds snapshots for worlds [0, k) of the sequence derived from
+  /// `seed`, where k is the longest prefix within `budget_bytes`
+  /// (estimated as offsets + expected live edges per world — the cutoff
+  /// is deterministic in the graph and budget alone). Building is
+  /// parallelized over `num_threads` workers; snapshot content never
+  /// depends on the thread count.
+  WorldPool(const Graph& graph, const UtilityConfig& config, uint64_t seed,
+            int num_worlds, std::size_t budget_bytes, unsigned num_threads);
+
+  /// Snapshot of world `w`, or nullptr when `w` fell outside the budget
+  /// (the caller streams that world lazily instead).
+  const WorldSnapshot* Get(int w) const {
+    return static_cast<std::size_t>(w) < snapshots_.size()
+               ? snapshots_[w].get()
+               : nullptr;
+  }
+
+  WorldPoolStats stats() const;
+
+ private:
+  int num_worlds_;
+  std::vector<std::unique_ptr<WorldSnapshot>> snapshots_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SIMULATE_WORLD_POOL_H_

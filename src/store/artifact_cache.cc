@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <system_error>
 #include <utility>
 
@@ -72,7 +73,8 @@ std::string ArtifactCache::RrPathFor(uint64_t recipe_hash) const {
 
 StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
     const std::string& recipe,
-    const std::function<StatusOr<Graph>()>& build) {
+    const std::function<StatusOr<Graph>()>& build,
+    uint64_t* content_hash) {
   const std::string path = GraphPathFor(recipe);
   const std::string recipe_path = path.substr(0, path.size() - 4) + ".recipe";
 
@@ -82,8 +84,17 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
     // recipe under the same hash is treated as a miss and overwritten.
     const std::optional<std::string> stored = ReadSmallFile(recipe_path);
     if (stored.has_value() && *stored == recipe) {
-      StatusOr<Graph> opened = OpenGraphFile(path);
+      uint64_t stored_hash = 0;
+      StatusOr<Graph> opened = OpenGraphFile(path, &stored_hash);
       if (opened.ok()) {
+        if (content_hash != nullptr) {
+          // Old entries (pre-content-hash header) report 0: compute the
+          // hash once here — the legacy O(edges) page-in — so callers
+          // always get a usable value.
+          *content_hash = stored_hash != 0
+                              ? stored_hash
+                              : GraphContentHash(opened.value());
+        }
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.graph_hits;
         return opened;
@@ -95,7 +106,10 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
   StatusOr<Graph> built = build();
   if (!built.ok()) return built.status();
   const uint64_t recipe_hash = Fnv1a64(recipe);
-  const Status write = WriteGraphFile(built.value(), path, recipe_hash);
+  const uint64_t built_hash = GraphContentHash(built.value());
+  if (content_hash != nullptr) *content_hash = built_hash;
+  const Status write =
+      WriteGraphFile(built.value(), path, recipe_hash, built_hash);
   if (write.ok()) {
     const ByteSection section{recipe.data(), recipe.size()};
     (void)WriteFileAtomic(recipe_path, {&section, 1});
@@ -214,7 +228,7 @@ GcResult ArtifactCache::Gc(uint64_t max_bytes) {
   constexpr auto kStaleTmpAge = std::chrono::hours(1);
   const auto now = fs::file_time_type::clock::now();
   std::error_code ec;
-  for (const char* sub : {"graphs", "rr"}) {
+  for (const char* sub : {"graphs", "rr", "edge-hashes"}) {
     fs::directory_iterator it(fs::path(root_) / sub, ec);
     if (ec) continue;
     for (const fs::directory_entry& file : it) {
@@ -227,6 +241,21 @@ GcResult ArtifactCache::Gc(uint64_t max_bytes) {
         const fs::path graph_path =
             fs::path(file.path()).replace_extension(".cwg");
         reclaimable = !fs::exists(graph_path, exists_ec);
+      }
+      if (!reclaimable && std::string_view(sub) == "edge-hashes" &&
+          file.path().extension() == ".txt") {
+        // Edge-list hash sidecars (graph/loader.cc) record their source
+        // path on the second line; once the dataset is gone the entry
+        // can never match again — reclaim it when stale.
+        std::ifstream in(file.path());
+        std::string identity_line, source_path;
+        if (std::getline(in, identity_line) &&
+            std::getline(in, source_path)) {
+          std::error_code exists_ec;
+          reclaimable = !fs::exists(source_path, exists_ec);
+        } else {
+          reclaimable = true;  // malformed sidecar: useless, reclaim
+        }
       }
       if (!reclaimable) continue;
       std::error_code file_ec;

@@ -78,9 +78,13 @@ class ArtifactCache {
   /// builds it with `build`, stores it, and returns the built graph.
   /// A structurally invalid or recipe-mismatched entry is rebuilt in
   /// place. Build failures are returned verbatim and nothing is stored.
+  /// If `content_hash` is non-null it receives GraphContentHash of the
+  /// returned graph — from the .cwg header on a hit (O(1), no edge
+  /// page-in) and computed once on a miss.
   StatusOr<Graph> GetOrBuildGraph(
       const std::string& recipe,
-      const std::function<StatusOr<Graph>()>& build);
+      const std::function<StatusOr<Graph>()>& build,
+      uint64_t* content_hash = nullptr);
 
   /// Path a graph with `recipe` would be stored at (for cwm_data).
   std::string GraphPathFor(const std::string& recipe) const;

@@ -59,7 +59,13 @@ struct GraphFileHeader {
   uint64_t payload_bytes = 0;  ///< everything after this header
   uint64_t checksum = 0;       ///< FNV-1a64 of the payload bytes
   uint64_t recipe_hash = 0;    ///< build-recipe hash (0 = unknown/imported)
-  uint64_t reserved[2] = {0, 0};
+  /// GraphContentHash of the stored graph, persisted so warm cache opens
+  /// can report provenance without paging in the edge sections (O(1)
+  /// instead of O(edges)). Occupies a formerly reserved (always-zero)
+  /// slot, so no version bump: 0 means "written by an older build —
+  /// recompute from the payload".
+  uint64_t content_hash = 0;
+  uint64_t reserved = 0;
 };
 static_assert(sizeof(GraphFileHeader) == 64);
 static_assert(std::is_trivially_copyable_v<GraphFileHeader>);

@@ -144,11 +144,13 @@ std::string HashToHex(uint64_t hash) {
 }
 
 Status WriteGraphFile(const Graph& g, const std::string& path,
-                      uint64_t recipe_hash) {
+                      uint64_t recipe_hash, uint64_t content_hash) {
   GraphFileHeader header;
   header.num_nodes = g.num_nodes();
   header.num_edges = g.num_edges();
   header.recipe_hash = recipe_hash;
+  header.content_hash =
+      content_hash != 0 ? content_hash : GraphContentHash(g);
 
   // A default-constructed Graph has empty arrays; persist it as the
   // canonical zero-node graph (offset arrays of size 1) so every file
@@ -180,10 +182,12 @@ Status WriteGraphFile(const Graph& g, const std::string& path,
   return WriteFileAtomic(path, sections);
 }
 
-StatusOr<Graph> OpenGraphFile(const std::string& path) {
+StatusOr<Graph> OpenGraphFile(const std::string& path,
+                              uint64_t* content_hash) {
   StatusOr<OpenedGraph> opened = MapAndValidate(path);
   if (!opened.ok()) return opened.status();
   OpenedGraph& o = opened.value();
+  if (content_hash != nullptr) *content_hash = o.header.content_hash;
   return Graph::FromExternal(std::move(o.mapping), o.out_offsets,
                              o.out_edges, o.in_offsets, o.in_edges);
 }
@@ -229,6 +233,16 @@ Status VerifyGraphFile(const std::string& path) {
         !(o.in_edges[i].prob >= 0.0f && o.in_edges[i].prob <= 1.0f)) {
       return Status::Corruption(path + ": in-edge payload out of range at " +
                                 std::to_string(i));
+    }
+  }
+  // The persisted content hash short-circuits provenance on warm opens;
+  // verify serves it honest. 0 = pre-content-hash file, nothing to check.
+  if (o.header.content_hash != 0) {
+    const Graph g = Graph::FromExternal(o.mapping, o.out_offsets,
+                                        o.out_edges, o.in_offsets,
+                                        o.in_edges);
+    if (GraphContentHash(g) != o.header.content_hash) {
+      return Status::Corruption(path + ": stored content hash mismatch");
     }
   }
   return Status::OK();

@@ -29,13 +29,19 @@ namespace cwm {
 
 /// Writes `g` to `path` atomically (temp file + rename). `recipe_hash`
 /// is recorded as provenance (0 = unknown, e.g. ad-hoc imports).
+/// `content_hash` is persisted in the header for O(1) provenance on warm
+/// opens; pass 0 to have it computed here (one extra O(edges) pass the
+/// caller may already have paid — see GraphContentHash).
 Status WriteGraphFile(const Graph& g, const std::string& path,
-                      uint64_t recipe_hash = 0);
+                      uint64_t recipe_hash = 0, uint64_t content_hash = 0);
 
 /// Opens a .cwg file zero-copy: the returned Graph aliases the mapping
 /// (Graph::is_external()) and keeps it alive. Corruption/IOError on any
-/// structural problem.
-StatusOr<Graph> OpenGraphFile(const std::string& path);
+/// structural problem. If `content_hash` is non-null it receives the
+/// header's stored GraphContentHash — without touching the edge payload —
+/// or 0 for files written before the hash was persisted.
+StatusOr<Graph> OpenGraphFile(const std::string& path,
+                              uint64_t* content_hash = nullptr);
 
 /// Header fields of a .cwg file without mapping the payload.
 StatusOr<GraphFileHeader> ReadGraphHeader(const std::string& path);

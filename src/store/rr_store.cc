@@ -150,7 +150,7 @@ StatusOr<RrEraData> OpenRrFile(const std::string& path,
                                std::size_t expect_num_nodes) {
   StatusOr<OpenedRr> opened = MapAndValidate(path);
   if (!opened.ok()) return opened.status();
-  const OpenedRr& o = opened.value();
+  OpenedRr& o = opened.value();
 
   RrEraData data;
   data.num_nodes = o.header.num_nodes;
@@ -163,9 +163,15 @@ StatusOr<RrEraData> OpenRrFile(const std::string& path,
     return Status::NotFound(path + ": provenance mismatch (recipe-hash "
                             "collision or stale artifact)");
   }
-  data.offsets.assign(o.offsets, o.offsets + o.header.num_sets + 1);
-  data.weights.assign(o.weights, o.weights + o.header.num_sets);
-  data.members.assign(o.members, o.members + o.header.num_members);
+  // Zero-copy: the spans alias the mapping, which RrEraData keeps alive.
+  // (The section pointers survive moving the MappedFile — the mapped
+  // region itself never moves.)
+  data.offsets = {o.offsets,
+                  static_cast<std::size_t>(o.header.num_sets) + 1};
+  data.weights = {o.weights, static_cast<std::size_t>(o.header.num_sets)};
+  data.members = {o.members,
+                  static_cast<std::size_t>(o.header.num_members)};
+  data.mapping = std::make_shared<const MappedFile>(std::move(o.mapping));
   return data;
 }
 

@@ -8,18 +8,22 @@
 // sample k purely from (seed, era_start + k), this tuple pins the
 // collection's bytes exactly, independent of thread count.
 //
-// Open is mmap + one bulk adopt per array (no parsing); the inverted
-// node->RR index is intentionally not persisted — RrCollection rebuilds
-// it lazily in O(total members), and collections are usually extended
-// after loading, which would invalidate it anyway.
+// Open is one mmap: the era's arrays are returned as spans aliasing the
+// mapping (RrEraData pins it alive), so nothing is copied until samples
+// are replayed into a collection. The inverted node->RR index is
+// intentionally not persisted — RrCollection rebuilds it lazily in
+// O(total members), and collections are usually extended after loading,
+// which would invalidate it anyway.
 #ifndef CWM_STORE_RR_STORE_H_
 #define CWM_STORE_RR_STORE_H_
 
+#include <memory>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "rrset/rr_collection.h"
 #include "store/format.h"
+#include "store/mapped_file.h"
 #include "support/status.h"
 
 namespace cwm {
@@ -35,14 +39,19 @@ struct RrProvenance {
   bool operator==(const RrProvenance&) const = default;
 };
 
-/// A loaded .cwr file: flat arrays plus provenance. `offsets` has
+/// A loaded .cwr file: flat array views plus provenance. `offsets` has
 /// num_sets + 1 entries; set k spans members [offsets[k], offsets[k+1]).
+/// The spans alias the read-only file mapping pinned by `mapping` —
+/// nothing is copied out of the file, so serving a cached era costs one
+/// mmap and the kernel pages members in as they are replayed.
 struct RrEraData {
   std::size_t num_nodes = 0;
   RrProvenance provenance;
-  std::vector<uint64_t> offsets;
-  std::vector<double> weights;
-  std::vector<NodeId> members;
+  /// Keep-alive for the mapping the spans below point into.
+  std::shared_ptr<const MappedFile> mapping;
+  std::span<const uint64_t> offsets;
+  std::span<const double> weights;
+  std::span<const NodeId> members;
 
   std::size_t num_sets() const { return weights.size(); }
 };

@@ -1,0 +1,236 @@
+// Golden bit-equality tests for the batched world-snapshot estimator:
+// StatsBatch / MarginalWelfareBatch / MarginalBalancedExposureBatch must
+// return values *bit-identical* to the streaming methods for every
+// candidate — at 1/2/8 threads, for empty allocations and batch size 1,
+// and whether worlds come from materialized snapshots or the streaming
+// fallback (tiny / zero snapshot budget).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/configs.h"
+#include "graph/graph_builder.h"
+#include "model/allocation.h"
+#include "simulate/estimator.h"
+#include "simulate/world_pool.h"
+
+namespace cwm {
+namespace {
+
+/// A reproducible sparse digraph with mixed probabilities, including
+/// p = 0 and p = 1 edges (the EdgeWorld short-circuit cases).
+Graph TestGraph() {
+  GraphBuilder b(120);
+  Rng rng(42);
+  for (int e = 0; e < 600; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(120));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(120));
+    if (u == v) continue;
+    double p = rng.NextDouble();
+    if (e % 17 == 0) p = 1.0;
+    if (e % 23 == 0) p = 0.0;
+    b.AddEdge(u, v, p);
+  }
+  return std::move(b).Build();
+}
+
+/// Candidate allocations spanning the shapes the algorithms submit:
+/// empty, single pair, per-item prefixes, overlapping seeds.
+std::vector<Allocation> Candidates(int num_items) {
+  std::vector<Allocation> out;
+  out.emplace_back(num_items);  // empty allocation
+  Allocation single(num_items);
+  single.Add(3, 0);
+  out.push_back(single);
+  Allocation spread(num_items);
+  for (NodeId v = 0; v < 10; ++v) spread.Add(v * 11, 0);
+  out.push_back(spread);
+  if (num_items >= 2) {
+    Allocation both(num_items);
+    both.Add(5, 0);
+    both.Add(5, 1);
+    both.Add(40, 1);
+    out.push_back(both);
+    Allocation second(num_items);
+    for (NodeId v = 0; v < 6; ++v) second.Add(v * 7 + 1, 1);
+    out.push_back(second);
+  }
+  return out;
+}
+
+void ExpectStatsBitEqual(const WelfareStats& a, const WelfareStats& b) {
+  EXPECT_EQ(a.welfare, b.welfare);
+  EXPECT_EQ(a.adopting_nodes, b.adopting_nodes);
+  ASSERT_EQ(a.adopters_per_item.size(), b.adopters_per_item.size());
+  for (std::size_t i = 0; i < a.adopters_per_item.size(); ++i) {
+    EXPECT_EQ(a.adopters_per_item[i], b.adopters_per_item[i]);
+  }
+}
+
+class EstimatorBatchTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EstimatorBatchTest, StatsBatchBitEqualsStreaming) {
+  const Graph g = TestGraph();
+  // C5 carries clamped-normal noise, so the per-world utility tables are
+  // genuinely world-dependent — the noise stream must replay exactly.
+  const UtilityConfig c = MakeConfigC5();
+  const WelfareEstimator est(
+      g, c, {.num_worlds = 33, .seed = 77, .num_threads = GetParam()});
+  const std::vector<Allocation> candidates = Candidates(c.num_items());
+  const std::vector<WelfareStats> batched = est.StatsBatch(candidates);
+  ASSERT_EQ(batched.size(), candidates.size());
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    ExpectStatsBitEqual(batched[j], est.Stats(candidates[j]));
+  }
+}
+
+TEST_P(EstimatorBatchTest, MarginalWelfareBatchBitEqualsStreaming) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC5();
+  const WelfareEstimator est(
+      g, c, {.num_worlds = 33, .seed = 99, .num_threads = GetParam()});
+  const std::vector<Allocation> extras = Candidates(c.num_items());
+
+  Allocation base(c.num_items());
+  base.Add(7, 0);
+  base.Add(50, 1);
+  for (const Allocation& b : {Allocation(c.num_items()), base}) {
+    const std::vector<double> batched = est.MarginalWelfareBatch(b, extras);
+    ASSERT_EQ(batched.size(), extras.size());
+    for (std::size_t j = 0; j < extras.size(); ++j) {
+      EXPECT_EQ(batched[j], est.MarginalWelfare(b, extras[j]))
+          << "extra " << j << " base " << b.ToString();
+    }
+  }
+}
+
+TEST_P(EstimatorBatchTest, MarginalBalancedExposureBatchBitEqualsStreaming) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  const WelfareEstimator est(
+      g, c, {.num_worlds = 25, .seed = 5, .num_threads = GetParam()});
+  const std::vector<Allocation> extras = Candidates(c.num_items());
+  Allocation base(c.num_items());
+  base.Add(2, 1);
+  for (const Allocation& b : {Allocation(c.num_items()), base}) {
+    const std::vector<double> batched =
+        est.MarginalBalancedExposureBatch(b, extras);
+    for (std::size_t j = 0; j < extras.size(); ++j) {
+      EXPECT_EQ(batched[j], est.MarginalBalancedExposure(b, extras[j]));
+    }
+  }
+}
+
+TEST_P(EstimatorBatchTest, TinyBudgetStreamsWorldsWithIdenticalResults) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC5();
+  // 1 byte: every world falls back to streaming regeneration inside the
+  // batch loop. 0: materialization disabled outright. Both must match the
+  // default-budget batch bit for bit.
+  const std::vector<Allocation> candidates = Candidates(c.num_items());
+  const WelfareEstimator full(
+      g, c, {.num_worlds = 33, .seed = 13, .num_threads = GetParam()});
+  const std::vector<WelfareStats> reference = full.StatsBatch(candidates);
+  EXPECT_GT(full.snapshot_stats().snapshotted, 0);
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{0}}) {
+    const WelfareEstimator starved(g, c,
+                                   {.num_worlds = 33,
+                                    .seed = 13,
+                                    .num_threads = GetParam(),
+                                    .snapshot_budget_bytes = budget});
+    const std::vector<WelfareStats> streamed =
+        starved.StatsBatch(candidates);
+    EXPECT_EQ(starved.snapshot_stats().snapshotted, 0);
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      ExpectStatsBitEqual(streamed[j], reference[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, EstimatorBatchTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST(EstimatorBatchTest, BatchOfOneAndEmptyBatch) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  const WelfareEstimator est(g, c, {.num_worlds = 16, .seed = 3});
+  Allocation alloc(c.num_items());
+  alloc.Add(0, 0);
+  const std::vector<WelfareStats> one = est.StatsBatch({&alloc, 1});
+  ASSERT_EQ(one.size(), 1u);
+  ExpectStatsBitEqual(one[0], est.Stats(alloc));
+  EXPECT_TRUE(est.StatsBatch({}).empty());
+  EXPECT_TRUE(est.MarginalWelfareBatch(alloc, {}).empty());
+}
+
+TEST(EstimatorBatchTest, PoolIsBuiltOnceAndReused) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  const WelfareEstimator est(g, c, {.num_worlds = 20, .seed = 21});
+  EXPECT_EQ(est.snapshot_stats().snapshotted, 0);  // lazy until first batch
+  Allocation alloc(c.num_items());
+  alloc.Add(1, 0);
+  const std::vector<WelfareStats> first = est.StatsBatch({&alloc, 1});
+  const WorldPoolStats stats = est.snapshot_stats();
+  EXPECT_EQ(stats.snapshotted, 20);
+  EXPECT_GT(stats.bytes, 0u);
+  const std::vector<WelfareStats> second = est.StatsBatch({&alloc, 1});
+  ExpectStatsBitEqual(first[0], second[0]);
+  EXPECT_EQ(est.snapshot_stats().bytes, stats.bytes);  // same pool object
+}
+
+TEST(WorldSnapshotTest, LiveOutMatchesLazyEdgeWorld) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  const uint64_t seed = 0xABCDEF;
+  const WorldSnapshot snapshot(g, c, WorldEdgeSeedOf(seed, 4),
+                               WorldNoiseRngOf(seed, 4));
+  const EdgeWorld lazy{WorldEdgeSeedOf(seed, 4)};
+  std::size_t live_total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> expect;
+    const auto out = g.OutEdges(u);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      if (lazy.Live(g.OutEdgeId(u, k), out[k].prob)) {
+        expect.push_back(out[k].to);
+      }
+    }
+    const auto got = snapshot.LiveOut(u);
+    ASSERT_EQ(got.size(), expect.size()) << "node " << u;
+    for (std::size_t k = 0; k < expect.size(); ++k) {
+      EXPECT_EQ(got[k], expect[k]);
+    }
+    live_total += expect.size();
+  }
+  EXPECT_EQ(snapshot.live_edges(), live_total);
+}
+
+TEST(WorldPoolTest, BudgetBoundsThePrefixDeterministically) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  const WorldPool all(g, c, /*seed=*/9, /*num_worlds=*/12,
+                      /*budget_bytes=*/64ull << 20, /*num_threads=*/1);
+  EXPECT_EQ(all.stats().snapshotted, 12);
+  // The same pool built with more threads materializes the same prefix.
+  const WorldPool threaded(g, c, 9, 12, 64ull << 20, 4);
+  EXPECT_EQ(threaded.stats().snapshotted, 12);
+  for (int w = 0; w < 12; ++w) {
+    ASSERT_NE(all.Get(w), nullptr);
+    EXPECT_EQ(all.Get(w)->live_edges(), threaded.Get(w)->live_edges());
+  }
+  EXPECT_EQ(all.Get(12), nullptr);
+
+  // A budget covering roughly half the worlds materializes a strict,
+  // deterministic prefix and streams the rest.
+  const std::size_t half_budget = all.stats().bytes / 2;
+  const WorldPool half(g, c, 9, 12, half_budget, 2);
+  const int prefix = half.stats().snapshotted;
+  EXPECT_GT(prefix, 0);
+  EXPECT_LT(prefix, 12);
+  for (int w = 0; w < 12; ++w) {
+    EXPECT_EQ(half.Get(w) != nullptr, w < prefix) << "world " << w;
+  }
+}
+
+}  // namespace
+}  // namespace cwm

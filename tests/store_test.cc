@@ -429,6 +429,190 @@ TEST_F(StoreTest, CachedEdgeListLoadIsContentKeyed) {
   EXPECT_EQ(cache.value()->stats().graph_misses, 2u);
 }
 
+TEST_F(StoreTest, GraphHeaderPersistsContentHash) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 3, 29));
+  const uint64_t expected = GraphContentHash(g);
+  const std::string path = Path("hashed.cwg");
+  ASSERT_TRUE(WriteGraphFile(g, path, /*recipe_hash=*/1).ok());
+
+  // Header carries the hash; the open reports it without needing the
+  // edge payload.
+  StatusOr<GraphFileHeader> header = ReadGraphHeader(path);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().content_hash, expected);
+  uint64_t from_open = 0;
+  StatusOr<Graph> opened = OpenGraphFile(path, &from_open);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(from_open, expected);
+  EXPECT_TRUE(VerifyGraphFile(path).ok());
+
+  // Verify must catch a header whose stored hash lies about the payload.
+  {
+    const uint64_t bogus = expected ^ 0xBADull;
+    std::fstream io(path, std::ios::in | std::ios::out | std::ios::binary);
+    io.seekp(offsetof(GraphFileHeader, content_hash));
+    io.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_FALSE(VerifyGraphFile(path).ok());
+}
+
+TEST_F(StoreTest, CacheReturnsContentHashOnMissHitAndLegacyFiles) {
+  StatusOr<std::unique_ptr<ArtifactCache>> cache =
+      ArtifactCache::Open(Path("cache_hash"));
+  ASSERT_TRUE(cache.ok());
+  const auto build = [&]() -> StatusOr<Graph> {
+    return WithWeightedCascade(BarabasiAlbert(250, 3, 31));
+  };
+
+  uint64_t miss_hash = 0;
+  StatusOr<Graph> cold =
+      cache.value()->GetOrBuildGraph("hash-recipe", build, &miss_hash);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(miss_hash, GraphContentHash(cold.value()));
+
+  uint64_t hit_hash = 0;
+  StatusOr<Graph> warm =
+      cache.value()->GetOrBuildGraph("hash-recipe", build, &hit_hash);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(hit_hash, miss_hash);
+
+  // A pre-content-hash entry (header field zeroed, as an older build
+  // would have written) must fall back to computing the hash on hit.
+  const std::string entry = cache.value()->GraphPathFor("hash-recipe");
+  {
+    const uint64_t zero = 0;
+    std::fstream io(entry, std::ios::in | std::ios::out | std::ios::binary);
+    io.seekp(offsetof(GraphFileHeader, content_hash));
+    io.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  }
+  uint64_t legacy_hash = 0;
+  StatusOr<Graph> legacy =
+      cache.value()->GetOrBuildGraph("hash-recipe", build, &legacy_hash);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(cache.value()->stats().graph_hits, 2u);  // still a hit
+  EXPECT_EQ(legacy_hash, miss_hash);
+}
+
+TEST_F(StoreTest, EdgeListSidecarMemoizesTheContentHash) {
+  const std::string edges = Path("side.txt");
+  {
+    std::ofstream out(edges);
+    out << "0 1 0.5\n1 2 0.25\n";
+  }
+  StatusOr<std::unique_ptr<ArtifactCache>> cache =
+      ArtifactCache::Open(Path("cache_side"));
+  ASSERT_TRUE(cache.ok());
+  const LoadOptions options;
+
+  ASSERT_TRUE(ReadEdgeListCached(edges, options, cache.value().get()).ok());
+  // The cold load wrote a (size, mtime) -> hash sidecar under the root.
+  const fs::path side_dir = fs::path(cache.value()->root()) / "edge-hashes";
+  ASSERT_TRUE(fs::exists(side_dir));
+  fs::path sidecar;
+  for (const auto& entry : fs::directory_iterator(side_dir)) {
+    sidecar = entry.path();
+  }
+  ASSERT_FALSE(sidecar.empty());
+
+  // A warm load with an intact sidecar skips the hashing read, hits, and
+  // serves the graph's content hash straight from the .cwg header.
+  uint64_t served_hash = 0;
+  StatusOr<Graph> warm =
+      ReadEdgeListCached(edges, options, cache.value().get(), &served_hash);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.value()->stats().graph_hits, 1u);
+  EXPECT_EQ(served_hash, GraphContentHash(warm.value()));
+
+  // A forged sidecar (size/mtime identity intact, hash wrong) must
+  // self-heal: the keyed parse disproves the memoized hash, the sidecar
+  // is refreshed with the true value, and the retry serves the original
+  // cache entry — a hit, never a stale graph and never a hard error.
+  std::string first_line, source_line;
+  {
+    std::ifstream in(sidecar);
+    std::getline(in, first_line);
+    std::getline(in, source_line);
+  }
+  unsigned long long size = 0, hash = 0;
+  long long mtime = 0;
+  ASSERT_EQ(std::sscanf(first_line.c_str(), "v1 size=%llu mtime=%lld "
+                        "hash=%llx", &size, &mtime, &hash), 3);
+  {
+    std::ofstream out(sidecar);
+    char line[256];
+    std::snprintf(line, sizeof(line), "v1 size=%llu mtime=%lld "
+                  "hash=%016llx\n", size, mtime,
+                  static_cast<unsigned long long>(hash ^ 0xD15EA5Eull));
+    out << line << source_line << "\n";
+  }
+  ASSERT_TRUE(ReadEdgeListCached(edges, options, cache.value().get()).ok());
+  EXPECT_EQ(cache.value()->stats().graph_hits, 2u);
+  {
+    std::ifstream in(sidecar);
+    std::string healed;
+    std::getline(in, healed);
+    EXPECT_EQ(healed, first_line);  // true hash restored
+  }
+
+  // Dropping the sidecar forces a re-hash, recovers the same key (a
+  // hit), and rewrites the sidecar.
+  fs::remove(sidecar);
+  ASSERT_TRUE(ReadEdgeListCached(edges, options, cache.value().get()).ok());
+  EXPECT_EQ(cache.value()->stats().graph_hits, 3u);
+  EXPECT_TRUE(fs::exists(sidecar));
+
+  // A mismatched identity (size changed) ignores the sidecar: the edit
+  // below is re-hashed and keyed afresh, never served stale.
+  {
+    std::ofstream out(edges);
+    out << "0 1 0.5\n1 2 0.25\n2 0 1.0\n";
+  }
+  StatusOr<Graph> edited =
+      ReadEdgeListCached(edges, options, cache.value().get());
+  ASSERT_TRUE(edited.ok());
+  EXPECT_EQ(edited.value().num_edges(), 3u);
+
+  // Gc reclaims a sidecar once its dataset is gone (and only then):
+  // with the file present the entry survives, deleted it is swept with
+  // the other stale-file classes.
+  fs::last_write_time(sidecar, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+  (void)cache.value()->Gc(/*max_bytes=*/1 << 30);
+  EXPECT_TRUE(fs::exists(sidecar));
+  fs::remove(edges);
+  const GcResult swept = cache.value()->Gc(/*max_bytes=*/1 << 30);
+  EXPECT_FALSE(fs::exists(sidecar));
+  EXPECT_GE(swept.files_removed, 1u);
+}
+
+TEST_F(StoreTest, RrEraDataAliasesTheMappingZeroCopy) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 13));
+  const RrCollection rr = SampleCollection(g, 80, /*with_empty=*/true);
+  const std::string path = Path("era.cwr");
+  ASSERT_TRUE(WriteRrFile(rr, {}, path).ok());
+
+  StatusOr<RrEraData> opened = OpenRrFile(path);
+  ASSERT_TRUE(opened.ok());
+  RrEraData data = std::move(opened).value();
+  ASSERT_NE(data.mapping, nullptr);
+  // The spans alias the mapping's bytes — no intermediate copies.
+  const std::byte* begin = data.mapping->data();
+  const std::byte* end = begin + data.mapping->size();
+  const auto within = [&](const void* p) {
+    return reinterpret_cast<const std::byte*>(p) >= begin &&
+           reinterpret_cast<const std::byte*>(p) < end;
+  };
+  EXPECT_TRUE(within(data.offsets.data()));
+  EXPECT_TRUE(within(data.weights.data()));
+  if (!data.members.empty()) EXPECT_TRUE(within(data.members.data()));
+  // And the views stay valid for the struct's lifetime (the mapping is
+  // pinned): replay the members after moving the struct around.
+  ASSERT_EQ(data.members.size(), rr.TotalMembers());
+  for (std::size_t i = 0; i < data.members.size(); ++i) {
+    ASSERT_EQ(data.members[i], rr.RawMembers()[i]);
+  }
+}
+
 // The headline guarantee: an IMM run against a warm cache returns
 // bit-identical seeds and estimates to a cold run and to an uncached run,
 // at any thread count.

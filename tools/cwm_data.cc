@@ -347,11 +347,14 @@ int InfoOne(const std::string& path) {
     return 1;
   }
   const GraphFileHeader& h = header.value();
-  std::printf("%s: graph v%u, %llu nodes, %llu edges, recipe=%s\n",
+  std::printf("%s: graph v%u, %llu nodes, %llu edges, recipe=%s, "
+              "content=%s\n",
               path.c_str(), h.version,
               static_cast<unsigned long long>(h.num_nodes),
               static_cast<unsigned long long>(h.num_edges),
-              HashToHex(h.recipe_hash).c_str());
+              HashToHex(h.recipe_hash).c_str(),
+              h.content_hash != 0 ? HashToHex(h.content_hash).c_str()
+                                  : "(pre-v1.1 file)");
   return 0;
 }
 

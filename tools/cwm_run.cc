@@ -24,14 +24,19 @@
 //   --eval-sims N     evaluation worlds for specs that don't pin them
 //   --scale X         node-count multiplier for scalable networks
 //   --seed S          override the spec's sweep seeds with {S}
+//   --snapshot-budget-mb N
+//                     per-estimator memory budget for materialized world
+//                     snapshots backing batched welfare evaluation
+//                     (default 256; 0 streams every world lazily).
+//                     Bit-identical results at any value.
 //   --slow            run greedyWM/Balance-C on every cell (CWM_GREEDY=1)
 //   --timing          include wall-clock seconds in --out/--csv records
 //                     (off by default so artifacts are bit-reproducible)
 //   --quiet           suppress the progress table on stdout
 //
 // Environment knobs (CWM_SIMS, CWM_EVAL_SIMS, CWM_BENCH_SCALE, CWM_GREEDY,
-// CWM_THREADS, CWM_INNER_THREADS, CWM_RR_THREADS) provide defaults; flags
-// win.
+// CWM_THREADS, CWM_INNER_THREADS, CWM_RR_THREADS, CWM_SNAPSHOT_BUDGET_MB)
+// provide defaults; flags win.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +61,7 @@ int Usage(const char* argv0, int code) {
                "       %s <scenario>... [--out FILE] [--csv FILE]\n"
                "         [--threads N] [--rr-threads N] [--inner-threads N]\n"
                "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
+               "         [--snapshot-budget-mb N]\n"
                "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n",
                argv0, argv0, argv0);
   return code;
@@ -148,6 +154,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       has_seed_override = true;
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--snapshot-budget-mb", &value)) {
+      options.snapshot_budget_bytes =
+          static_cast<std::size_t>(
+              std::max(0, std::atoi(value.c_str())))
+          << 20;
       continue;
     }
     if (ParseValue(argc, argv, &i, "--cache-dir", &value)) {
