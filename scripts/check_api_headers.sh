@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Header self-containment gate for the stable API layer: every src/api/*.h
+# must compile standalone (a translation unit that includes only the
+# header), so embedders can include any of them first without hidden
+# include-order dependencies. Run from the repository root.
+set -euo pipefail
+
+CXX="${CXX:-g++}"
+status=0
+for header in src/api/*.h; do
+  if "$CXX" -std=c++20 -fsyntax-only -Isrc -x c++ "$header"; then
+    echo "self-contained: $header"
+  else
+    echo "NOT self-contained: $header" >&2
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Golden sweep gate: the registry-routed sweep engine must produce
+# byte-identical JSONL artifacts to the checked-in goldens (captured at
+# the pre-registry-rewiring HEAD) at 1 and 8 task threads. Any diff means
+# the cwm::api rewiring changed results — which it must never do.
+#
+# Usage: scripts/check_golden_sweep.sh [path/to/cwm_run]
+# Regenerate goldens (only with an intentional, reviewed change in
+# results): ./build/cwm_run smoke-tiny --threads 1 --out \
+#   tests/golden/smoke_tiny.jsonl --quiet   (same for smoke-supgrd with
+#   --rr-threads 1)
+set -euo pipefail
+
+CWM_RUN="${1:-./build/cwm_run}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$CWM_RUN" smoke-tiny --threads 1 --out "$tmpdir/tiny1.jsonl" --quiet
+"$CWM_RUN" smoke-tiny --threads 8 --out "$tmpdir/tiny8.jsonl" --quiet
+"$CWM_RUN" smoke-supgrd --threads 1 --rr-threads 1 \
+  --out "$tmpdir/sup1.jsonl" --quiet
+"$CWM_RUN" smoke-supgrd --threads 8 --rr-threads 8 \
+  --out "$tmpdir/sup8.jsonl" --quiet
+
+cmp "$tmpdir/tiny1.jsonl" tests/golden/smoke_tiny.jsonl
+cmp "$tmpdir/tiny8.jsonl" tests/golden/smoke_tiny.jsonl
+cmp "$tmpdir/sup1.jsonl" tests/golden/smoke_supgrd.jsonl
+cmp "$tmpdir/sup8.jsonl" tests/golden/smoke_supgrd.jsonl
+echo "golden sweep gate: byte-identical at 1 and 8 threads"

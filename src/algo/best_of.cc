@@ -1,7 +1,10 @@
 #include "algo/best_of.h"
 
+#include <memory>
+
 #include "algo/max_grd.h"
 #include "algo/seq_grd.h"
+#include "api/registry.h"
 #include "simulate/estimator.h"
 
 namespace cwm {
@@ -31,6 +34,35 @@ Allocation BestOfSeqMax(const Graph& graph, const UtilityConfig& config,
   }
   if (chosen != nullptr) *chosen = "MaxGRD";
   return max;
+}
+
+namespace {
+
+class BestOfAllocator final : public Allocator {
+ public:
+  AlgoKind Kind() const override { return AlgoKind::kBestOf; }
+  AllocatorCapabilities Capabilities() const override { return {}; }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    ReportProgress(request, "SeqGRD + MaxGRD arms");
+    const char* chosen = nullptr;
+    result->allocation =
+        BestOfSeqMax(*request.graph, *request.config, FixedOf(request),
+                     request.items, request.budgets, request.params,
+                     &chosen);
+    if (chosen != nullptr) result->note = std::string("chose ") + chosen;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterBestOfAllocator(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<BestOfAllocator>());
 }
 
 }  // namespace cwm

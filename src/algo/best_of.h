@@ -22,6 +22,10 @@ Allocation BestOfSeqMax(const Graph& graph, const UtilityConfig& config,
                         const BudgetVector& budgets, const AlgoParams& params,
                         const char** chosen = nullptr);
 
+class AllocatorRegistry;
+/// Registers the BestOf adapter (api/registry.h).
+void RegisterBestOfAllocator(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_ALGO_BEST_OF_H_

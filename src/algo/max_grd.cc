@@ -1,7 +1,9 @@
 #include "algo/max_grd.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.h"
 #include "rrset/prima_plus.h"
 #include "simulate/estimator.h"
 
@@ -66,6 +68,32 @@ Allocation MaxGrd(const Graph& graph, const UtilityConfig& config,
     }
   }
   return best;
+}
+
+namespace {
+
+class MaxGrdAllocator final : public Allocator {
+ public:
+  AlgoKind Kind() const override { return AlgoKind::kMaxGrd; }
+  AllocatorCapabilities Capabilities() const override { return {}; }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    result->allocation =
+        MaxGrd(*request.graph, *request.config, FixedOf(request),
+               request.items, request.budgets, request.params,
+               &result->diagnostics);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterMaxGrdAllocator(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<MaxGrdAllocator>());
 }
 
 }  // namespace cwm

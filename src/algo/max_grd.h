@@ -28,6 +28,10 @@ Allocation MaxGrd(const Graph& graph, const UtilityConfig& config,
                   const BudgetVector& budgets, const AlgoParams& params,
                   AlgoDiagnostics* diagnostics = nullptr);
 
+class AllocatorRegistry;
+/// Registers the MaxGRD adapter (api/registry.h).
+void RegisterMaxGrdAllocator(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_ALGO_MAX_GRD_H_

@@ -1,7 +1,9 @@
 #include "algo/seq_grd.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.h"
 #include "rrset/prima_plus.h"
 #include "simulate/estimator.h"
 
@@ -84,6 +86,41 @@ Allocation SeqGrd(const Graph& graph, const UtilityConfig& config,
     cursor += bi;
   }
   return result;
+}
+
+namespace {
+
+class SeqGrdAllocator final : public Allocator {
+ public:
+  explicit SeqGrdAllocator(bool marginal_check)
+      : marginal_check_(marginal_check) {}
+
+  AlgoKind Kind() const override {
+    return marginal_check_ ? AlgoKind::kSeqGrd : AlgoKind::kSeqGrdNm;
+  }
+  AllocatorCapabilities Capabilities() const override { return {}; }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    result->allocation =
+        SeqGrd(*request.graph, *request.config, FixedOf(request),
+               request.items, request.budgets, request.params,
+               {.marginal_check = marginal_check_}, &result->diagnostics);
+    return Status::OK();
+  }
+
+ private:
+  bool marginal_check_;
+};
+
+}  // namespace
+
+void RegisterSeqGrdAllocators(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<SeqGrdAllocator>(true));
+  registry.Register(std::make_unique<SeqGrdAllocator>(false));
 }
 
 }  // namespace cwm

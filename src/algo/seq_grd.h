@@ -53,6 +53,10 @@ inline Allocation SeqGrdNm(const Graph& graph, const UtilityConfig& config,
                 {.marginal_check = false}, diagnostics);
 }
 
+class AllocatorRegistry;
+/// Registers the SeqGRD and SeqGRD-NM adapters (api/registry.h).
+void RegisterSeqGrdAllocators(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_ALGO_SEQ_GRD_H_

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "api/registry.h"
 #include "rrset/rr_sampler.h"
 
 namespace cwm {
@@ -67,6 +68,41 @@ Allocation SupGrd(const Graph& graph, const UtilityConfig& config,
   }
   for (NodeId v : imm.seeds) result.Add(v, im);
   return result;
+}
+
+namespace {
+
+class SupGrdAllocator final : public Allocator {
+ public:
+  AlgoKind Kind() const override { return AlgoKind::kSupGrd; }
+  AllocatorCapabilities Capabilities() const override {
+    return {.needs_superior_item = true};
+  }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    const Allocation& sp = FixedOf(request);
+    const Status can = CanRunSupGrd(*request.config, sp);
+    if (!can.ok()) {
+      return Status::FailedPrecondition("SupGRD preconditions: " +
+                                        can.ToString());
+    }
+    const ItemId superior = request.config->SuperiorItem().value();
+    result->allocation =
+        SupGrd(*request.graph, *request.config, sp,
+               request.budgets[superior], request.params,
+               &result->diagnostics);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterSupGrdAllocator(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<SupGrdAllocator>());
 }
 
 }  // namespace cwm

@@ -35,6 +35,11 @@ Allocation SupGrd(const Graph& graph, const UtilityConfig& config,
                   const Allocation& sp, int budget, const AlgoParams& params,
                   AlgoDiagnostics* diagnostics = nullptr);
 
+class AllocatorRegistry;
+/// Registers the SupGRD adapter (api/registry.h); it maps CanRunSupGrd
+/// failures to FailedPrecondition.
+void RegisterSupGrdAllocator(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_ALGO_SUP_GRD_H_

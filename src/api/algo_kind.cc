@@ -1,0 +1,52 @@
+#include "api/algo_kind.h"
+
+namespace cwm {
+
+namespace {
+
+constexpr AlgoKind kAllAlgoKinds[] = {
+    AlgoKind::kSeqGrd,         AlgoKind::kSeqGrdNm,
+    AlgoKind::kMaxGrd,         AlgoKind::kSupGrd,
+    AlgoKind::kBestOf,         AlgoKind::kTcim,
+    AlgoKind::kGreedyWm,       AlgoKind::kBalanceC,
+    AlgoKind::kRoundRobin,     AlgoKind::kSnake,
+    AlgoKind::kBlockUtility,   AlgoKind::kHighDegreeRank,
+    AlgoKind::kDegreeDiscountRank, AlgoKind::kPageRankRank,
+};
+
+}  // namespace
+
+std::span<const AlgoKind> AllAlgoKinds() { return kAllAlgoKinds; }
+
+const char* AlgoName(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kSeqGrd: return "SeqGRD";
+    case AlgoKind::kSeqGrdNm: return "SeqGRD-NM";
+    case AlgoKind::kMaxGrd: return "MaxGRD";
+    case AlgoKind::kSupGrd: return "SupGRD";
+    case AlgoKind::kBestOf: return "BestOf";
+    case AlgoKind::kTcim: return "TCIM";
+    case AlgoKind::kGreedyWm: return "greedyWM";
+    case AlgoKind::kBalanceC: return "Balance-C";
+    case AlgoKind::kRoundRobin: return "RR";
+    case AlgoKind::kSnake: return "Snake";
+    case AlgoKind::kBlockUtility: return "BlockUtil";
+    case AlgoKind::kHighDegreeRank: return "HighDegree";
+    case AlgoKind::kDegreeDiscountRank: return "DegDiscount";
+    case AlgoKind::kPageRankRank: return "PageRank";
+  }
+  return "?";
+}
+
+std::optional<AlgoKind> ParseAlgo(std::string_view name) {
+  for (AlgoKind kind : AllAlgoKinds()) {
+    if (name == AlgoName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool IsSlowAlgo(AlgoKind kind) {
+  return kind == AlgoKind::kGreedyWm || kind == AlgoKind::kBalanceC;
+}
+
+}  // namespace cwm

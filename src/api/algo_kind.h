@@ -1,0 +1,57 @@
+// Algorithm identity for the cwm::api layer.
+//
+// AlgoKind enumerates every allocation algorithm and positional baseline
+// the system can run; AlgoName/ParseAlgo map it to the stable display
+// names used in result artifacts, CLI flags, and the allocator registry
+// (api/registry.h). The enum lives in the API layer — not the scenario
+// engine — so embedders can name algorithms without pulling in the sweep
+// machinery; scenario/scenario.h re-exports it for existing callers.
+#ifndef CWM_API_ALGO_KIND_H_
+#define CWM_API_ALGO_KIND_H_
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace cwm {
+
+/// Algorithms and positional allocators runnable by the engine.
+enum class AlgoKind {
+  kSeqGrd,          ///< SeqGRD (Algorithm 1, marginal check on)
+  kSeqGrdNm,        ///< SeqGRD-NM (no marginal check)
+  kMaxGrd,          ///< MaxGRD (Algorithm 2)
+  kSupGrd,          ///< SupGRD (§5.3; needs a superior item + fixed S_P)
+  kBestOf,          ///< better of SeqGRD / MaxGRD (Theorems 3+4)
+  kTcim,            ///< TCIM baseline (Lin & Lui)
+  kGreedyWm,        ///< lazy greedy on Monte-Carlo welfare (slow)
+  kBalanceC,        ///< balanced-exposure greedy (slow, 2 items only)
+  kRoundRobin,      ///< PRIMA+ ranking, round-robin item assignment
+  kSnake,           ///< PRIMA+ ranking, snake item assignment
+  kBlockUtility,    ///< PRIMA+ ranking, utility-ordered blocks (SeqGRD-NM's
+                    ///< placement, Table 6)
+  kHighDegreeRank,  ///< HighDegree ranking, utility-ordered blocks
+  kDegreeDiscountRank,  ///< DegreeDiscount ranking, utility-ordered blocks
+  kPageRankRank,        ///< reverse-PageRank ranking, utility-ordered blocks
+};
+
+/// Every AlgoKind value, in enum order. The canonical iteration source for
+/// registries and coverage tests — a new enum value must be added here
+/// (the registry coverage test fails otherwise).
+std::span<const AlgoKind> AllAlgoKinds();
+
+/// Canonical display name ("SeqGRD-NM", "greedyWM", ...).
+const char* AlgoName(AlgoKind kind);
+
+/// Inverse of AlgoName; nullopt for unknown names.
+std::optional<AlgoKind> ParseAlgo(std::string_view name);
+
+/// True for the Monte-Carlo-greedy baselines the paper could not finish on
+/// large networks (greedyWM, Balance-C); the sweep gates them by default.
+/// Mirrors AllocatorCapabilities::slow (asserted equal by the coverage
+/// test) but stays registry-free so grid expansion cannot depend on
+/// registration order.
+bool IsSlowAlgo(AlgoKind kind);
+
+}  // namespace cwm
+
+#endif  // CWM_API_ALGO_KIND_H_

@@ -1,0 +1,170 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "simulate/estimator.h"
+#include "store/format.h"
+#include "support/timer.h"
+
+namespace cwm {
+
+Engine::Engine(const Graph& graph, const UtilityConfig& config,
+               EngineOptions options)
+    : graph_(&graph),
+      config_(&config),
+      options_(options),
+      graph_hash_(options.graph_hash != 0 ? options.graph_hash
+                                          : GraphContentHash(graph)),
+      pool_store_(options.snapshot_budget_bytes) {}
+
+Engine::Engine(std::unique_ptr<const Graph> owned_graph,
+               std::unique_ptr<const UtilityConfig> owned_config,
+               EngineOptions options)
+    : owned_graph_(std::move(owned_graph)),
+      owned_config_(std::move(owned_config)),
+      graph_(owned_graph_.get()),
+      config_(owned_config_.get()),
+      options_(options),
+      graph_hash_(options.graph_hash != 0 ? options.graph_hash
+                                          : GraphContentHash(*graph_)),
+      pool_store_(options.snapshot_budget_bytes) {}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(const NetworkSpec& network,
+                                               const ConfigSpec& config,
+                                               EngineOptions options,
+                                               double scale) {
+  uint64_t stored_hash = 0;
+  StatusOr<Graph> graph = network.Build(scale, options.cache, &stored_hash);
+  if (!graph.ok()) return graph.status();
+  StatusOr<UtilityConfig> utilities = config.Build();
+  if (!utilities.ok()) return utilities.status();
+  if (options.graph_hash == 0) options.graph_hash = stored_hash;
+  return std::unique_ptr<Engine>(new Engine(
+      std::make_unique<const Graph>(std::move(graph).value()),
+      std::make_unique<const UtilityConfig>(std::move(utilities).value()),
+      options));
+}
+
+namespace {
+
+/// Structural validation of a request against the engine's configuration,
+/// so malformed embedder input fails with a Status instead of reaching
+/// the algorithms' unchecked indexing / CWM_CHECK aborts.
+Status ValidateRequest(const AllocateRequest& request,
+                       const UtilityConfig& config) {
+  const int m = config.num_items();
+  if (request.items.empty()) {
+    return Status::InvalidArgument("AllocateRequest: no items to allocate");
+  }
+  if (request.budgets.size() != static_cast<std::size_t>(m)) {
+    return Status::InvalidArgument(
+        "AllocateRequest: budgets must have one entry per config item");
+  }
+  for (ItemId i : request.items) {
+    if (i < 0 || i >= m) {
+      return Status::InvalidArgument(
+          "AllocateRequest: item id out of range");
+    }
+    if (std::count(request.items.begin(), request.items.end(), i) != 1) {
+      return Status::InvalidArgument("AllocateRequest: duplicate item id");
+    }
+  }
+  for (int b : request.budgets) {
+    if (b < 0) {
+      return Status::InvalidArgument("AllocateRequest: negative budget");
+    }
+  }
+  if (request.fixed != nullptr && request.fixed->num_items() != 0 &&
+      request.fixed->num_items() != m) {
+    return Status::InvalidArgument(
+        "AllocateRequest: fixed allocation item count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Engine::Allocate(AllocateRequest request,
+                        AllocateResult* result) const {
+  const Allocator* allocator = GlobalAllocatorRegistry().Find(request.algo);
+  if (allocator == nullptr) {
+    return Status::NotFound(std::string("no allocator registered for '") +
+                            AlgoName(request.algo) + "'");
+  }
+  if (Status valid = ValidateRequest(request, *config_); !valid.ok()) {
+    return valid;
+  }
+  *result = AllocateResult{};
+
+  // Bind the engine's long-lived state into the request, never
+  // overriding caller-pinned values.
+  request.graph = graph_;
+  request.config = config_;
+  if (request.params.imm.cache == nullptr) {
+    request.params.imm.cache = options_.cache;
+  }
+  if (request.params.imm.graph_hash == 0) {
+    request.params.imm.graph_hash = graph_hash_;
+  }
+  if (request.ranking.cache == nullptr) request.ranking.cache = options_.cache;
+  if (request.ranking.graph_hash == 0) request.ranking.graph_hash = graph_hash_;
+  if (request.params.estimator.pool_store == nullptr) {
+    request.params.estimator.pool_store = &pool_store_;
+  }
+  if (request.eval.pool_store == nullptr) {
+    request.eval.pool_store = &pool_store_;
+  }
+  if (request.candidate_pool == 0 && !request.budgets.empty()) {
+    // The bench default for the slow baselines: a pool around the
+    // largest budget.
+    request.candidate_pool =
+        static_cast<std::size_t>(*std::max_element(request.budgets.begin(),
+                                                   request.budgets.end())) +
+        20;
+  }
+
+  if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+    return cancelled;
+  }
+  ReportProgress(request, allocator->Name());
+  Timer allocate_timer;
+  const Status run = allocator->Allocate(request, result);
+  result->allocate_seconds = allocate_timer.Seconds();
+  if (!run.ok()) {
+    if (run.code() == Status::Code::kFailedPrecondition) {
+      // Preconditions are a property of the request's content, not an
+      // engine failure: report a skipped result the caller can record.
+      result->skipped = true;
+      result->skip_reason = run.message();
+      result->pool_stats = pool_store_.stats();
+      return Status::OK();
+    }
+    return run;
+  }
+
+  if (request.evaluate) {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    ReportProgress(request, "evaluate");
+    Timer evaluate_timer;
+    const WelfareEstimator evaluator(*graph_, *config_, request.eval);
+    const Allocation& sp = FixedOf(request);
+    const Allocation deployed = Allocation::Union(
+        result->allocation,
+        sp.num_items() == 0 ? Allocation(config_->num_items()) : sp);
+    // Batch-of-1 so the evaluation worlds resolve through the keyed pool
+    // store: every estimator with this (seed, num_worlds) — e.g. each
+    // task of one sweep cell — shares the materialization. Bit-identical
+    // to the streaming Stats() path.
+    result->stats =
+        evaluator.StatsBatch(std::span<const Allocation>(&deployed, 1))[0];
+    result->evaluate_seconds = evaluate_timer.Seconds();
+  }
+  result->pool_stats = pool_store_.stats();
+  return Status::OK();
+}
+
+}  // namespace cwm

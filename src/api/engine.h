@@ -1,0 +1,104 @@
+// Engine — the long-lived facade over the allocation stack.
+//
+// An Engine binds the per-task state the sweep used to rebuild ad hoc for
+// every algorithm run: the (possibly mmap'd) Graph, the utility
+// configuration, the ArtifactCache serving RR-set eras, and a keyed
+// WorldPoolStore so every estimator resolving the same world-sequence
+// identity — the per-cell evaluator rebuilt by each task, or the
+// estimators one AlgoParams spawns inside BestOf — shares one
+// materialized snapshot pool under one byte budget.
+//
+// Allocate() is the single algorithm-agnostic entry point: it resolves
+// the requested AlgoKind in the global AllocatorRegistry, binds the
+// engine's cache/hash/pool-store into the request (without overriding
+// caller-pinned values), times the allocator, evaluates the resulting
+// allocation's welfare on the request's evaluation estimator, and reports
+// pool/cache telemetry. Results are bit-identical to hand-wiring the
+// underlying algorithm: the engine only shares state that never changes
+// results (artifact cache, snapshot pools).
+//
+// Thread-safety: Allocate is const and safe to call concurrently; the
+// pool store serializes pool construction internally.
+#ifndef CWM_API_ENGINE_H_
+#define CWM_API_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "api/registry.h"
+#include "scenario/scenario.h"
+#include "simulate/world_pool.h"
+#include "store/artifact_cache.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// Long-lived bindings of an Engine.
+struct EngineOptions {
+  /// Artifact cache serving graph images and RR eras (not owned; may be
+  /// null). Bound into requests that did not pin their own.
+  ArtifactCache* cache = nullptr;
+  /// GraphContentHash of the engine's graph; 0 = compute on construction
+  /// (one O(edges) pass). Callers that already know it (the sweep, warm
+  /// cache opens) pass it to skip the pass.
+  uint64_t graph_hash = 0;
+  /// Byte budget of the engine's keyed snapshot-pool store
+  /// (CWM_SNAPSHOT_BUDGET_MB semantics; 0 streams every world lazily).
+  std::size_t snapshot_budget_bytes = 256ull << 20;
+};
+
+/// The facade. Construct over borrowed graph/config (the sweep's cells),
+/// or Open() a declarative NetworkSpec/ConfigSpec pair the engine owns —
+/// served mmap zero-copy from the artifact cache when bound.
+class Engine {
+ public:
+  /// Borrows `graph` and `config`; both must outlive the engine.
+  Engine(const Graph& graph, const UtilityConfig& config,
+         EngineOptions options = {});
+
+  /// Builds (or cache-opens) the network and utility configuration and
+  /// returns an engine owning both. `scale` multiplies scalable network
+  /// families (CWM_BENCH_SCALE semantics).
+  static StatusOr<std::unique_ptr<Engine>> Open(const NetworkSpec& network,
+                                                const ConfigSpec& config,
+                                                EngineOptions options = {},
+                                                double scale = 1.0);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the registered allocator named by request.algo and fills
+  /// `result` (allocation, diagnostics, welfare stats, timing,
+  /// telemetry). FailedPrecondition from the allocator becomes a
+  /// *skipped* result with OK status (the caller decides severity);
+  /// unknown kinds, cancellation, and other failures return non-OK and
+  /// leave `result` unspecified.
+  Status Allocate(AllocateRequest request, AllocateResult* result) const;
+
+  const Graph& graph() const { return *graph_; }
+  const UtilityConfig& config() const { return *config_; }
+  uint64_t graph_hash() const { return graph_hash_; }
+  ArtifactCache* cache() const { return options_.cache; }
+
+  /// Keyed snapshot-pool telemetry (engine lifetime).
+  WorldPoolStoreStats pool_stats() const { return pool_store_.stats(); }
+
+ private:
+  Engine(std::unique_ptr<const Graph> owned_graph,
+         std::unique_ptr<const UtilityConfig> owned_config,
+         EngineOptions options);
+
+  // Owned storage for the Open() path; null when borrowing.
+  std::unique_ptr<const Graph> owned_graph_;
+  std::unique_ptr<const UtilityConfig> owned_config_;
+  const Graph* graph_;
+  const UtilityConfig* config_;
+  EngineOptions options_;
+  uint64_t graph_hash_;
+  mutable WorldPoolStore pool_store_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_API_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "api/registry.h"
+
+#include <utility>
+
+#include "algo/best_of.h"
+#include "algo/max_grd.h"
+#include "algo/seq_grd.h"
+#include "algo/sup_grd.h"
+#include "baselines/balance_c.h"
+#include "baselines/greedy_wm.h"
+#include "baselines/heuristics.h"
+#include "baselines/simple_alloc.h"
+#include "baselines/tcim.h"
+#include "support/check.h"
+
+namespace cwm {
+
+Status AllocatorRegistry::Register(std::unique_ptr<Allocator> allocator) {
+  if (allocator == nullptr) {
+    return Status::InvalidArgument("null allocator");
+  }
+  for (const auto& existing : allocators_) {
+    if (existing->Kind() == allocator->Kind()) {
+      return Status::InvalidArgument(
+          std::string("duplicate allocator kind: ") + allocator->Name());
+    }
+    if (std::string_view(existing->Name()) == allocator->Name()) {
+      return Status::InvalidArgument(
+          std::string("duplicate allocator name: ") + allocator->Name());
+    }
+  }
+  allocators_.push_back(std::move(allocator));
+  return Status::OK();
+}
+
+const Allocator* AllocatorRegistry::Find(AlgoKind kind) const {
+  for (const auto& allocator : allocators_) {
+    if (allocator->Kind() == kind) return allocator.get();
+  }
+  return nullptr;
+}
+
+const Allocator* AllocatorRegistry::Find(std::string_view name) const {
+  for (const auto& allocator : allocators_) {
+    if (std::string_view(allocator->Name()) == name) return allocator.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Allocator*> AllocatorRegistry::All() const {
+  std::vector<const Allocator*> all;
+  all.reserve(allocators_.size());
+  for (const auto& allocator : allocators_) all.push_back(allocator.get());
+  return all;
+}
+
+std::vector<std::string> AllocatorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(allocators_.size());
+  for (const auto& allocator : allocators_) {
+    names.emplace_back(allocator->Name());
+  }
+  return names;
+}
+
+void RegisterBuiltinAllocators(AllocatorRegistry& registry) {
+  // Calling each module's hook by name (not static initializers) keeps
+  // registration immune to static-library dead-stripping: this TU is
+  // referenced by every registry user, so every module's adapters link.
+  RegisterSeqGrdAllocators(registry);
+  RegisterMaxGrdAllocator(registry);
+  RegisterSupGrdAllocator(registry);
+  RegisterBestOfAllocator(registry);
+  RegisterTcimAllocator(registry);
+  RegisterGreedyWmAllocator(registry);
+  RegisterBalanceCAllocator(registry);
+  RegisterPositionalAllocators(registry);
+  RegisterHeuristicRankAllocators(registry);
+}
+
+const AllocatorRegistry& GlobalAllocatorRegistry() {
+  static const AllocatorRegistry* registry = [] {
+    auto* built = new AllocatorRegistry();
+    RegisterBuiltinAllocators(*built);
+    for (AlgoKind kind : AllAlgoKinds()) {
+      CWM_CHECK_MSG(built->Find(kind) != nullptr,
+                    "AlgoKind missing from the builtin allocator registry");
+    }
+    return built;
+  }();
+  return *registry;
+}
+
+}  // namespace cwm

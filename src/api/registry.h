@@ -1,0 +1,54 @@
+// Registry of allocation algorithms, keyed by AlgoKind and display name.
+//
+// Each algorithm module (src/algo/*, src/baselines/*) implements its
+// Allocator adapters next to the algorithm and exposes a
+// Register*(AllocatorRegistry&) hook declared in its own header; the
+// global registry seeds itself from every hook via
+// RegisterBuiltinAllocators, so a module's allocators can never be
+// dropped by static-library link order. The registry coverage test
+// asserts every AlgoKind resolves — a new algorithm cannot silently miss
+// registration.
+#ifndef CWM_API_REGISTRY_H_
+#define CWM_API_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/allocator.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// An ordered, kind- and name-keyed collection of allocators.
+class AllocatorRegistry {
+ public:
+  /// Adds an allocator; fails on null, duplicate kind, or duplicate name.
+  Status Register(std::unique_ptr<Allocator> allocator);
+
+  /// Lookup by kind / by AlgoName; nullptr when absent.
+  const Allocator* Find(AlgoKind kind) const;
+  const Allocator* Find(std::string_view name) const;
+
+  /// Registered allocators, in registration order.
+  std::vector<const Allocator*> All() const;
+
+  /// Registered display names, in registration order (CLI error listings).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::unique_ptr<Allocator>> allocators_;
+};
+
+/// Registers every built-in allocator (all 14 AlgoKind values) into
+/// `registry`; exposed so tests can build isolated registries.
+void RegisterBuiltinAllocators(AllocatorRegistry& registry);
+
+/// The immutable global registry, built once (thread-safe) from the
+/// built-in allocators.
+const AllocatorRegistry& GlobalAllocatorRegistry();
+
+}  // namespace cwm
+
+#endif  // CWM_API_REGISTRY_H_

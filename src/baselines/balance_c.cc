@@ -1,8 +1,10 @@
 #include "baselines/balance_c.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
+#include "api/registry.h"
 #include "baselines/greedy_wm.h"
 #include "simulate/estimator.h"
 
@@ -80,6 +82,41 @@ Allocation BalanceC(const Graph& graph, const UtilityConfig& config,
     ++round;
   }
   return result;
+}
+
+namespace {
+
+class BalanceCAllocator final : public Allocator {
+ public:
+  AlgoKind Kind() const override { return AlgoKind::kBalanceC; }
+  AllocatorCapabilities Capabilities() const override {
+    return {.slow = true, .two_items_only = true};
+  }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    // Mirror BalanceC()'s own contract (items exactly {0, 1}) so near-miss
+    // requests skip instead of hitting its CWM_CHECK abort.
+    if (request.config->num_items() != 2 || request.items.size() != 2 ||
+        request.items[0] != 0 || request.items[1] != 1) {
+      return Status::FailedPrecondition(
+          "Balance-C requires exactly the two items {0, 1}");
+    }
+    result->allocation =
+        BalanceC(*request.graph, *request.config, FixedOf(request),
+                 request.items, request.budgets, request.params,
+                 {.candidate_pool = request.candidate_pool});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterBalanceCAllocator(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<BalanceCAllocator>());
 }
 
 }  // namespace cwm

@@ -31,6 +31,11 @@ Allocation BalanceC(const Graph& graph, const UtilityConfig& config,
                     const BudgetVector& budgets, const AlgoParams& params,
                     const BalanceCOptions& options = {});
 
+class AllocatorRegistry;
+/// Registers the Balance-C adapter (api/registry.h); capabilities mark it
+/// slow and two-items-only.
+void RegisterBalanceCAllocator(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_BASELINES_BALANCE_C_H_

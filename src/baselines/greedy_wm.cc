@@ -1,8 +1,10 @@
 #include "baselines/greedy_wm.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
+#include "api/registry.h"
 #include "rrset/prima_plus.h"
 #include "simulate/estimator.h"
 
@@ -131,6 +133,34 @@ Allocation GreedyWm(const Graph& graph, const UtilityConfig& config,
     ++round;
   }
   return result;
+}
+
+namespace {
+
+class GreedyWmAllocator final : public Allocator {
+ public:
+  AlgoKind Kind() const override { return AlgoKind::kGreedyWm; }
+  AllocatorCapabilities Capabilities() const override {
+    return {.slow = true};
+  }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    result->allocation =
+        GreedyWm(*request.graph, *request.config, FixedOf(request),
+                 request.items, request.budgets, request.params,
+                 {.candidate_pool = request.candidate_pool});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterGreedyWmAllocator(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<GreedyWmAllocator>());
 }
 
 }  // namespace cwm

@@ -53,6 +53,11 @@ std::vector<Allocation> CandidatePairGrid(int num_items,
                                           const std::vector<NodeId>& pool,
                                           const std::vector<ItemId>& items);
 
+class AllocatorRegistry;
+/// Registers the greedyWM adapter (api/registry.h); capabilities mark it
+/// slow so the sweep's gating applies.
+void RegisterGreedyWmAllocator(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_BASELINES_GREEDY_WM_H_

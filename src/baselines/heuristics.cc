@@ -1,8 +1,11 @@
 #include "baselines/heuristics.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
+#include "api/registry.h"
+#include "baselines/simple_alloc.h"
 #include "support/check.h"
 
 namespace cwm {
@@ -114,6 +117,62 @@ std::vector<double> ReversePageRank(const Graph& graph, double alpha,
 std::vector<NodeId> PageRankRank(const Graph& graph, std::size_t k,
                                  double alpha, int iterations) {
   return TopKByScore(ReversePageRank(graph, alpha, iterations), k);
+}
+
+namespace {
+
+/// Classic-IM rankings feeding utility-ordered blocks: sanity baselines
+/// the RR-set algorithms must dominate (bench_ablation).
+class HeuristicRankAllocator final : public Allocator {
+ public:
+  explicit HeuristicRankAllocator(AlgoKind kind) : kind_(kind) {}
+
+  AlgoKind Kind() const override { return kind_; }
+  AllocatorCapabilities Capabilities() const override { return {}; }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    std::size_t total_budget = 0;
+    for (ItemId i : request.items) {
+      total_budget += static_cast<std::size_t>(request.budgets[i]);
+    }
+    const Graph& graph = *request.graph;
+    std::vector<NodeId> ranking;
+    switch (kind_) {
+      case AlgoKind::kHighDegreeRank:
+        ranking = HighDegreeRank(graph, total_budget);
+        break;
+      case AlgoKind::kDegreeDiscountRank:
+        ranking = DegreeDiscountRank(graph, total_budget);
+        break;
+      default:
+        ranking = PageRankRank(graph, total_budget);
+        break;
+    }
+    // Items in decreasing expected-truncated-utility order, like
+    // BlockUtil (§6.4.3): the rankings compete on placement quality only.
+    result->allocation =
+        BlockAllocate(request.config->num_items(), ranking,
+                      ItemsByUtilityOf(request), request.budgets);
+    return Status::OK();
+  }
+
+ private:
+  AlgoKind kind_;
+};
+
+}  // namespace
+
+void RegisterHeuristicRankAllocators(AllocatorRegistry& registry) {
+  registry.Register(
+      std::make_unique<HeuristicRankAllocator>(AlgoKind::kHighDegreeRank));
+  registry.Register(std::make_unique<HeuristicRankAllocator>(
+      AlgoKind::kDegreeDiscountRank));
+  registry.Register(
+      std::make_unique<HeuristicRankAllocator>(AlgoKind::kPageRankRank));
 }
 
 }  // namespace cwm

@@ -39,6 +39,11 @@ std::vector<NodeId> PageRankRank(const Graph& graph, std::size_t k,
 std::vector<double> ReversePageRank(const Graph& graph, double alpha = 0.85,
                                     int iterations = 40);
 
+class AllocatorRegistry;
+/// Registers the HighDegree / DegDiscount / PageRank adapters
+/// (api/registry.h): each ranking feeds utility-ordered blocks.
+void RegisterHeuristicRankAllocators(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_BASELINES_HEURISTICS_H_

@@ -1,7 +1,10 @@
 #include "baselines/simple_alloc.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.h"
+#include "rrset/prima_plus.h"
 #include "support/check.h"
 
 namespace cwm {
@@ -81,6 +84,70 @@ Allocation SnakeAllocate(int num_items,
     forward = !forward;
   }
   return out;
+}
+
+namespace {
+
+/// Shared wiring of the PRIMA+-ranked positional allocators: one
+/// cell-keyed ranking (AllocateRequest::ranking) feeds RR / Snake /
+/// BlockUtil, which differ only in the item-to-position assignment.
+class PositionalAllocator final : public Allocator {
+ public:
+  explicit PositionalAllocator(AlgoKind kind) : kind_(kind) {}
+
+  AlgoKind Kind() const override { return kind_; }
+  AllocatorCapabilities Capabilities() const override {
+    return {.uses_shared_ranking = true};
+  }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    BudgetVector level_budgets;
+    int total_budget = 0;
+    for (ItemId i : request.items) {
+      level_budgets.push_back(request.budgets[i]);
+      total_budget += request.budgets[i];
+    }
+    ReportProgress(request, "PRIMA+ ranking");
+    const ImmResult prima =
+        PrimaPlus(*request.graph, FixedOf(request).SeedNodes(),
+                  level_budgets, total_budget, request.ranking);
+    result->diagnostics.rr_count = prima.rr_count;
+    result->diagnostics.internal_estimate = prima.coverage_estimate;
+    const int m = request.config->num_items();
+    switch (kind_) {
+      case AlgoKind::kRoundRobin:
+        result->allocation = RoundRobinAllocate(m, prima.seeds,
+                                                request.items,
+                                                request.budgets);
+        break;
+      case AlgoKind::kSnake:
+        result->allocation =
+            SnakeAllocate(m, prima.seeds, request.items, request.budgets);
+        break;
+      default:
+        result->allocation = BlockAllocate(m, prima.seeds,
+                                           ItemsByUtilityOf(request),
+                                           request.budgets);
+        break;
+    }
+    return Status::OK();
+  }
+
+ private:
+  AlgoKind kind_;
+};
+
+}  // namespace
+
+void RegisterPositionalAllocators(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<PositionalAllocator>(AlgoKind::kRoundRobin));
+  registry.Register(std::make_unique<PositionalAllocator>(AlgoKind::kSnake));
+  registry.Register(
+      std::make_unique<PositionalAllocator>(AlgoKind::kBlockUtility));
 }
 
 }  // namespace cwm

@@ -35,6 +35,12 @@ Allocation SnakeAllocate(int num_items,
                          const std::vector<ItemId>& items,
                          const BudgetVector& budgets);
 
+class AllocatorRegistry;
+/// Registers the RR / Snake / BlockUtil adapters (api/registry.h): each
+/// consumes the request's shared PRIMA+ ranking and differs only in the
+/// item-to-position assignment.
+void RegisterPositionalAllocators(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_BASELINES_SIMPLE_ALLOC_H_

@@ -1,7 +1,9 @@
 #include "baselines/tcim.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.h"
 #include "rrset/imm.h"
 
 namespace cwm {
@@ -25,6 +27,31 @@ Allocation Tcim(const Graph& graph, const UtilityConfig& config,
     }
   }
   return result;
+}
+
+namespace {
+
+class TcimAllocator final : public Allocator {
+ public:
+  AlgoKind Kind() const override { return AlgoKind::kTcim; }
+  AllocatorCapabilities Capabilities() const override { return {}; }
+
+  Status Allocate(const AllocateRequest& request,
+                  AllocateResult* result) const override {
+    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+      return cancelled;
+    }
+    result->allocation =
+        Tcim(*request.graph, *request.config, FixedOf(request),
+             request.items, request.budgets, request.params);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+void RegisterTcimAllocator(AllocatorRegistry& registry) {
+  registry.Register(std::make_unique<TcimAllocator>());
 }
 
 }  // namespace cwm

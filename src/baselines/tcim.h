@@ -35,6 +35,10 @@ Allocation Tcim(const Graph& graph, const UtilityConfig& config,
                 const Allocation& sp, const std::vector<ItemId>& items,
                 const BudgetVector& budgets, const AlgoParams& params);
 
+class AllocatorRegistry;
+/// Registers the TCIM adapter (api/registry.h).
+void RegisterTcimAllocator(AllocatorRegistry& registry);
+
 }  // namespace cwm
 
 #endif  // CWM_BASELINES_TCIM_H_

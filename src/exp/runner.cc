@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include <cstdlib>
+#include <utility>
 
 #include "support/timer.h"
 
@@ -11,7 +12,8 @@ ExperimentRunner::ExperimentRunner(const Graph& graph,
                                    EstimatorOptions eval_options)
     : graph_(graph),
       config_(config),
-      evaluator_(graph, config, eval_options) {}
+      evaluator_(graph, config, eval_options),
+      engine_(graph, config) {}
 
 RunRecord ExperimentRunner::Run(const std::string& name,
                                 const std::function<Allocation()>& algo,
@@ -26,6 +28,37 @@ RunRecord ExperimentRunner::Run(const std::string& name,
   record.stats =
       evaluator_.Stats(Allocation::Union(record.allocation, sp_or_empty));
   record.welfare = record.stats.welfare;
+  return record;
+}
+
+RunRecord ExperimentRunner::Run(AlgoKind kind, AllocateRequest request,
+                                const Allocation& sp) const {
+  request.algo = kind;
+  request.fixed = &sp;
+  // The runner's common evaluator defines the comparison worlds for every
+  // record; the engine's keyed pool shares their materialization across
+  // consecutive Run calls.
+  request.eval = evaluator_.options();
+  request.eval.pool_store = nullptr;  // engine binds its own store
+
+  RunRecord record;
+  record.algorithm = AlgoName(kind);
+  AllocateResult result;
+  const Status status = engine_.Allocate(std::move(request), &result);
+  if (!status.ok()) {
+    record.note = status.ToString();
+    return record;
+  }
+  if (result.skipped) {
+    record.note = result.skip_reason;
+    record.seconds = result.allocate_seconds;
+    return record;
+  }
+  record.seconds = result.allocate_seconds;
+  record.allocation = std::move(result.allocation);
+  record.stats = std::move(result.stats);
+  record.welfare = record.stats.welfare;
+  record.note = std::move(result.note);
   return record;
 }
 

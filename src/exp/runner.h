@@ -9,6 +9,7 @@
 #include <functional>
 #include <string>
 
+#include "api/engine.h"
 #include "graph/graph.h"
 #include "model/allocation.h"
 #include "model/utility.h"
@@ -23,6 +24,7 @@ struct RunRecord {
   double welfare = 0.0;    ///< rho(alloc ∪ sp), common evaluator
   WelfareStats stats;      ///< adoption counts etc.
   Allocation allocation;   ///< the algorithm's allocation (without sp)
+  std::string note;        ///< annotation / skip reason (registry path)
 };
 
 /// Times `algo` and evaluates its allocation on top of `sp` with a shared
@@ -37,12 +39,24 @@ class ExperimentRunner {
                 const std::function<Allocation()>& algo,
                 const Allocation& sp) const;
 
+  /// Runs a *registered* allocator (api/registry.h) through the runner's
+  /// long-lived Engine: `request.algo`/seeds/budgets come from the
+  /// caller, evaluation uses the runner's common estimator options (so
+  /// records stay comparable with the lambda overload), and consecutive
+  /// calls share the engine's keyed snapshot pools. Precondition
+  /// failures return a record whose `note` carries the skip reason and
+  /// whose allocation is empty.
+  RunRecord Run(AlgoKind kind, AllocateRequest request,
+                const Allocation& sp) const;
+
   const WelfareEstimator& evaluator() const { return evaluator_; }
+  const Engine& engine() const { return engine_; }
 
  private:
   const Graph& graph_;
   const UtilityConfig& config_;
   WelfareEstimator evaluator_;
+  Engine engine_;
 };
 
 /// Integer environment knob (e.g. CWM_SIMS). Returns `fallback` when the

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/algo_kind.h"
 #include "graph/graph.h"
 #include "model/allocation.h"
 #include "model/utility.h"
@@ -102,34 +103,11 @@ struct ConfigSpec {
   StatusOr<UtilityConfig> Build() const;
 };
 
-/// Algorithms and positional allocators runnable by the engine.
-enum class AlgoKind {
-  kSeqGrd,          ///< SeqGRD (Algorithm 1, marginal check on)
-  kSeqGrdNm,        ///< SeqGRD-NM (no marginal check)
-  kMaxGrd,          ///< MaxGRD (Algorithm 2)
-  kSupGrd,          ///< SupGRD (§5.3; needs a superior item + fixed S_P)
-  kBestOf,          ///< better of SeqGRD / MaxGRD (Theorems 3+4)
-  kTcim,            ///< TCIM baseline (Lin & Lui)
-  kGreedyWm,        ///< lazy greedy on Monte-Carlo welfare (slow)
-  kBalanceC,        ///< balanced-exposure greedy (slow, 2 items only)
-  kRoundRobin,      ///< PRIMA+ ranking, round-robin item assignment
-  kSnake,           ///< PRIMA+ ranking, snake item assignment
-  kBlockUtility,    ///< PRIMA+ ranking, utility-ordered blocks (SeqGRD-NM's
-                    ///< placement, Table 6)
-  kHighDegreeRank,  ///< HighDegree ranking, utility-ordered blocks
-  kDegreeDiscountRank,  ///< DegreeDiscount ranking, utility-ordered blocks
-  kPageRankRank,        ///< reverse-PageRank ranking, utility-ordered blocks
-};
-
-/// Canonical display name ("SeqGRD-NM", "greedyWM", ...).
-const char* AlgoName(AlgoKind kind);
-
-/// Inverse of AlgoName; nullopt for unknown names.
-std::optional<AlgoKind> ParseAlgo(std::string_view name);
-
-/// True for the Monte-Carlo-greedy baselines the paper could not finish on
-/// large networks (greedyWM, Balance-C); the sweep gates them by default.
-bool IsSlowAlgo(AlgoKind kind);
+// AlgoKind, AlgoName, ParseAlgo, IsSlowAlgo and AllAlgoKinds moved to the
+// stable API layer (api/algo_kind.h, included above): the algorithm
+// identity is part of the allocator interface, not the sweep engine. The
+// capability metadata the enum comments used to carry lives on the
+// registered allocators (api/registry.h; `cwm_run --describe algos`).
 
 /// Which cells run the slow Monte-Carlo baselines (greedyWM, Balance-C)
 /// by default. The paper gates them differently per figure — Fig 3 runs

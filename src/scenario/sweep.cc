@@ -5,21 +5,10 @@
 #include <memory>
 #include <utility>
 
-#include "algo/best_of.h"
-#include "algo/max_grd.h"
-#include "algo/params.h"
-#include "algo/seq_grd.h"
-#include "algo/sup_grd.h"
-#include "baselines/balance_c.h"
-#include "baselines/greedy_wm.h"
-#include "baselines/heuristics.h"
-#include "baselines/simple_alloc.h"
-#include "baselines/tcim.h"
+#include "api/engine.h"
 #include "exp/reduction.h"
 #include "exp/runner.h"
 #include "rrset/imm.h"
-#include "rrset/prima_plus.h"
-#include "simulate/estimator.h"
 #include "store/format.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -59,19 +48,12 @@ std::vector<ItemId> AllocatedItems(const ScenarioSpec& spec, int num_items) {
   return items;
 }
 
-int SumBudgets(const BudgetVector& budgets, const std::vector<ItemId>& items) {
-  int total = 0;
-  for (ItemId i : items) total += budgets[i];
-  return total;
-}
-
-/// Everything shared by the tasks of one (network, config) pair.
+/// Everything shared by the tasks of one (network, config) pair: the
+/// long-lived Engine (graph + config + cache binding + keyed snapshot
+/// pool, shared by every task of the cell pair) and the fixed S_P.
 struct CellInputs {
-  const Graph* graph = nullptr;
-  const UtilityConfig* config = nullptr;
+  std::unique_ptr<Engine> engine;
   Allocation sp;  ///< fixed allocation S_P (possibly empty)
-  uint64_t graph_hash = 0;          ///< GraphContentHash(*graph)
-  ArtifactCache* cache = nullptr;   ///< null when caching is disabled
 };
 
 /// Inner RR-sampling threads for a spec's tasks: the spec's own pin wins,
@@ -82,16 +64,16 @@ unsigned ResolveRrThreads(const ScenarioSpec& spec,
   return options.rr_threads > 0 ? options.rr_threads : 1;
 }
 
-/// Runs one non-gated task; fills the outcome fields of `row`.
+/// Runs one non-gated task through the cell's Engine; fills the outcome
+/// fields of `row`. The per-algorithm wiring (estimators, rankings,
+/// preconditions) lives behind the cwm::api registry — this function only
+/// derives the task's seeds and translates the result into a row.
 void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
              const CellInputs& cell, const SweepOptions& options,
              uint64_t cell_seed, TaskResult* row) {
-  const Graph& graph = *cell.graph;
-  const UtilityConfig& config = *cell.config;
-  const int m = config.num_items();
+  const int m = cell.engine->config().num_items();
   const BudgetVector budgets =
       ResolveBudgets(spec.budget_points[task.budget_index], m);
-  const std::vector<ItemId> items = AllocatedItems(spec, m);
   row->budgets = budgets;
 
   const uint64_t algo_seed =
@@ -99,144 +81,53 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
   const int sims = spec.sims > 0 ? spec.sims : options.default_sims;
   const int eval_sims =
       spec.eval_sims > 0 ? spec.eval_sims : options.default_eval_sims;
-
   const unsigned rr_threads = ResolveRrThreads(spec, options);
-  AlgoParams params;
-  params.imm = {.epsilon = spec.epsilon,
-                .ell = spec.ell,
-                .seed = MixHash(algo_seed, kImmTag),
-                .num_threads = rr_threads,
-                .cache = cell.cache,
-                .graph_hash = cell.graph_hash};
-  params.estimator = {.num_worlds = sims,
-                      .seed = MixHash(algo_seed, kEstTag),
-                      .num_threads = options.inner_threads,
-                      .snapshot_budget_bytes = options.snapshot_budget_bytes};
 
-  // Slow baselines restrict candidates to a pool around the largest
-  // budget, like the bench drivers.
-  const std::size_t pool =
-      static_cast<std::size_t>(
-          *std::max_element(budgets.begin(), budgets.end())) +
-      20;
-
-  const int total_budget = SumBudgets(budgets, items);
+  AllocateRequest request;
+  request.algo = task.algo;
+  request.items = AllocatedItems(spec, m);
+  request.budgets = budgets;
+  request.fixed = &cell.sp;
+  request.params.imm = {.epsilon = spec.epsilon,
+                        .ell = spec.ell,
+                        .seed = MixHash(algo_seed, kImmTag),
+                        .num_threads = rr_threads};
+  request.params.estimator = {
+      .num_worlds = sims,
+      .seed = MixHash(algo_seed, kEstTag),
+      .num_threads = options.inner_threads,
+      .snapshot_budget_bytes = options.snapshot_budget_bytes};
   // Positional allocators share one cell-keyed ranking, so RR / Snake /
   // BlockUtil differ only in the item-to-position assignment (§6.4.3).
-  const ImmParams rank_params{.epsilon = spec.epsilon,
-                              .ell = spec.ell,
-                              .seed = MixHash(cell_seed, kRankTag),
-                              .num_threads = rr_threads,
-                              .cache = cell.cache,
-                              .graph_hash = cell.graph_hash};
-  BudgetVector level_budgets;
-  for (ItemId i : items) level_budgets.push_back(budgets[i]);
-
-  std::vector<ItemId> items_by_utility;
-  for (ItemId i : config.ItemsByTruncatedUtilityDesc()) {
-    if (std::find(items.begin(), items.end(), i) != items.end()) {
-      items_by_utility.push_back(i);
-    }
-  }
-
-  Allocation allocation(m);
-  Timer timer;
-  switch (task.algo) {
-    case AlgoKind::kSeqGrd:
-      allocation = SeqGrd(graph, config, cell.sp, items, budgets, params);
-      break;
-    case AlgoKind::kSeqGrdNm:
-      allocation = SeqGrdNm(graph, config, cell.sp, items, budgets, params);
-      break;
-    case AlgoKind::kMaxGrd:
-      allocation = MaxGrd(graph, config, cell.sp, items, budgets, params);
-      break;
-    case AlgoKind::kBestOf: {
-      const char* chosen = nullptr;
-      allocation = BestOfSeqMax(graph, config, cell.sp, items, budgets,
-                                params, &chosen);
-      if (chosen != nullptr) row->note = std::string("chose ") + chosen;
-      break;
-    }
-    case AlgoKind::kSupGrd: {
-      const Status can = CanRunSupGrd(config, cell.sp);
-      if (!can.ok()) {
-        row->skipped = true;
-        row->skip_reason = "SupGRD preconditions: " + can.ToString();
-        return;
-      }
-      const ItemId superior = config.SuperiorItem().value();
-      allocation =
-          SupGrd(graph, config, cell.sp, budgets[superior], params);
-      break;
-    }
-    case AlgoKind::kTcim:
-      allocation = Tcim(graph, config, cell.sp, items, budgets, params);
-      break;
-    case AlgoKind::kGreedyWm:
-      allocation = GreedyWm(graph, config, cell.sp, items, budgets, params,
-                            {.candidate_pool = pool});
-      break;
-    case AlgoKind::kBalanceC:
-      allocation = BalanceC(graph, config, cell.sp, items, budgets, params,
-                            {.candidate_pool = pool});
-      break;
-    case AlgoKind::kRoundRobin:
-      allocation = RoundRobinAllocate(
-          m,
-          PrimaPlus(graph, cell.sp.SeedNodes(), level_budgets, total_budget,
-                    rank_params)
-              .seeds,
-          items, budgets);
-      break;
-    case AlgoKind::kSnake:
-      allocation = SnakeAllocate(
-          m,
-          PrimaPlus(graph, cell.sp.SeedNodes(), level_budgets, total_budget,
-                    rank_params)
-              .seeds,
-          items, budgets);
-      break;
-    case AlgoKind::kBlockUtility:
-      allocation = BlockAllocate(
-          m,
-          PrimaPlus(graph, cell.sp.SeedNodes(), level_budgets, total_budget,
-                    rank_params)
-              .seeds,
-          items_by_utility, budgets);
-      break;
-    case AlgoKind::kHighDegreeRank:
-      allocation = BlockAllocate(
-          m, HighDegreeRank(graph, static_cast<std::size_t>(total_budget)),
-          items_by_utility, budgets);
-      break;
-    case AlgoKind::kDegreeDiscountRank:
-      allocation = BlockAllocate(
-          m,
-          DegreeDiscountRank(graph, static_cast<std::size_t>(total_budget)),
-          items_by_utility, budgets);
-      break;
-    case AlgoKind::kPageRankRank:
-      allocation = BlockAllocate(
-          m, PageRankRank(graph, static_cast<std::size_t>(total_budget)),
-          items_by_utility, budgets);
-      break;
-  }
-  row->seconds = timer.Seconds();
-  row->seeds_allocated = allocation.TotalPairs();
-
+  request.ranking = {.epsilon = spec.epsilon,
+                     .ell = spec.ell,
+                     .seed = MixHash(cell_seed, kRankTag),
+                     .num_threads = rr_threads};
   // All algorithms of one cell share the evaluation worlds (cell-keyed
-  // seed): they are compared on the same sampled universes.
-  const WelfareEstimator evaluator(
-      graph, config,
-      {.num_worlds = eval_sims,
-       .seed = MixHash(cell_seed, kEvalTag),
-       .num_threads = options.inner_threads});
-  const WelfareStats stats =
-      evaluator.Stats(Allocation::Union(allocation, cell.sp));
-  row->welfare = stats.welfare;
-  row->adopting_nodes = stats.adopting_nodes;
-  row->adopters_per_item = stats.adopters_per_item;
+  // seed): they are compared on the same sampled universes — and, through
+  // the engine's keyed pool store, on the same materialized snapshots.
+  request.eval = {.num_worlds = eval_sims,
+                  .seed = MixHash(cell_seed, kEvalTag),
+                  .num_threads = options.inner_threads};
+
+  AllocateResult result;
+  const Status status = cell.engine->Allocate(std::move(request), &result);
+  if (!status.ok()) {
+    row->skipped = true;
+    row->skip_reason = status.ToString();
+    return;
+  }
+  if (result.skipped) {
+    row->skipped = true;
+    row->skip_reason = result.skip_reason;
+    return;
+  }
+  row->seconds = result.allocate_seconds;
+  row->seeds_allocated = result.allocation.TotalPairs();
+  row->note = result.note;
+  row->welfare = result.stats.welfare;
+  row->adopting_nodes = result.stats.adopting_nodes;
+  row->adopters_per_item = result.stats.adopters_per_item;
 }
 
 }  // namespace
@@ -333,15 +224,20 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
     }
   }
 
-  // Per-(network, config) cell inputs.
+  // Per-(network, config) cell inputs: one long-lived Engine per pair,
+  // so every task of the pair shares the cache binding and the keyed
+  // snapshot-pool store (the cell evaluator materializes once, not once
+  // per task). Sharing never changes results — only wall time.
   std::vector<CellInputs> cells(spec.networks.size() * spec.configs.size());
   for (std::size_t n = 0; n < spec.networks.size(); ++n) {
     for (std::size_t c = 0; c < spec.configs.size(); ++c) {
       CellInputs& cell = cells[n * spec.configs.size() + c];
-      cell.graph = &graphs[n];
-      cell.config = &configs[c];
-      cell.graph_hash = graph_hashes[n];
-      cell.cache = cache;
+      cell.engine = std::make_unique<Engine>(
+          graphs[n], configs[c],
+          EngineOptions{
+              .cache = cache,
+              .graph_hash = graph_hashes[n],
+              .snapshot_budget_bytes = options.snapshot_budget_bytes});
       const int m = configs[c].num_items();
       cell.sp = Allocation(m);
       switch (spec.fixed.kind) {
@@ -387,11 +283,12 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
         const CellInputs& cell =
             cells[task.network_index * spec.configs.size() +
                   task.config_index];
-        row.graph_nodes = cell.graph->num_nodes();
-        row.graph_edges = cell.graph->num_edges();
-        row.graph_hash = HashToHex(cell.graph_hash);
-        row.budgets = ResolveBudgets(spec.budget_points[task.budget_index],
-                                     cell.config->num_items());
+        row.graph_nodes = cell.engine->graph().num_nodes();
+        row.graph_edges = cell.engine->graph().num_edges();
+        row.graph_hash = HashToHex(cell.engine->graph_hash());
+        row.budgets =
+            ResolveBudgets(spec.budget_points[task.budget_index],
+                           cell.engine->config().num_items());
 
         if (task.gated) {
           row.skipped = true;
@@ -420,6 +317,14 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   result.total_seconds = total_timer.Seconds();
   result.cache_enabled = cache != nullptr;
   if (cache != nullptr) result.cache_stats = cache->stats();
+  for (const CellInputs& cell : cells) {
+    const WorldPoolStoreStats stats = cell.engine->pool_stats();
+    result.pool_stats.pools_built += stats.pools_built;
+    result.pool_stats.pool_reuses += stats.pool_reuses;
+    result.pool_stats.pools_evicted += stats.pools_evicted;
+    result.pool_stats.resident_bytes += stats.resident_bytes;
+    result.pool_stats.resident_pools += stats.resident_pools;
+  }
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "simulate/world_pool.h"
 #include "store/artifact_cache.h"
 #include "support/status.h"
 
@@ -115,6 +116,11 @@ struct SweepResult {
   /// Execution telemetry like `total_seconds` — not part of the artifact.
   bool cache_enabled = false;
   CacheStats cache_stats;
+  /// Keyed snapshot-pool counters, summed over the per-cell engines.
+  /// pool_reuses > 0 means estimators shared materialized worlds (every
+  /// task of a cell resolves the cell's evaluation pool by key).
+  /// Execution telemetry — not part of the artifact.
+  WorldPoolStoreStats pool_stats;
 };
 
 /// Validates, expands and runs `spec`. Fails fast on validation or

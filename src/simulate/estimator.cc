@@ -40,9 +40,14 @@ const WorldPool& WelfareEstimator::EnsurePool() const {
   if (pool_ == nullptr) {
     const unsigned threads =
         options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
-    pool_ = std::make_shared<const WorldPool>(
-        graph_, config_, options_.seed, options_.num_worlds,
-        options_.snapshot_budget_bytes, threads);
+    if (options_.pool_store != nullptr) {
+      pool_ = options_.pool_store->GetOrBuild(graph_, config_, options_.seed,
+                                              options_.num_worlds, threads);
+    } else {
+      pool_ = std::make_shared<const WorldPool>(
+          graph_, config_, options_.seed, options_.num_worlds,
+          options_.snapshot_budget_bytes, threads);
+    }
   }
   return *pool_;
 }

@@ -50,6 +50,14 @@ struct EstimatorOptions {
   /// snapshots exceed the budget are streamed lazily instead; 0 disables
   /// materialization entirely. Never changes results — only wall time.
   std::size_t snapshot_budget_bytes = 256ull << 20;
+  /// Optional shared pool store (simulate/world_pool.h). When set, the
+  /// estimator resolves its snapshot pool through the store's
+  /// (graph, config, seed, num_worlds) key instead of building a private
+  /// one, so estimators with the same world-sequence identity share the
+  /// materialization and the *store's* budget governs (this option's
+  /// snapshot_budget_bytes is ignored). Not owned; must outlive the
+  /// estimator. Never changes results — only wall time.
+  WorldPoolStore* pool_store = nullptr;
 };
 
 /// Expected-value statistics of an allocation.

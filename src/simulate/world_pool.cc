@@ -28,28 +28,33 @@ WorldSnapshot::WorldSnapshot(const Graph& graph, const UtilityConfig& config,
   targets_.shrink_to_fit();
 }
 
-WorldPool::WorldPool(const Graph& graph, const UtilityConfig& config,
-                     uint64_t seed, int num_worlds,
-                     std::size_t budget_bytes, unsigned num_threads)
-    : num_worlds_(num_worlds) {
-  // Materialization disabled: skip even the footprint-estimate edge scan.
-  if (budget_bytes == 0) return;
-  // Per-world footprint estimate: the offset array is exact, the live
-  // edge count is taken at its expectation (sum of edge probabilities).
+SnapshotFootprint EstimateSnapshotFootprint(const Graph& graph) {
   // Estimating instead of counting avoids a second full coin-flip pass;
-  // the budget is a soft cap and the estimate is deterministic, so the
-  // materialized prefix never depends on sampled worlds or threads.
+  // the estimate is deterministic, so budget cutoffs derived from it
+  // never depend on sampled worlds or threads.
   double expected_live = 0.0;
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (const OutEdge& e : graph.OutEdges(u)) {
       expected_live += std::min(1.0f, std::max(0.0f, e.prob));
     }
   }
-  const std::size_t live_hint =
-      static_cast<std::size_t>(std::ceil(expected_live));
-  const std::size_t per_world =
-      (graph.num_nodes() + 1) * sizeof(uint32_t) +
-      live_hint * sizeof(NodeId);
+  SnapshotFootprint footprint;
+  footprint.live_hint = static_cast<std::size_t>(std::ceil(expected_live));
+  footprint.bytes = (graph.num_nodes() + 1) * sizeof(uint32_t) +
+                    footprint.live_hint * sizeof(NodeId);
+  return footprint;
+}
+
+WorldPool::WorldPool(const Graph& graph, const UtilityConfig& config,
+                     uint64_t seed, int num_worlds,
+                     std::size_t budget_bytes, unsigned num_threads,
+                     SnapshotFootprint footprint)
+    : num_worlds_(num_worlds) {
+  // Materialization disabled: skip even the footprint-estimate edge scan.
+  if (budget_bytes == 0) return;
+  if (footprint.bytes == 0) footprint = EstimateSnapshotFootprint(graph);
+  const std::size_t live_hint = footprint.live_hint;
+  const std::size_t per_world = footprint.bytes;
   const std::size_t limit =
       per_world == 0 ? static_cast<std::size_t>(num_worlds)
                      : budget_bytes / per_world;
@@ -73,6 +78,69 @@ WorldPoolStats WorldPool::stats() const {
   stats.num_worlds = num_worlds_;
   stats.snapshotted = static_cast<int>(snapshots_.size());
   for (const auto& snapshot : snapshots_) stats.bytes += snapshot->bytes();
+  return stats;
+}
+
+std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
+    const Graph& graph, const UtilityConfig& config, uint64_t seed,
+    int num_worlds, unsigned num_threads) {
+  // Building under the lock serializes misses but makes concurrent
+  // requests for one key (every task of a sweep cell asking for the
+  // cell's evaluation pool at once) build exactly once; the build itself
+  // is still parallel over num_threads.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{&graph, &config, seed, num_worlds};
+  if (auto it = pools_.find(key); it != pools_.end()) {
+    ++pool_reuses_;
+    it->second.last_use = ++tick_;
+    return it->second.pool;
+  }
+
+  std::size_t resident = 0;
+  for (const auto& [k, entry] : pools_) resident += entry.bytes;
+  // One footprint scan per miss: the estimate feeds both the eviction
+  // target and, passed through, the new pool's prefix cutoff.
+  const SnapshotFootprint footprint = EstimateSnapshotFootprint(graph);
+  const std::size_t desired = std::min(
+      budget_bytes_,
+      footprint.bytes * static_cast<std::size_t>(num_worlds));
+  // Make room LRU-first, but never drop a pool an estimator still holds:
+  // evicting it would not free memory, only forfeit future reuse.
+  while (resident + desired > budget_bytes_) {
+    auto victim = pools_.end();
+    for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+      if (it->second.pool.use_count() > 1) continue;
+      if (victim == pools_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == pools_.end()) break;
+    resident -= victim->second.bytes;
+    pools_.erase(victim);
+    ++pools_evicted_;
+  }
+
+  const std::size_t remaining =
+      budget_bytes_ > resident ? budget_bytes_ - resident : 0;
+  Entry entry;
+  entry.pool = std::make_shared<const WorldPool>(
+      graph, config, seed, num_worlds, remaining, num_threads, footprint);
+  entry.bytes = entry.pool->stats().bytes;
+  entry.last_use = ++tick_;
+  ++pools_built_;
+  auto [it, inserted] = pools_.emplace(key, std::move(entry));
+  return it->second.pool;
+}
+
+WorldPoolStoreStats WorldPoolStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  WorldPoolStoreStats stats;
+  stats.pools_built = pools_built_;
+  stats.pool_reuses = pool_reuses_;
+  stats.pools_evicted = pools_evicted_;
+  stats.resident_pools = pools_.size();
+  for (const auto& [key, entry] : pools_) stats.resident_bytes += entry.bytes;
   return stats;
 }
 

@@ -23,12 +23,21 @@
 // nullptr for the rest, which callers stream exactly as before
 // (transparent fallback — results are identical either way). The cutoff
 // depends only on the graph and the budget, never on thread count.
+// A WorldPoolStore (bottom of this header) extends the sharing across
+// *estimators*: pools are keyed by (graph, config, seed, num_worlds), so
+// every estimator of one task — and every task of one sweep cell, which
+// all share the evaluation seed — resolves to the same materialized pool
+// instead of building its own. The store is budget-capped as a whole and
+// evicts unreferenced pools LRU-first; like the pools themselves it only
+// ever changes wall time, never results.
 #ifndef CWM_SIMULATE_WORLD_POOL_H_
 #define CWM_SIMULATE_WORLD_POOL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -80,6 +89,16 @@ struct WorldPoolStats {
   std::size_t bytes = 0; ///< total snapshot footprint
 };
 
+/// Deterministic per-world snapshot footprint estimate: the offset array
+/// is exact, the live edge count is taken at its expectation (sum of edge
+/// probabilities). Shared by WorldPool's prefix cutoff and
+/// WorldPoolStore's eviction policy so both agree on what a world costs.
+struct SnapshotFootprint {
+  std::size_t live_hint = 0;  ///< ceil(expected live edges per world)
+  std::size_t bytes = 0;      ///< estimated heap bytes per snapshot
+};
+SnapshotFootprint EstimateSnapshotFootprint(const Graph& graph);
+
 /// The materialized prefix of one estimator's world sequence. Immutable
 /// after construction; safe to share across threads.
 class WorldPool {
@@ -89,9 +108,12 @@ class WorldPool {
   /// (estimated as offsets + expected live edges per world — the cutoff
   /// is deterministic in the graph and budget alone). Building is
   /// parallelized over `num_threads` workers; snapshot content never
-  /// depends on the thread count.
+  /// depends on the thread count. A caller that already computed the
+  /// graph's footprint estimate passes it to skip the edge scan
+  /// (bytes == 0 recomputes; the estimate is deterministic either way).
   WorldPool(const Graph& graph, const UtilityConfig& config, uint64_t seed,
-            int num_worlds, std::size_t budget_bytes, unsigned num_threads);
+            int num_worlds, std::size_t budget_bytes, unsigned num_threads,
+            SnapshotFootprint footprint = {});
 
   /// Snapshot of world `w`, or nullptr when `w` fell outside the budget
   /// (the caller streams that world lazily instead).
@@ -106,6 +128,74 @@ class WorldPool {
  private:
   int num_worlds_;
   std::vector<std::unique_ptr<WorldSnapshot>> snapshots_;
+};
+
+/// Telemetry of one store (surfaced through Engine/AllocateResult and the
+/// sweep's aggregate counters).
+struct WorldPoolStoreStats {
+  uint64_t pools_built = 0;    ///< keys materialized from scratch
+  uint64_t pool_reuses = 0;    ///< GetOrBuild calls served by a resident pool
+  uint64_t pools_evicted = 0;  ///< unreferenced pools dropped for budget
+  std::size_t resident_bytes = 0;  ///< snapshot bytes currently resident
+  std::size_t resident_pools = 0;  ///< pools currently resident
+};
+
+/// A keyed, budget-capped cache of WorldPools shared by the estimators of
+/// one engine/task. The key is (graph, config, seed, num_worlds) — the
+/// full identity of an estimator's world sequence — so two estimators
+/// with the same identity (e.g. the per-cell evaluator rebuilt by every
+/// task of a sweep cell, or the estimators BestOf's two arms construct
+/// from one AlgoParams) share one materialized pool. The byte budget caps
+/// the *store*: a new pool is built with whatever budget remains after
+/// evicting unreferenced pools (LRU-first), and falls back to streaming
+/// when nothing remains. Thread-safe; concurrent GetOrBuild calls for one
+/// key build once and share. Never changes results — only wall time.
+class WorldPoolStore {
+ public:
+  explicit WorldPoolStore(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  WorldPoolStore(const WorldPoolStore&) = delete;
+  WorldPoolStore& operator=(const WorldPoolStore&) = delete;
+
+  /// The pool for (graph, config, seed, num_worlds): resident if already
+  /// built, otherwise built under the store's remaining budget. The
+  /// returned pointer keeps the pool alive independently of the store.
+  std::shared_ptr<const WorldPool> GetOrBuild(const Graph& graph,
+                                              const UtilityConfig& config,
+                                              uint64_t seed, int num_worlds,
+                                              unsigned num_threads);
+
+  WorldPoolStoreStats stats() const;
+
+  std::size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Key {
+    const Graph* graph;
+    const UtilityConfig* config;
+    uint64_t seed;
+    int num_worlds;
+    bool operator<(const Key& o) const {
+      if (graph != o.graph) return graph < o.graph;
+      if (config != o.config) return config < o.config;
+      if (seed != o.seed) return seed < o.seed;
+      return num_worlds < o.num_worlds;
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const WorldPool> pool;
+    std::size_t bytes = 0;
+    uint64_t last_use = 0;
+  };
+
+  const std::size_t budget_bytes_;
+  mutable std::mutex mutex_;
+  uint64_t tick_ = 0;
+  std::map<Key, Entry> pools_;
+  uint64_t pools_built_ = 0;
+  uint64_t pool_reuses_ = 0;
+  uint64_t pools_evicted_ = 0;
 };
 
 }  // namespace cwm

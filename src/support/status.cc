@@ -17,6 +17,10 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kOutOfRange:
       return "OutOfRange";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ class Status {
     kIOError,
     kCorruption,
     kOutOfRange,
+    kFailedPrecondition,
+    kCancelled,
   };
 
   /// Constructs an OK status.
@@ -43,6 +45,17 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
+  }
+  /// A precondition of the operation does not hold (e.g. an allocator's
+  /// requirements on the utility configuration). Unlike InvalidArgument
+  /// this is a property of the inputs' *content*, so callers typically
+  /// skip rather than abort (the sweep turns it into a skipped row).
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  /// The operation observed a cooperative cancellation request.
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

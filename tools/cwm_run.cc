@@ -2,11 +2,17 @@
 //
 //   cwm_run --list                      enumerate registered scenarios
 //   cwm_run --describe <scenario>      print a scenario's spec as JSON
+//   cwm_run --describe algos           print the allocator registry
+//                                      (names + capabilities)
 //   cwm_run <scenario>... [options]    run scenarios
 //
 // Options:
 //   --out FILE        write JSON-Lines results (FILE '-' = stdout)
 //   --csv FILE        write CSV results
+//   --algos CSV       run only these algorithms (registry names, e.g.
+//                     "SeqGRD,MaxGRD"): each named scenario's algorithm
+//                     axis is filtered to the requested subset; unknown
+//                     names list the registry
 //   --threads N       task-level parallelism (0 = hardware concurrency)
 //   --cache-dir DIR   artifact cache (CWM_CACHE_DIR): graphs and RR
 //                     collections are mmap-served from DIR when their
@@ -46,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "scenario/sweep.h"
@@ -57,14 +64,64 @@ using namespace cwm;
 int Usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s --list\n"
-               "       %s --describe <scenario>\n"
+               "       %s --describe <scenario>|algos\n"
                "       %s <scenario>... [--out FILE] [--csv FILE]\n"
-               "         [--threads N] [--rr-threads N] [--inner-threads N]\n"
+               "         [--algos CSV] [--threads N] [--rr-threads N]\n"
+               "         [--inner-threads N]\n"
                "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
                "         [--snapshot-budget-mb N]\n"
                "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n",
                argv0, argv0, argv0);
   return code;
+}
+
+/// The allocator registry as a table — the source of truth for algorithm
+/// names and capabilities (replaces the hand-maintained enum comments).
+void DescribeAlgorithms() {
+  const AllocatorRegistry& registry = GlobalAllocatorRegistry();
+  std::printf("%zu registered allocators:\n\n", registry.All().size());
+  std::printf("  %-12s %s\n", "name", "capabilities");
+  for (const Allocator* allocator : registry.All()) {
+    const AllocatorCapabilities caps = allocator->Capabilities();
+    std::string notes;
+    if (caps.slow) notes += " slow(gated)";
+    if (caps.two_items_only) notes += " two-items-only";
+    if (caps.needs_superior_item) notes += " needs-superior-item";
+    if (caps.uses_shared_ranking) notes += " shared-ranking";
+    if (notes.empty()) notes = " -";
+    std::printf("  %-12s%s\n", allocator->Name(), notes.c_str());
+  }
+}
+
+/// Parses --algos into kinds; exits with the registry listing on unknown
+/// names.
+std::vector<AlgoKind> ParseAlgosFilter(const std::string& csv) {
+  std::vector<AlgoKind> kinds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(start, comma - start);
+    start = comma + 1;
+    if (name.empty()) continue;
+    const std::optional<AlgoKind> kind = ParseAlgo(name);
+    if (!kind.has_value()) {
+      std::string known;
+      for (const std::string& n : GlobalAllocatorRegistry().Names()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      std::fprintf(stderr, "--algos: unknown algorithm '%s'; registry: %s\n",
+                   name.c_str(), known.c_str());
+      std::exit(2);
+    }
+    kinds.push_back(*kind);
+  }
+  if (kinds.empty()) {
+    std::fprintf(stderr, "--algos: no algorithm named\n");
+    std::exit(2);
+  }
+  return kinds;
 }
 
 void ListScenarios() {
@@ -103,7 +160,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> scenario_names;
   std::string out_path, csv_path, value;
   bool list = false, quiet = false, timing = false;
-  std::string describe;
+  std::string describe, algos_csv;
   SweepOptions options = EnvSweepOptions();
   uint64_t seed_override = 0;
   bool has_seed_override = false;
@@ -115,6 +172,7 @@ int main(int argc, char** argv) {
     if (ParseValue(argc, argv, &i, "--describe", &describe)) continue;
     if (ParseValue(argc, argv, &i, "--out", &out_path)) continue;
     if (ParseValue(argc, argv, &i, "--csv", &csv_path)) continue;
+    if (ParseValue(argc, argv, &i, "--algos", &algos_csv)) continue;
     if (ParseValue(argc, argv, &i, "--threads", &value)) {
       options.num_threads = static_cast<unsigned>(std::atoi(value.c_str()));
       continue;
@@ -185,6 +243,10 @@ int main(int argc, char** argv) {
   const ScenarioRegistry& registry = GlobalScenarioRegistry();
 
   if (!describe.empty()) {
+    if (describe == "algos") {
+      DescribeAlgorithms();
+      return 0;
+    }
     StatusOr<ScenarioSpec> spec = registry.Find(describe);
     if (!spec.ok()) {
       std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
@@ -200,6 +262,8 @@ int main(int argc, char** argv) {
   }
 
   // Resolve all names before running anything.
+  std::vector<AlgoKind> algos_filter;
+  if (!algos_csv.empty()) algos_filter = ParseAlgosFilter(algos_csv);
   std::vector<ScenarioSpec> specs;
   for (const std::string& name : scenario_names) {
     StatusOr<ScenarioSpec> spec = registry.Find(name);
@@ -209,6 +273,23 @@ int main(int argc, char** argv) {
     }
     specs.push_back(std::move(spec).value());
     if (has_seed_override) specs.back().seeds = {seed_override};
+    if (!algos_filter.empty()) {
+      // Keep the spec's own order; run only the requested subset.
+      std::vector<AlgoKind> kept;
+      for (AlgoKind algo : specs.back().algorithms) {
+        if (std::find(algos_filter.begin(), algos_filter.end(), algo) !=
+            algos_filter.end()) {
+          kept.push_back(algo);
+        }
+      }
+      if (kept.empty()) {
+        std::fprintf(stderr,
+                     "--algos: no requested algorithm in scenario '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      specs.back().algorithms = std::move(kept);
+    }
   }
 
   std::ofstream out_file, csv_file;
@@ -270,6 +351,19 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(stats.graph_misses),
                    static_cast<unsigned long long>(stats.rr_hits),
                    static_cast<unsigned long long>(stats.rr_misses));
+    }
+    // Keyed snapshot-pool telemetry (stderr like the cache stats; reuses
+    // count estimators served by an already materialized pool).
+    const WorldPoolStoreStats& pools = result.value().pool_stats;
+    if (pools.pools_built > 0 || pools.pool_reuses > 0) {
+      std::fprintf(stderr,
+                   "%s pools: built=%llu reused=%llu evicted=%llu "
+                   "resident=%.1fMB\n",
+                   spec.name.c_str(),
+                   static_cast<unsigned long long>(pools.pools_built),
+                   static_cast<unsigned long long>(pools.pool_reuses),
+                   static_cast<unsigned long long>(pools.pools_evicted),
+                   static_cast<double>(pools.resident_bytes) / (1 << 20));
     }
     if (out_to_stdout) {
       WriteJsonLines(result.value(), std::cout, sink_options);
