@@ -18,6 +18,7 @@
 #include "graph/generators.h"
 #include "graph/loader.h"
 #include "model/allocation.h"
+#include "obs/trace.h"
 #include "rrset/node_selection.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_pipeline.h"
@@ -25,6 +26,7 @@
 #include "simulate/estimator.h"
 #include "simulate/uic_simulator.h"
 #include "store/graph_store.h"
+#include "support/rng.h"
 
 namespace cwm {
 namespace {
@@ -328,6 +330,48 @@ void BM_GraphStoreOpenOrkutLike(benchmark::State& state) {
   state.counters["edges"] = static_cast<double>(edges);
 }
 BENCHMARK(BM_GraphStoreOpenOrkutLike)->Unit(benchmark::kMillisecond);
+
+// Cost of an instrumentation site around a realistic hot work unit (~512
+// dependent MixHash rounds, the scale of one RR-set hop loop). Three
+// arms: Arg(0) = span present, no recorder installed (the production
+// default — must cost one relaxed load); Arg(1) = recorder installed and
+// recording (the priced-in enabled cost, informational); Arg(2) = the
+// same work with no instrumentation site at all (baseline). The CI gate
+// (scripts/check_trace_overhead.py) asserts Arg(0) is within 2% of
+// Arg(2)'s throughput.
+constexpr int kTraceWorkRounds = 512;
+
+uint64_t TraceWorkUnit(uint64_t x) {
+  for (int i = 0; i < kTraceWorkRounds; ++i) x = MixHash(x, 0x9e37u + i);
+  return x;
+}
+
+void BM_TraceOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  // Bounded so the enabled arm cannot grow without limit across
+  // iterations; overflow is counted, not stored.
+  std::unique_ptr<TraceRecorder> recorder;
+  if (mode == 1) {
+    recorder = std::make_unique<TraceRecorder>(
+        TraceRecorderOptions{.max_events_per_thread = 1u << 16});
+    recorder->Install();
+  }
+  uint64_t x = 0x2545f4914f6cdd1dULL;
+  for (auto _ : state) {
+    if (mode == 2) {
+      // Baseline: the same work with no instrumentation site at all.
+      x = TraceWorkUnit(x);
+    } else {
+      CWM_TRACE_SPAN("bench.work", {{"round", kTraceWorkRounds}});
+      x = TraceWorkUnit(x);
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  if (recorder != nullptr) recorder->Uninstall();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rounds"] = static_cast<double>(kTraceWorkRounds);
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
 
 }  // namespace
 }  // namespace cwm

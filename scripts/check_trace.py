@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI gate for `cwm_run --trace` / `--metrics`.
+
+Runs a traced smoke sweep against a temporary artifact cache and checks:
+
+  * the trace file is well-formed Chrome trace-event JSON: a traceEvents
+    list whose entries all carry name/ph/pid/tid/ts, with 'X' events
+    additionally carrying a non-negative dur;
+  * the trace contains spans from every instrumented layer (span names
+    follow `<layer>.<verb>`): rr, store, simulate, api, scenario;
+  * the stderr stats lines keep the substrings the warm-cache smoke
+    greps ("cache: graphs hits=", "rr hits=");
+  * the --metrics file is valid JSON with the unified cache counters.
+
+Usage:
+  check_trace.py ./build/cwm_run [--scenario smoke-tiny]
+"""
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REQUIRED_LAYERS = {"rr", "store", "simulate", "api", "scenario"}
+
+
+def validate_trace(path):
+    """Returns the set of `<layer>` prefixes seen across span names."""
+    with open(path) as fh:
+        trace = json.load(fh)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise SystemExit(f"FAIL: {path} has no traceEvents")
+    layers = set()
+    spans = 0
+    for event in events:
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                raise SystemExit(f"FAIL: event missing '{field}': {event}")
+        if event["ph"] == "X":
+            spans += 1
+            if float(event.get("dur", -1.0)) < 0.0:
+                raise SystemExit(f"FAIL: 'X' event without dur: {event}")
+        layers.add(str(event["name"]).split(".", 1)[0])
+    if spans == 0:
+        raise SystemExit(f"FAIL: {path} contains no complete spans")
+    dropped = trace.get("metadata", {}).get("events_dropped", 0)
+    print(f"trace: {len(events)} events ({spans} spans, {dropped} dropped), "
+          f"layers: {', '.join(sorted(layers))}")
+    return layers
+
+
+def validate_metrics(path):
+    with open(path) as fh:
+        metrics = json.load(fh)
+    counters = metrics.get("counters", {})
+    for name in ("cache.graph_hits", "cache.graph_misses",
+                 "cache.rr_hits", "cache.rr_misses"):
+        if name not in counters:
+            raise SystemExit(f"FAIL: metrics missing counter '{name}'")
+    if "histograms" not in metrics:
+        raise SystemExit("FAIL: metrics missing 'histograms'")
+    print(f"metrics: {len(counters)} counters, "
+          f"{len(metrics.get('gauges', {}))} gauges, "
+          f"{len(metrics['histograms'])} histograms")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cwm_run", help="path to the cwm_run binary")
+    parser.add_argument("--scenario", default="smoke-tiny",
+                        help="scenario to sweep (default smoke-tiny)")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="cwm_trace_") as tmp:
+        tmp = Path(tmp)
+        trace_path = tmp / "trace.json"
+        metrics_path = tmp / "metrics.json"
+        cmd = [args.cwm_run, args.scenario,
+               "--threads", "2",
+               "--cache-dir", str(tmp / "cache"),
+               "--trace", str(trace_path),
+               "--metrics", str(metrics_path),
+               "--quiet"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            raise SystemExit(f"FAIL: {' '.join(cmd)} exited "
+                             f"{proc.returncode}")
+
+        # The stderr stats contract the warm-cache CI smoke greps.
+        for needle in ("cache: graphs hits=", "rr hits="):
+            if needle not in proc.stderr:
+                raise SystemExit(
+                    f"FAIL: stderr lost the '{needle}' stats substring")
+
+        layers = validate_trace(trace_path)
+        missing = REQUIRED_LAYERS - layers
+        if missing:
+            raise SystemExit("FAIL: trace missing spans from layers: "
+                             + ", ".join(sorted(missing)))
+        validate_metrics(metrics_path)
+
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

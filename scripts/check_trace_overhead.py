@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CI perf gate for disabled-tracing overhead.
+
+Reads a google-benchmark JSON file containing BM_TraceOverhead runs and
+fails (exit 1) if the arm with an instrumentation site but no installed
+recorder (Arg 0) is more than `--max-overhead` slower than the arm with
+no instrumentation at all (Arg 2). Best-of-repetitions throughput on
+both sides, so scheduler noise shrinks the measured gap rather than
+inflating it. The enabled-recorder arm (Arg 1) is reported for context
+but not gated.
+
+Usage:
+  check_trace_overhead.py bench.json [--max-overhead 0.02]
+"""
+import argparse
+import json
+import sys
+
+
+def throughput(benchmarks, arg):
+    """Best work-units/s across repetitions of the `arg` arm."""
+    name = f"BM_TraceOverhead/{arg}/real_time"
+    rates = [float(bench["items_per_second"]) for bench in benchmarks
+             if bench.get("name") == name
+             and bench.get("run_type", "iteration") == "iteration"
+             and not bench.get("error_occurred", False)]
+    if not rates:
+        raise SystemExit(f"benchmark '{name}' not found in the JSON input")
+    return max(rates)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="max fractional slowdown of the disabled-"
+                             "tracing arm vs the uninstrumented baseline "
+                             "(default 0.02 = 2%%)")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+
+    disabled = throughput(benchmarks, 0)
+    enabled = throughput(benchmarks, 1)
+    baseline = throughput(benchmarks, 2)
+    overhead = (baseline / disabled - 1.0) if disabled > 0 else float("inf")
+    print(f"Trace overhead: baseline = {baseline:,.0f} units/s, "
+          f"disabled-tracing = {disabled:,.0f} units/s "
+          f"(overhead {overhead * 100:.2f}%, "
+          f"gate {args.max_overhead * 100:.2f}%), "
+          f"enabled-tracing = {enabled:,.0f} units/s (not gated)")
+    if overhead > args.max_overhead:
+        print(f"FAIL: disabled tracing costs {overhead * 100:.2f}% "
+              f"(needs <= {args.max_overhead * 100:.2f}%)",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,9 @@
 #include "graph/graph.h"
 #include "model/allocation.h"
 #include "model/utility.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "simulate/world_pool.h"
 #include "support/status.h"
 
@@ -126,6 +129,10 @@ struct AllocateResult {
   WelfareStats stats;
   double allocate_seconds = 0.0;  ///< seed-selection wall time
   double evaluate_seconds = 0.0;  ///< evaluation wall time
+  /// Wall-time breakdown of the run by phase (RR sampling, greedy node
+  /// selection, Monte-Carlo estimation — obs/phase.h). Collected on the
+  /// calling thread by Engine::Allocate; zero for direct allocator calls.
+  PhaseTimes phases;
   /// Keyed snapshot-pool telemetry after this call (engine-lifetime
   /// counters; pool_reuses > 0 means cross-estimator sharing happened).
   WorldPoolStoreStats pool_stats;
@@ -153,6 +160,9 @@ class Allocator {
 
 /// Shared adapter helper: polls the cooperative cancellation flag.
 inline Status CheckCancelled(const AllocateRequest& request) {
+  static Counter& checks =
+      MetricsRegistry::Global().GetCounter("api.cancel_checks");
+  checks.Add(1);
   if (request.cancel != nullptr &&
       request.cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled(std::string(AlgoName(request.algo)) +
@@ -161,9 +171,13 @@ inline Status CheckCancelled(const AllocateRequest& request) {
   return Status::OK();
 }
 
-/// Shared adapter helper: reports a stage label if a progress hook is set.
+/// Shared adapter helper: reports a stage label if a progress hook is
+/// set, and records it as a trace instant. `stage` must be a static-
+/// duration string (literal, AlgoName(), Allocator::Name()) — the trace
+/// event keeps the pointer until flush.
 inline void ReportProgress(const AllocateRequest& request,
-                           std::string_view stage) {
+                           const char* stage) {
+  CWM_TRACE_INSTANT("api.stage", {{"stage", stage}});
   if (request.progress) request.progress(stage);
 }
 

@@ -4,6 +4,8 @@
 #include <span>
 #include <utility>
 
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "simulate/estimator.h"
 #include "store/format.h"
 #include "support/timer.h"
@@ -128,6 +130,10 @@ Status Engine::Allocate(AllocateRequest request,
   if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
     return cancelled;
   }
+  // Phase attribution (obs/phase.h): the instrumented entry points all
+  // block on this thread, so the collector sees the whole run.
+  PhaseCollector phases;
+  CWM_TRACE_SPAN("api.allocate", {{"algo", allocator->Name()}});
   ReportProgress(request, allocator->Name());
   Timer allocate_timer;
   const Status run = allocator->Allocate(request, result);
@@ -139,6 +145,7 @@ Status Engine::Allocate(AllocateRequest request,
       result->skipped = true;
       result->skip_reason = run.message();
       result->pool_stats = pool_store_.stats();
+      result->phases = phases.times();
       return Status::OK();
     }
     return run;
@@ -149,6 +156,7 @@ Status Engine::Allocate(AllocateRequest request,
       return cancelled;
     }
     ReportProgress(request, "evaluate");
+    CWM_TRACE_SPAN("api.evaluate", {{"worlds", request.eval.num_worlds}});
     Timer evaluate_timer;
     const WelfareEstimator evaluator(*graph_, *config_, request.eval);
     const Allocation& sp = FixedOf(request);
@@ -164,6 +172,7 @@ Status Engine::Allocate(AllocateRequest request,
     result->evaluate_seconds = evaluate_timer.Seconds();
   }
   result->pool_stats = pool_store_.stats();
+  result->phases = phases.times();
   return Status::OK();
 }
 

@@ -1,0 +1,44 @@
+#include "obs/phase.h"
+
+#include "support/timer.h"
+
+namespace cwm {
+
+namespace {
+
+thread_local PhaseCollector* t_collector = nullptr;
+/// Outermost-scope-wins guard: set while any ScopedPhaseTimer is open on
+/// this thread, so nested entry points don't double-count.
+thread_local bool t_phase_open = false;
+
+}  // namespace
+
+PhaseCollector::PhaseCollector() : previous_(t_collector) {
+  t_collector = this;
+}
+
+PhaseCollector::~PhaseCollector() { t_collector = previous_; }
+
+bool PhaseCollector::Active() { return t_collector != nullptr; }
+
+void PhaseCollector::AddSeconds(Phase phase, double s) {
+  if (t_collector != nullptr) t_collector->times_.Add(phase, s);
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(Phase phase)
+    : phase_(phase),
+      active_(t_collector != nullptr && !t_phase_open),
+      start_ns_(0) {
+  if (!active_) return;
+  t_phase_open = true;
+  start_ns_ = Timer::NowNanos();
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  if (!active_) return;
+  PhaseCollector::AddSeconds(
+      phase_, static_cast<double>(Timer::NowNanos() - start_ns_) / 1e9);
+  t_phase_open = false;
+}
+
+}  // namespace cwm

@@ -1,0 +1,89 @@
+// Per-phase wall-time attribution for one allocation run: how long the
+// task spent sampling RR sets, selecting seed nodes, and estimating
+// welfare — the phase structure of the paper's runtime analysis (IMM /
+// PRIMA+ sampling vs. greedy selection vs. Monte-Carlo evaluation).
+//
+// Engine::Allocate installs a PhaseCollector on the calling thread for
+// the duration of the run; the instrumented entry points
+// (RrPipeline::ExtendTo, SelectMaxCoverage, the WelfareEstimator public
+// methods) each open a ScopedPhaseTimer. Those calls parallelize
+// internally but block on the task's thread, so thread-local attribution
+// sees every phase exactly once per call. Nested estimator entry points
+// (Spread -> MarginalSpread, BalancedExposure -> MarginalBalancedExposure)
+// are handled by an outermost-scope-wins reentrancy guard, so nesting
+// never double-counts.
+//
+// Without an installed collector a ScopedPhaseTimer is two thread-local
+// reads and no clock access — cheap enough for every entry point,
+// including direct (non-engine) estimator users.
+#ifndef CWM_OBS_PHASE_H_
+#define CWM_OBS_PHASE_H_
+
+#include <cstdint>
+
+namespace cwm {
+
+/// The attributed phases of one allocation run.
+enum class Phase : int {
+  kSample = 0,    ///< RR-set sampling (rrset/rr_pipeline)
+  kSelect = 1,    ///< greedy max-coverage node selection
+  kEstimate = 2,  ///< Monte-Carlo welfare estimation (simulate/)
+};
+
+inline constexpr int kNumPhases = 3;
+
+/// Accumulated seconds per phase; part of AllocateResult and TaskResult.
+struct PhaseTimes {
+  double seconds[kNumPhases] = {0.0, 0.0, 0.0};
+
+  double sample_s() const { return seconds[0]; }
+  double select_s() const { return seconds[1]; }
+  double estimate_s() const { return seconds[2]; }
+
+  void Add(Phase phase, double s) { seconds[static_cast<int>(phase)] += s; }
+};
+
+/// Collects phase times from the constructing thread while alive.
+/// Collectors nest (an allocator running inside a traced harness): the
+/// innermost collector on the thread receives the time.
+class PhaseCollector {
+ public:
+  PhaseCollector();
+  ~PhaseCollector();
+
+  PhaseCollector(const PhaseCollector&) = delete;
+  PhaseCollector& operator=(const PhaseCollector&) = delete;
+
+  const PhaseTimes& times() const { return times_; }
+
+  /// True when a collector is installed on the calling thread.
+  static bool Active();
+
+ private:
+  friend class ScopedPhaseTimer;
+  static void AddSeconds(Phase phase, double s);
+
+  PhaseTimes times_;
+  PhaseCollector* previous_;
+};
+
+/// RAII phase scope. Only the outermost open scope on a thread times —
+/// a nested scope (of any phase) is a no-op, so delegating entry points
+/// never double-count. No-op when no PhaseCollector is installed.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(Phase phase);
+  ~ScopedPhaseTimer();
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  const Phase phase_;
+  bool active_;
+  uint64_t start_ns_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_OBS_PHASE_H_

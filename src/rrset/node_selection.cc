@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace cwm {
 
 GreedySelection SelectMaxCoverage(const RrCollection& rr,
                                   std::size_t budget) {
+  ScopedPhaseTimer phase(Phase::kSelect);
+  CWM_TRACE_SPAN("rr.select_nodes",
+                 {{"rr_sets", rr.size()}, {"budget", budget}});
   const std::size_t n = rr.num_nodes();
   budget = std::min(budget, n);
 

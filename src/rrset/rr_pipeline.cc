@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "store/artifact_cache.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
@@ -82,12 +84,23 @@ void RrPipeline::ServeFromCache(RrCollection* rr, std::size_t target) {
 }
 
 void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
-  if (cache_ != nullptr && rr->size() < target) ServeFromCache(rr, target);
+  ScopedPhaseTimer phase(Phase::kSample);
+  std::size_t served = 0;
+  if (cache_ != nullptr && rr->size() < target) {
+    const std::size_t before = rr->size();
+    CWM_TRACE_SPAN("rr.serve_cache", {{"have", before}, {"target", target}});
+    ServeFromCache(rr, target);
+    served = rr->size() - before;
+  }
   if (rr->size() >= target) return;
   const std::size_t fresh = target - rr->size();
   const std::size_t num_chunks = (fresh + kChunkSize - 1) / kChunkSize;
   std::vector<RrShard> shards(num_chunks);
 
+  CWM_TRACE_SPAN("rr.sample_era", {{"era_start", next_sample_},
+                                   {"count", fresh},
+                                   {"cache_served", served},
+                                   {"seed", seed_}});
   ParallelForWorkers(
       num_chunks,
       [&](std::size_t worker, std::size_t chunk) {

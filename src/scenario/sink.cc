@@ -169,7 +169,10 @@ std::string TaskResultToJson(const TaskResult& row,
        << JoinJson(row.adopters_per_item, JsonDouble)
        << ",\"seeds_allocated\":" << row.seeds_allocated;
     if (options.include_timing) {
-      os << ",\"seconds\":" << JsonDouble(row.seconds);
+      os << ",\"seconds\":" << JsonDouble(row.seconds)
+         << ",\"sample_s\":" << JsonDouble(row.sample_s)
+         << ",\"select_s\":" << JsonDouble(row.select_s)
+         << ",\"estimate_s\":" << JsonDouble(row.estimate_s);
     }
     if (!row.note.empty()) {
       os << ",\"note\":\"" << JsonEscape(row.note) << "\"";
@@ -190,7 +193,8 @@ void WriteJsonLines(const SweepResult& result, std::ostream& out,
 std::string CsvHeader() {
   return "scenario,task,network,config,algorithm,budgets,seed,graph_nodes,"
          "graph_edges,graph_hash,skipped,welfare,adopting_nodes,"
-         "adopters_per_item,seeds_allocated,seconds,note";
+         "adopters_per_item,seeds_allocated,seconds,sample_s,select_s,"
+         "estimate_s,note";
 }
 
 std::string TaskResultToCsv(const TaskResult& row,
@@ -227,10 +231,16 @@ std::string TaskResultToCsv(const TaskResult& row,
       os << JsonDouble(row.adopters_per_item[i]);
     }
     os << "," << row.seeds_allocated << ",";
-    if (options.include_timing) os << JsonDouble(row.seconds);
+    if (options.include_timing) {
+      os << JsonDouble(row.seconds) << "," << JsonDouble(row.sample_s)
+         << "," << JsonDouble(row.select_s) << ","
+         << JsonDouble(row.estimate_s);
+    } else {
+      os << ",,,";  // seconds,sample_s,select_s,estimate_s stay empty
+    }
     os << "," << quoted(row.note);
   } else {
-    os << ",,,,," << quoted(row.skip_reason);
+    os << ",,,,,,,," << quoted(row.skip_reason);
   }
   return os.str();
 }

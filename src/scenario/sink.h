@@ -23,8 +23,9 @@ namespace cwm {
 
 /// Serialization knobs shared by the file sinks.
 struct SinkOptions {
-  /// Include per-task wall-clock seconds. Off by default so result files
-  /// are bit-identical across runs and thread counts.
+  /// Include per-task wall-clock timing (seconds plus the sample_s /
+  /// select_s / estimate_s phase breakdown). Off by default so result
+  /// files are bit-identical across runs and thread counts.
   bool include_timing = false;
 };
 
@@ -48,8 +49,9 @@ void WriteJsonLines(const SweepResult& result, std::ostream& out,
 /// The CSV header line matching TaskResultToCsv's columns.
 std::string CsvHeader();
 
-/// One CSV row (budgets and adopters joined with ';'; the seconds column
-/// is left empty unless options.include_timing).
+/// One CSV row (budgets and adopters joined with ';'; the timing columns
+/// — seconds, sample_s, select_s, estimate_s — are left empty unless
+/// options.include_timing).
 std::string TaskResultToCsv(const TaskResult& row,
                             const SinkOptions& options = {});
 

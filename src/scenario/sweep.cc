@@ -8,6 +8,8 @@
 #include "api/engine.h"
 #include "exp/reduction.h"
 #include "exp/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rrset/imm.h"
 #include "store/format.h"
 #include "support/thread_pool.h"
@@ -123,6 +125,9 @@ void RunTask(const ScenarioSpec& spec, const ScenarioTask& task,
     return;
   }
   row->seconds = result.allocate_seconds;
+  row->sample_s = result.phases.sample_s();
+  row->select_s = result.phases.select_s();
+  row->estimate_s = result.phases.estimate_s();
   row->seeds_allocated = result.allocation.TotalPairs();
   row->note = result.note;
   row->welfare = result.stats.welfare;
@@ -181,18 +186,25 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   // Content hashes are provenance for result rows and the key half of
   // every cached RR era; warm cache opens serve them from the .cwg header
   // (O(1), no edge page-in), everything else pays one O(edges) pass.
+  CWM_TRACE_SPAN("scenario.sweep", {{"networks", spec.networks.size()},
+                                    {"configs", spec.configs.size()},
+                                    {"seeds", spec.seeds.size()}});
   std::vector<Graph> graphs;
   graphs.reserve(spec.networks.size());
   std::vector<uint64_t> graph_hashes;
   graph_hashes.reserve(spec.networks.size());
-  for (const NetworkSpec& net : spec.networks) {
-    uint64_t stored_hash = 0;
-    StatusOr<Graph> graph = net.Build(options.scale, cache, &stored_hash);
-    if (!graph.ok()) return graph.status();
-    graphs.push_back(std::move(graph).value());
-    graph_hashes.push_back(stored_hash != 0
-                               ? stored_hash
-                               : GraphContentHash(graphs.back()));
+  {
+    CWM_TRACE_SPAN("scenario.build_networks",
+                   {{"networks", spec.networks.size()}});
+    for (const NetworkSpec& net : spec.networks) {
+      uint64_t stored_hash = 0;
+      StatusOr<Graph> graph = net.Build(options.scale, cache, &stored_hash);
+      if (!graph.ok()) return graph.status();
+      graphs.push_back(std::move(graph).value());
+      graph_hashes.push_back(stored_hash != 0
+                                 ? stored_hash
+                                 : GraphContentHash(graphs.back()));
+    }
   }
   std::vector<UtilityConfig> configs;
   configs.reserve(spec.configs.size());
@@ -206,6 +218,7 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   // configs (the §6.2.3 protocol: the inferior item's seeds do not move).
   std::vector<std::vector<NodeId>> fixed_nodes(spec.networks.size());
   if (spec.fixed.kind == FixedSeedSpec::Kind::kTopSpread) {
+    CWM_TRACE_SPAN("scenario.fixed_seeds", {{"count", spec.fixed.count}});
     for (std::size_t n = 0; n < graphs.size(); ++n) {
       // Serial phase: the whole machine is free, so the fixed-seed IMM
       // uses outer x inner threads.
@@ -267,11 +280,23 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   result.spec = spec;
   result.rows.assign(grid.size(), TaskResult{});
 
+  // Task wall times, bucketed for `--metrics` (seconds; the top bucket
+  // catches the slow gated baselines when they run).
+  static constexpr double kTaskSecondsBounds[] = {0.01, 0.1, 1.0, 10.0,
+                                                  100.0};
+  static Histogram& task_seconds_histogram =
+      MetricsRegistry::Global().GetHistogram("scenario.task_seconds",
+                                             kTaskSecondsBounds);
+
   ParallelFor(
       grid.size(),
       [&](std::size_t t) {
         const ScenarioTask& task = grid[t];
         TaskResult& row = result.rows[t];
+        CWM_TRACE_SPAN("scenario.task",
+                       {{"task", task.index},
+                        {"algo", AlgoName(task.algo)},
+                        {"gated", task.gated}});
 
         row.task_index = task.index;
         row.scenario = spec.name;
@@ -309,6 +334,7 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
           const uint64_t cell_seed =
               MixHash(spec.seeds[task.seed_index], cell_id + 1);
           RunTask(spec, task, cell, options, cell_seed, &row);
+          if (!row.skipped) task_seconds_histogram.Observe(row.seconds);
         }
         if (options.on_result) options.on_result(row);
       },

@@ -100,6 +100,13 @@ struct TaskResult {
   bool skipped = false;
   std::string skip_reason;     ///< why (gating, unmet preconditions)
   double seconds = 0.0;        ///< seed-selection wall time
+  /// Per-phase wall-time breakdown of the task (obs/phase.h): RR-set
+  /// sampling, greedy node selection, Monte-Carlo welfare estimation.
+  /// Machine noise like `seconds` — the file sinks emit these only under
+  /// SinkOptions::include_timing, keeping artifacts bit-reproducible.
+  double sample_s = 0.0;
+  double select_s = 0.0;
+  double estimate_s = 0.0;
   double welfare = 0.0;        ///< rho(alloc ∪ S_P), common evaluator
   double adopting_nodes = 0.0;
   std::vector<double> adopters_per_item;

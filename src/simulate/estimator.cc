@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace cwm {
@@ -48,6 +51,15 @@ const WorldPool& WelfareEstimator::EnsurePool() const {
           graph_, config_, options_.seed, options_.num_worlds,
           options_.snapshot_budget_bytes, threads);
     }
+    // Worlds past the snapshot budget stream lazily (bit-identical,
+    // just slower); count them so a silently under-budgeted run shows
+    // up in `--metrics` instead of only in wall time.
+    const int snapshotted = pool_->stats().snapshotted;
+    if (snapshotted < options_.num_worlds) {
+      static Counter& fallback =
+          MetricsRegistry::Global().GetCounter("simulate.stream_fallback_worlds");
+      fallback.Add(static_cast<uint64_t>(options_.num_worlds - snapshotted));
+    }
   }
   return *pool_;
 }
@@ -62,6 +74,8 @@ double WelfareEstimator::Welfare(const Allocation& allocation) const {
 }
 
 WelfareStats WelfareEstimator::Stats(const Allocation& allocation) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
+  CWM_TRACE_SPAN("simulate.stats", {{"worlds", options_.num_worlds}});
   const std::size_t chunks = NumChunks();
   std::vector<WelfareStats> partial(chunks);
   ParallelFor(
@@ -105,7 +119,10 @@ WelfareStats WelfareEstimator::Stats(const Allocation& allocation) const {
 
 std::vector<WelfareStats> WelfareEstimator::StatsBatch(
     std::span<const Allocation> allocations) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
   const std::size_t count = allocations.size();
+  CWM_TRACE_SPAN("simulate.stats_batch",
+                 {{"batch", count}, {"worlds", options_.num_worlds}});
   std::vector<WelfareStats> totals(count);
   for (WelfareStats& t : totals) {
     t.adopters_per_item.assign(config_.num_items(), 0.0);
@@ -174,7 +191,10 @@ std::vector<WelfareStats> WelfareEstimator::StatsBatch(
 
 std::vector<double> WelfareEstimator::MarginalWelfareBatch(
     const Allocation& base, std::span<const Allocation> extras) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
   const std::size_t count = extras.size();
+  CWM_TRACE_SPAN("simulate.marginal_batch",
+                 {{"batch", count}, {"worlds", options_.num_worlds}});
   if (count == 0) return {};
   std::vector<Allocation> merged;
   merged.reserve(count);
@@ -226,7 +246,10 @@ std::vector<double> WelfareEstimator::MarginalWelfareBatch(
 
 std::vector<double> WelfareEstimator::MarginalBalancedExposureBatch(
     const Allocation& base, std::span<const Allocation> extras) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
   const std::size_t count = extras.size();
+  CWM_TRACE_SPAN("simulate.exposure_batch",
+                 {{"batch", count}, {"worlds", options_.num_worlds}});
   if (count == 0) return {};
   std::vector<Allocation> merged;
   merged.reserve(count);
@@ -290,6 +313,8 @@ std::vector<double> WelfareEstimator::MarginalBalancedExposureBatch(
 
 double WelfareEstimator::MarginalWelfare(const Allocation& base,
                                          const Allocation& extra) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
+  CWM_TRACE_SPAN("simulate.marginal", {{"worlds", options_.num_worlds}});
   const Allocation merged = Allocation::Union(base, extra);
   const unsigned threads =
       options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
@@ -326,6 +351,8 @@ double WelfareEstimator::BalancedExposure(const Allocation& allocation) const {
 
 double WelfareEstimator::MarginalBalancedExposure(
     const Allocation& base, const Allocation& extra) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
+  CWM_TRACE_SPAN("simulate.exposure", {{"worlds", options_.num_worlds}});
   const Allocation merged = Allocation::Union(base, extra);
   const unsigned threads =
       options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
@@ -368,6 +395,8 @@ double WelfareEstimator::Spread(const std::vector<NodeId>& seeds) const {
 
 double WelfareEstimator::MarginalSpread(const std::vector<NodeId>& base,
                                         const std::vector<NodeId>& extra) const {
+  ScopedPhaseTimer phase(Phase::kEstimate);
+  CWM_TRACE_SPAN("simulate.spread", {{"worlds", options_.num_worlds}});
   std::vector<NodeId> merged = base;
   merged.insert(merged.end(), extra.begin(), extra.end());
   std::sort(merged.begin(), merged.end());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace cwm {
@@ -52,6 +54,10 @@ WorldPool::WorldPool(const Graph& graph, const UtilityConfig& config,
     : num_worlds_(num_worlds) {
   // Materialization disabled: skip even the footprint-estimate edge scan.
   if (budget_bytes == 0) return;
+  CWM_TRACE_SPAN("simulate.materialize_pool",
+                 {{"worlds", num_worlds},
+                  {"budget_bytes", budget_bytes},
+                  {"seed", seed}});
   if (footprint.bytes == 0) footprint = EstimateSnapshotFootprint(graph);
   const std::size_t live_hint = footprint.live_hint;
   const std::size_t per_world = footprint.bytes;
@@ -88,9 +94,19 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
   // requests for one key (every task of a sweep cell asking for the
   // cell's evaluation pool at once) build exactly once; the build itself
   // is still parallel over num_threads.
+  // Process-wide twins of the per-store counters below (same increment
+  // sites), read by `--metrics` and the stderr formatter.
+  static Counter& built_counter =
+      MetricsRegistry::Global().GetCounter("pool.builds");
+  static Counter& reuse_counter =
+      MetricsRegistry::Global().GetCounter("pool.reuses");
+  static Counter& evict_counter =
+      MetricsRegistry::Global().GetCounter("pool.evictions");
+
   const std::lock_guard<std::mutex> lock(mutex_);
   const Key key{&graph, &config, seed, num_worlds};
   if (auto it = pools_.find(key); it != pools_.end()) {
+    reuse_counter.Add(1);
     ++pool_reuses_;
     it->second.last_use = ++tick_;
     return it->second.pool;
@@ -118,6 +134,7 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
     if (victim == pools_.end()) break;
     resident -= victim->second.bytes;
     pools_.erase(victim);
+    evict_counter.Add(1);
     ++pools_evicted_;
   }
 
@@ -128,6 +145,7 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
       graph, config, seed, num_worlds, remaining, num_threads, footprint);
   entry.bytes = entry.pool->stats().bytes;
   entry.last_use = ++tick_;
+  built_counter.Add(1);
   ++pools_built_;
   auto [it, inserted] = pools_.emplace(key, std::move(entry));
   return it->second.pool;

@@ -10,6 +10,8 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/graph_store.h"
 #include "store/mapped_file.h"
 #include "support/rng.h"
@@ -19,6 +21,36 @@ namespace cwm {
 namespace fs = std::filesystem;
 
 namespace {
+
+// The per-instance CacheStats keep their per-sweep semantics (attached to
+// SweepResult); these registry counters are the process-wide view the
+// `--metrics` dump and stderr formatter read. Both are bumped at the same
+// sites, so they can never disagree on what happened.
+Counter& GraphHitsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("cache.graph_hits");
+  return counter;
+}
+Counter& GraphMissesCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("cache.graph_misses");
+  return counter;
+}
+Counter& RrHitsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("cache.rr_hits");
+  return counter;
+}
+Counter& RrMissesCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("cache.rr_misses");
+  return counter;
+}
+Counter& BytesWrittenCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("cache.bytes_written");
+  return counter;
+}
 
 std::optional<std::string> ReadSmallFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -58,6 +90,14 @@ StatusOr<std::unique_ptr<ArtifactCache>> ArtifactCache::Open(
     return Status::IOError("cannot create cache directories under " + root +
                            ": " + ec.message());
   }
+  // Touch every cache.* counter so a `--metrics` dump always carries the
+  // full family once a cache is open — a zero is data ("no hits"), an
+  // absent name is not.
+  GraphHitsCounter();
+  GraphMissesCounter();
+  RrHitsCounter();
+  RrMissesCounter();
+  BytesWrittenCounter();
   return std::unique_ptr<ArtifactCache>(new ArtifactCache(std::move(root)));
 }
 
@@ -84,6 +124,7 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
     // recipe under the same hash is treated as a miss and overwritten.
     const std::optional<std::string> stored = ReadSmallFile(recipe_path);
     if (stored.has_value() && *stored == recipe) {
+      CWM_TRACE_SPAN("store.open_graph");
       uint64_t stored_hash = 0;
       StatusOr<Graph> opened = OpenGraphFile(path, &stored_hash);
       if (opened.ok()) {
@@ -95,6 +136,7 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
                               ? stored_hash
                               : GraphContentHash(opened.value());
         }
+        GraphHitsCounter().Add(1);
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.graph_hits;
         return opened;
@@ -103,6 +145,7 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
     }
   }
 
+  CWM_TRACE_SPAN("store.build_graph");
   StatusOr<Graph> built = build();
   if (!built.ok()) return built.status();
   const uint64_t recipe_hash = Fnv1a64(recipe);
@@ -116,12 +159,16 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
   }
   // A failed store is not a failed build: return the graph regardless and
   // let the next run retry the write.
+  GraphMissesCounter().Add(1);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.graph_misses;
   if (write.ok()) {
     std::error_code size_ec;
     const uint64_t bytes = fs::file_size(path, size_ec);
-    if (!size_ec) stats_.bytes_written += bytes;
+    if (!size_ec) {
+      stats_.bytes_written += bytes;
+      BytesWrittenCounter().Add(bytes);
+    }
   }
   return built;
 }
@@ -129,16 +176,19 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
 std::optional<RrEraData> ArtifactCache::LoadRrEra(uint64_t recipe_hash,
                                                   const RrProvenance& expect,
                                                   std::size_t num_nodes) {
+  CWM_TRACE_SPAN("store.load_rr");
   const std::string path = RrPathFor(recipe_hash);
   std::error_code ec;
   if (fs::exists(path, ec)) {
     StatusOr<RrEraData> opened = OpenRrFile(path, &expect, num_nodes);
     if (opened.ok()) {
+      RrHitsCounter().Add(1);
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.rr_hits;
       return std::move(opened).value();
     }
   }
+  RrMissesCounter().Add(1);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.rr_misses;
   return std::nullopt;
@@ -147,6 +197,7 @@ std::optional<RrEraData> ArtifactCache::LoadRrEra(uint64_t recipe_hash,
 Status ArtifactCache::StoreRrEra(uint64_t recipe_hash,
                                  const RrProvenance& provenance,
                                  const RrCollection& rr) {
+  CWM_TRACE_SPAN("store.store_rr", {{"rr_sets", rr.size()}});
   const std::string path = RrPathFor(recipe_hash);
   // Eras only ever grow; never replace a larger entry with a smaller one
   // (two processes with different targets can race on the same key — the
@@ -165,6 +216,7 @@ Status ArtifactCache::StoreRrEra(uint64_t recipe_hash,
   if (status.ok()) {
     std::error_code ec;
     const uint64_t bytes = fs::file_size(path, ec);
+    if (!ec) BytesWrittenCounter().Add(bytes);
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!ec) stats_.bytes_written += bytes;
   }
@@ -220,6 +272,7 @@ std::vector<CacheEntry> ArtifactCache::List() const {
 }
 
 GcResult ArtifactCache::Gc(uint64_t max_bytes) {
+  CWM_TRACE_SPAN("store.gc", {{"max_bytes", max_bytes}});
   GcResult result;
 
   // Writers killed mid-WriteFileAtomic leave *.tmp.* files that List()

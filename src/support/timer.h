@@ -4,6 +4,7 @@
 #define CWM_SUPPORT_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace cwm {
 
@@ -22,6 +23,16 @@ class Timer {
 
   /// Milliseconds elapsed.
   double Millis() const { return Seconds() * 1e3; }
+
+  /// Nanoseconds on the process-wide steady clock (epoch-relative). All
+  /// threads share this clock, so trace-event timestamps taken on
+  /// different threads order and nest correctly (obs/trace.h).
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

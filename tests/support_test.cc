@@ -268,5 +268,21 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_LT(t.Seconds(), 1.0);
 }
 
+TEST(TimerTest, NowNanosIsMonotonic) {
+  uint64_t previous = Timer::NowNanos();
+  EXPECT_GT(previous, 0u);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = Timer::NowNanos();
+    EXPECT_GE(now, previous);  // steady clock: never runs backwards
+    previous = now;
+  }
+  // The clock actually advances across real work.
+  const uint64_t start = Timer::NowNanos();
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GT(Timer::NowNanos(), start);
+}
+
 }  // namespace
 }  // namespace cwm

@@ -36,8 +36,17 @@
 //                     (default 256; 0 streams every world lazily).
 //                     Bit-identical results at any value.
 //   --slow            run greedyWM/Balance-C on every cell (CWM_GREEDY=1)
-//   --timing          include wall-clock seconds in --out/--csv records
-//                     (off by default so artifacts are bit-reproducible)
+//   --timing          include wall-clock timing (seconds + the sample_s/
+//                     select_s/estimate_s phase breakdown) in --out/--csv
+//                     records (off by default so artifacts are
+//                     bit-reproducible)
+//   --trace FILE      record spans from every instrumented layer and
+//                     write Chrome trace-event JSON to FILE (load in
+//                     chrome://tracing or https://ui.perfetto.dev).
+//                     Observation only: results are bit-identical with
+//                     and without it.
+//   --metrics FILE    write the unified metrics registry (cache/pool/API
+//                     counters, task-seconds histogram) as JSON to FILE
 //   --quiet           suppress the progress table on stdout
 //
 // Environment knobs (CWM_SIMS, CWM_EVAL_SIMS, CWM_BENCH_SCALE, CWM_GREEDY,
@@ -53,6 +62,8 @@
 #include <vector>
 
 #include "api/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "scenario/sweep.h"
@@ -70,7 +81,8 @@ int Usage(const char* argv0, int code) {
                "         [--inner-threads N]\n"
                "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
                "         [--snapshot-budget-mb N]\n"
-               "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n",
+               "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n"
+               "         [--trace FILE.json] [--metrics FILE.json]\n",
                argv0, argv0, argv0);
   return code;
 }
@@ -158,7 +170,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0], 2);
 
   std::vector<std::string> scenario_names;
-  std::string out_path, csv_path, value;
+  std::string out_path, csv_path, trace_path, metrics_path, value;
   bool list = false, quiet = false, timing = false;
   std::string describe, algos_csv;
   SweepOptions options = EnvSweepOptions();
@@ -225,6 +237,8 @@ int main(int argc, char** argv) {
       options.cache_dir = value;
       continue;
     }
+    if (ParseValue(argc, argv, &i, "--trace", &trace_path)) continue;
+    if (ParseValue(argc, argv, &i, "--metrics", &metrics_path)) continue;
     if (arg == "--slow") { options.run_slow_everywhere = true; continue; }
     if (arg == "--timing") { timing = true; continue; }
     if (arg == "--quiet") { quiet = true; continue; }
@@ -313,6 +327,13 @@ int main(int argc, char** argv) {
   // The CSV header is written once, even when several scenarios stream
   // into the same file.
   if (csv_file.is_open()) csv_file << CsvHeader() << "\n";
+
+  // Tracing spans every sweep of this invocation; the recorder flushes
+  // once after the loop. Observation only — results are bit-identical
+  // with or without it (the obs_test/golden gates enforce this).
+  TraceRecorder recorder;
+  if (!trace_path.empty()) recorder.Install();
+
   TablePrinter table(stdout);
   int failures = 0;
   for (ScenarioSpec& spec : specs) {
@@ -340,30 +361,52 @@ int main(int argc, char** argv) {
                   result.value().total_seconds);
     }
     if (result.value().cache_enabled) {
-      // stderr, even under --quiet: CI's warm-cache smoke greps this, and
-      // it must never contaminate --out - (JSONL on stdout).
+      // stderr, even under --quiet: CI's warm-cache smoke greps
+      // "graphs hits=" / "rr hits=" out of this line (ci.yml), and it
+      // must never contaminate --out - (JSONL on stdout). The formatter
+      // keeps the key=value grammar that contract depends on.
       const CacheStats& stats = result.value().cache_stats;
-      std::fprintf(stderr,
-                   "%s cache: graphs hits=%llu misses=%llu; "
-                   "rr hits=%llu misses=%llu\n",
-                   spec.name.c_str(),
-                   static_cast<unsigned long long>(stats.graph_hits),
-                   static_cast<unsigned long long>(stats.graph_misses),
-                   static_cast<unsigned long long>(stats.rr_hits),
-                   static_cast<unsigned long long>(stats.rr_misses));
+      MetricsLineFormatter line;
+      line.Count("graphs hits", stats.graph_hits)
+          .Count("misses", stats.graph_misses)
+          .Sep("; ")
+          .Count("rr hits", stats.rr_hits)
+          .Count("misses", stats.rr_misses);
+      std::fprintf(stderr, "%s cache: %s\n", spec.name.c_str(),
+                   line.str().c_str());
     }
     // Keyed snapshot-pool telemetry (stderr like the cache stats; reuses
     // count estimators served by an already materialized pool).
     const WorldPoolStoreStats& pools = result.value().pool_stats;
     if (pools.pools_built > 0 || pools.pool_reuses > 0) {
-      std::fprintf(stderr,
-                   "%s pools: built=%llu reused=%llu evicted=%llu "
-                   "resident=%.1fMB\n",
-                   spec.name.c_str(),
-                   static_cast<unsigned long long>(pools.pools_built),
-                   static_cast<unsigned long long>(pools.pool_reuses),
-                   static_cast<unsigned long long>(pools.pools_evicted),
-                   static_cast<double>(pools.resident_bytes) / (1 << 20));
+      MetricsLineFormatter line;
+      line.Count("built", pools.pools_built)
+          .Count("reused", pools.pool_reuses)
+          .Count("evicted", pools.pools_evicted)
+          .Fixed("resident",
+                 static_cast<double>(pools.resident_bytes) / (1 << 20), 1,
+                 "MB");
+      std::fprintf(stderr, "%s pools: %s\n", spec.name.c_str(),
+                   line.str().c_str());
+    }
+    // Per-phase wall-time totals over the sweep's rows (only meaningful
+    // per run, so stderr telemetry rather than an artifact column —
+    // per-row values land in --out/--csv under --timing).
+    {
+      double sample = 0.0, select = 0.0, estimate = 0.0;
+      for (const TaskResult& row : result.value().rows) {
+        sample += row.sample_s;
+        select += row.select_s;
+        estimate += row.estimate_s;
+      }
+      if (sample + select + estimate > 0.0) {
+        MetricsLineFormatter line;
+        line.Fixed("sample", sample, 2, "s")
+            .Fixed("select", select, 2, "s")
+            .Fixed("estimate", estimate, 2, "s");
+        std::fprintf(stderr, "%s phases: %s\n", spec.name.c_str(),
+                     line.str().c_str());
+      }
     }
     if (out_to_stdout) {
       WriteJsonLines(result.value(), std::cout, sink_options);
@@ -375,6 +418,30 @@ int main(int argc, char** argv) {
         csv_file << TaskResultToCsv(row, sink_options) << "\n";
       }
     }
+  }
+
+  if (!trace_path.empty()) {
+    // Uninstall before flushing so no worker started by a failed sweep
+    // can append mid-serialization.
+    recorder.Uninstall();
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    recorder.WriteChromeJson(trace_file);
+    std::fprintf(stderr, "trace: %zu events -> %s (chrome://tracing)\n",
+                 recorder.snapshot_events().size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    metrics_file << MetricsToJson(MetricsRegistry::Global().Snapshot())
+                 << "\n";
+    std::fprintf(stderr, "metrics: %s\n", metrics_path.c_str());
   }
   return failures == 0 ? 0 : 1;
 }
