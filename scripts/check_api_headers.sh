@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Header self-containment gate for the stable API layer: every src/api/*.h
-# must compile standalone (a translation unit that includes only the
-# header), so embedders can include any of them first without hidden
-# include-order dependencies. Run from the repository root.
+# — plus the simulate headers an embedder reaches for when tuning the
+# estimator (EstimatorOptions / the packed kernel surface) — must compile
+# standalone (a translation unit that includes only the header), so
+# embedders can include any of them first without hidden include-order
+# dependencies. Run from the repository root.
 set -euo pipefail
 
 CXX="${CXX:-g++}"
 status=0
-for header in src/api/*.h; do
+for header in src/api/*.h src/simulate/estimator.h \
+              src/simulate/packed_world.h src/simulate/world_pool.h; do
   if "$CXX" -std=c++20 -fsyntax-only -Isrc -x c++ "$header"; then
     echo "self-contained: $header"
   else

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Docs-drift gate: the README's flag and env-knob tables must match the
+# binaries and the sweep engine they document, and the docs/ book must
+# exist with intact relative links. Run from the repository root with the
+# cwm_run binary as $1 (default build/cwm_run).
+set -euo pipefail
+
+CWM_RUN="${1:-build/cwm_run}"
+status=0
+
+if [[ ! -x "$CWM_RUN" ]]; then
+  echo "cwm_run binary not found at $CWM_RUN (build first)" >&2
+  exit 2
+fi
+
+# --- 1. README flag table vs. `cwm_run --help` ---------------------------
+# Flags the binary advertises (from the usage synopsis), minus --help
+# itself, which the synopsis does not list.
+help_flags=$("$CWM_RUN" --help | grep -oE -- '--[a-z-]+' | sort -u)
+# Flags the README documents: first cell of each row of the flags table.
+readme_flags=$(grep -oE '^\| `--[a-z-]+' README.md | grep -oE -- '--[a-z-]+' \
+  | sort -u)
+
+undocumented=$(comm -23 <(echo "$help_flags") <(echo "$readme_flags"))
+if [[ -n "$undocumented" ]]; then
+  echo "FLAGS IN --help BUT MISSING FROM README.md:" >&2
+  echo "$undocumented" >&2
+  status=1
+fi
+stale=$(comm -13 <(echo "$help_flags") <(echo "$readme_flags"))
+if [[ -n "$stale" ]]; then
+  echo "FLAGS DOCUMENTED IN README.md BUT ABSENT FROM --help:" >&2
+  echo "$stale" >&2
+  status=1
+fi
+
+# --- 2. README env-knob table vs. the knobs the code reads ---------------
+code_knobs=$( (grep -ohE 'Env(Int|Double)\("CWM_[A-Z_]+' \
+                 src/scenario/sweep.cc | grep -oE 'CWM_[A-Z_]+';
+               grep -ohE 'getenv\("CWM_[A-Z_]+' src/scenario/sweep.cc \
+                 | grep -oE 'CWM_[A-Z_]+') | sort -u)
+readme_knobs=$(grep -oE '^\| `CWM_[A-Z_]+' README.md | grep -oE 'CWM_[A-Z_]+' \
+  | sort -u)
+
+unknown_knobs=$(comm -23 <(echo "$code_knobs") <(echo "$readme_knobs"))
+if [[ -n "$unknown_knobs" ]]; then
+  echo "ENV KNOBS READ BY THE SWEEP ENGINE BUT MISSING FROM README.md:" >&2
+  echo "$unknown_knobs" >&2
+  status=1
+fi
+stale_knobs=$(comm -13 <(echo "$code_knobs") <(echo "$readme_knobs"))
+if [[ -n "$stale_knobs" ]]; then
+  echo "ENV KNOBS DOCUMENTED IN README.md BUT NOT READ BY sweep.cc:" >&2
+  echo "$stale_knobs" >&2
+  status=1
+fi
+
+# --- 3. The docs book exists and its relative links resolve --------------
+for doc in docs/ARCHITECTURE.md docs/kernel.md docs/determinism.md \
+           docs/embedding.md; do
+  if [[ ! -f "$doc" ]]; then
+    echo "MISSING DOC: $doc" >&2
+    status=1
+  fi
+done
+for doc in README.md docs/*.md; do
+  [[ -f "$doc" ]] || continue
+  dir=$(dirname "$doc")
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    if [[ ! -e "$dir/$target" ]]; then
+      echo "BROKEN LINK in $doc: $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([A-Za-z0-9_./-]+\.(md|cc|h|cpp)' "$doc" \
+             | sed -E 's/^\]\(//' | sed -E 's/#.*$//')
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "docs in sync: flags, env knobs, book files, relative links"
+fi
+exit $status

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI perf gate for the word-parallel (bit-packed) diffusion kernel.
+
+Reads a google-benchmark JSON file containing BM_PackedDiffusion runs
+(items/s = worlds x candidates evaluated per second; arg pair is
+(packed 0/1, worlds)) and fails (exit 1) unless the packed kernel's
+per-world throughput is at least `--min-speedup` times the scalar
+snapshot path at the same world count.
+
+Usage:
+  check_packed_speedup.py bench.json [--worlds 256] [--min-speedup 8.0]
+"""
+import argparse
+import json
+import sys
+
+
+def throughput(benchmarks, packed, worlds):
+    """Best (worlds x candidates)/s across repetitions of one arm."""
+    name = f"BM_PackedDiffusion/{int(packed)}/{worlds}/real_time"
+    rates = [float(bench["items_per_second"]) for bench in benchmarks
+             if bench.get("name") == name
+             and bench.get("run_type", "iteration") == "iteration"
+             and not bench.get("error_occurred", False)]
+    if not rates:
+        raise SystemExit(f"benchmark '{name}' not found in the JSON input")
+    return max(rates)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--worlds", type=int, default=256,
+                        help="world-count arm to compare (default 256)")
+    parser.add_argument("--min-speedup", type=float, default=8.0,
+                        help="required packed/scalar per-world throughput "
+                             "ratio (default 8.0)")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+
+    scalar = throughput(benchmarks, packed=False, worlds=args.worlds)
+    packed = throughput(benchmarks, packed=True, worlds=args.worlds)
+    speedup = packed / scalar if scalar > 0 else 0.0
+    print(f"Diffusion throughput at {args.worlds} worlds: scalar = "
+          f"{scalar:,.0f} world-candidates/s, packed = {packed:,.0f} "
+          f"world-candidates/s (speedup {speedup:.2f}x, "
+          f"gate {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        print(f"FAIL: packed kernel throughput is only {speedup:.2f}x the "
+              f"scalar path (needs >= {args.min_speedup:.2f}x)",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+#include "exp/env.h"
+
+#include <cstdlib>
+
+namespace cwm {
+
+int EnvInt(const char* name, int fallback, int min_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || parsed < min_value) return fallback;
+  return static_cast<int>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback, double min_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || parsed < min_value) return fallback;
+  return parsed;
+}
+
+}  // namespace cwm

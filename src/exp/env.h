@@ -1,0 +1,22 @@
+// Environment-knob parsing shared by the sweep runtime and the bench
+// binaries (CWM_SIMS, CWM_BENCH_SCALE, ...). Kept free of experiment
+// machinery so anything can read a knob without pulling in the engine.
+#ifndef CWM_EXP_ENV_H_
+#define CWM_EXP_ENV_H_
+
+namespace cwm {
+
+/// Integer environment knob (e.g. CWM_SIMS). Returns `fallback` when the
+/// variable is unset, empty, unparseable, or parses below `min_value`.
+/// An explicit `VAR=0` is a real value: it is honoured whenever
+/// min_value <= 0 (e.g. CWM_GREEDY=0), and only knobs that require a
+/// positive value (pass min_value = 1) fall back on it.
+int EnvInt(const char* name, int fallback, int min_value = 0);
+
+/// Double environment knob (e.g. CWM_BENCH_SCALE); same zero/min_value
+/// contract as EnvInt.
+double EnvDouble(const char* name, double fallback, double min_value = 0.0);
+
+}  // namespace cwm
+
+#endif  // CWM_EXP_ENV_H_

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
+#include "simulate/packed_world.h"
 #include "support/thread_pool.h"
 
 namespace cwm {
@@ -20,6 +21,25 @@ uint64_t EdgeSeedOf(uint64_t base, int world) {
 
 Rng NoiseRngOf(uint64_t base, int world) {
   return WorldNoiseRngOf(base, world);
+}
+
+// Runs `fn(blocks, group, first_block_index)` over the blocks of one
+// chunk, grouping kPackedGroup consecutive blocks per pass when the wide
+// arm is enabled. Grouping depends only on the option and the block
+// count — never on the CPU — so per-candidate accumulation order (blocks
+// ascending, lanes ascending inside each block) is identical on every
+// machine.
+template <typename Fn>
+void ForEachBlockGroup(std::span<const PackedWorldSet::Block> blocks,
+                       bool wide, const Fn& fn) {
+  const PackedWorldSet::Block* ptrs[kPackedGroup];
+  for (std::size_t b = 0; b < blocks.size();) {
+    const int group =
+        wide && b + kPackedGroup <= blocks.size() ? kPackedGroup : 1;
+    for (int g = 0; g < group; ++g) ptrs[g] = &blocks[b + g];
+    fn(ptrs, group);
+    b += static_cast<std::size_t>(group);
+  }
 }
 
 }  // namespace
@@ -62,6 +82,58 @@ const WorldPool& WelfareEstimator::EnsurePool() const {
     }
   }
   return *pool_;
+}
+
+const PackedWorldSet* WelfareEstimator::EnsurePacked() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (packed_resolved_) return packed_.get();
+  packed_resolved_ = true;
+  if (!options_.packed_kernel) return nullptr;
+  if (options_.num_worlds < options_.packed_min_worlds) return nullptr;
+  const int m = config_.num_items();
+  if (m < 1 || m > kMaxPackedItems) return nullptr;
+  // Regime gate: on weak-tie graphs the 64 lanes of a word rarely agree,
+  // so the union-frontier BFS does near-scalar work per world and the
+  // per-world snapshot path is faster. Mean edge probability is a cheap,
+  // deterministic proxy for that lane overlap.
+  if (options_.packed_min_mean_prob > 0.0) {
+    const auto edges = graph_.RawOutEdges();
+    double sum = 0.0;
+    for (const OutEdge& e : edges) sum += static_cast<double>(e.prob);
+    if (edges.empty() ||
+        sum < options_.packed_min_mean_prob * static_cast<double>(edges.size())) {
+      return nullptr;
+    }
+  }
+
+  static Counter& fallback =
+      MetricsRegistry::Global().GetCounter("simulate.packed_fallback");
+  const std::size_t chunks = NumChunks();
+  // All-or-nothing budget gate: the packed layout (blocks + per-chunk
+  // kernel scratch) cannot partially materialize, so over budget means
+  // the scalar snapshot path, which can.
+  const std::size_t budget = options_.pool_store != nullptr
+                                 ? options_.pool_store->budget_bytes()
+                                 : options_.snapshot_budget_bytes;
+  if (PackedWorldSet::EstimateBytes(graph_, m, options_.num_worlds, chunks) >
+      budget) {
+    fallback.Add(1);
+    return nullptr;
+  }
+
+  CWM_TRACE_SPAN("simulate.pack_worlds",
+                 {{"worlds", options_.num_worlds}, {"chunks", chunks}});
+  const unsigned threads =
+      options_.num_threads == 0 ? DefaultThreads() : options_.num_threads;
+  if (options_.pool_store != nullptr) {
+    packed_ = options_.pool_store->GetOrBuildPacked(
+        graph_, config_, options_.seed, options_.num_worlds, chunks, threads);
+    if (packed_ == nullptr) fallback.Add(1);
+  } else {
+    packed_ = std::make_shared<const PackedWorldSet>(
+        graph_, config_, options_.seed, options_.num_worlds, chunks, threads);
+  }
+  return packed_.get();
 }
 
 WorldPoolStats WelfareEstimator::snapshot_stats() const {
@@ -129,8 +201,67 @@ std::vector<WelfareStats> WelfareEstimator::StatsBatch(
   }
   if (count == 0) return totals;
 
-  const WorldPool& pool = EnsurePool();
   const std::size_t chunks = NumChunks();
+  if (const PackedWorldSet* packed = EnsurePacked()) {
+    static Counter& packed_worlds =
+        MetricsRegistry::Global().GetCounter("simulate.packed_worlds");
+    packed_worlds.Add(static_cast<uint64_t>(options_.num_worlds));
+    std::vector<std::vector<WelfareStats>> partial(chunks);
+    ParallelFor(
+        chunks,
+        [&](std::size_t c) {
+          PackedDiffusion engine(graph_, config_);
+          std::vector<WelfareStats>& acc = partial[c];
+          acc.resize(count);
+          for (WelfareStats& a : acc) {
+            a.adopters_per_item.assign(config_.num_items(), 0.0);
+          }
+          PackedOutcome outs[kPackedGroup];
+          // Draining a block's lanes 0..lane_count-1, blocks ascending,
+          // visits the chunk's worlds in exactly the order the scalar
+          // chunk loop does — per-candidate FP accumulation matches the
+          // streaming path bit for bit.
+          ForEachBlockGroup(
+              packed->ChunkBlocks(c), options_.packed_wide,
+              [&](const PackedWorldSet::Block* const* blocks, int group) {
+                for (std::size_t j = 0; j < count; ++j) {
+                  engine.Run(blocks, group, allocations[j], outs);
+                  WelfareStats& a = acc[j];
+                  for (int g = 0; g < group; ++g) {
+                    for (int l = 0; l < blocks[g]->lane_count; ++l) {
+                      a.welfare += outs[g].welfare[l];
+                      a.adopting_nodes +=
+                          static_cast<double>(outs[g].adopting_nodes[l]);
+                      for (ItemId i = 0; i < config_.num_items(); ++i) {
+                        a.adopters_per_item[i] += static_cast<double>(
+                            outs[g].adopters[static_cast<std::size_t>(i) *
+                                                 kPackedLanes +
+                                             l]);
+                      }
+                    }
+                  }
+                }
+              });
+        },
+        static_cast<unsigned>(chunks));
+    const double inv = 1.0 / options_.num_worlds;
+    for (std::size_t j = 0; j < count; ++j) {
+      WelfareStats& total = totals[j];
+      for (const std::vector<WelfareStats>& p : partial) {
+        total.welfare += p[j].welfare;
+        total.adopting_nodes += p[j].adopting_nodes;
+        for (ItemId i = 0; i < config_.num_items(); ++i) {
+          total.adopters_per_item[i] += p[j].adopters_per_item[i];
+        }
+      }
+      total.welfare *= inv;
+      total.adopting_nodes *= inv;
+      for (double& x : total.adopters_per_item) x *= inv;
+    }
+    return totals;
+  }
+
+  const WorldPool& pool = EnsurePool();
   // partial[c][j]: chunk c's accumulator for candidate j. Worlds stride
   // over chunks exactly like Stats(), so per-candidate accumulation order
   // — and therefore the floating-point sum — matches the streaming path
@@ -202,8 +333,48 @@ std::vector<double> WelfareEstimator::MarginalWelfareBatch(
     merged.push_back(Allocation::Union(base, extra));
   }
 
-  const WorldPool& pool = EnsurePool();
   const std::size_t chunks = NumChunks();
+  if (const PackedWorldSet* packed = EnsurePacked()) {
+    static Counter& packed_worlds =
+        MetricsRegistry::Global().GetCounter("simulate.packed_worlds");
+    packed_worlds.Add(static_cast<uint64_t>(options_.num_worlds));
+    std::vector<std::vector<double>> partial(chunks);
+    ParallelFor(
+        chunks,
+        [&](std::size_t c) {
+          PackedDiffusion engine(graph_, config_);
+          std::vector<double>& acc = partial[c];
+          acc.assign(count, 0.0);
+          PackedOutcome base_outs[kPackedGroup];
+          PackedOutcome outs[kPackedGroup];
+          // The base diffusion runs once per block group for the whole
+          // batch; each lane's `without` is the exact double the scalar
+          // path computes for that world.
+          ForEachBlockGroup(
+              packed->ChunkBlocks(c), options_.packed_wide,
+              [&](const PackedWorldSet::Block* const* blocks, int group) {
+                engine.Run(blocks, group, base, base_outs);
+                for (std::size_t j = 0; j < count; ++j) {
+                  engine.Run(blocks, group, merged[j], outs);
+                  for (int g = 0; g < group; ++g) {
+                    for (int l = 0; l < blocks[g]->lane_count; ++l) {
+                      acc[j] +=
+                          outs[g].welfare[l] - base_outs[g].welfare[l];
+                    }
+                  }
+                }
+              });
+        },
+        static_cast<unsigned>(chunks));
+    std::vector<double> totals(count, 0.0);
+    for (std::size_t j = 0; j < count; ++j) {
+      for (const std::vector<double>& p : partial) totals[j] += p[j];
+      totals[j] /= options_.num_worlds;
+    }
+    return totals;
+  }
+
+  const WorldPool& pool = EnsurePool();
   std::vector<std::vector<double>> partial(chunks);
   ParallelFor(
       chunks,
@@ -258,8 +429,53 @@ std::vector<double> WelfareEstimator::MarginalBalancedExposureBatch(
   }
   const bool base_empty = base.Empty();
 
-  const WorldPool& pool = EnsurePool();
   const std::size_t chunks = NumChunks();
+  if (const PackedWorldSet* packed = EnsurePacked()) {
+    static Counter& packed_worlds =
+        MetricsRegistry::Global().GetCounter("simulate.packed_worlds");
+    packed_worlds.Add(static_cast<uint64_t>(options_.num_worlds));
+    std::vector<std::vector<double>> partial(chunks);
+    ParallelFor(
+        chunks,
+        [&](std::size_t c) {
+          PackedDiffusion engine(graph_, config_);
+          std::vector<double>& acc = partial[c];
+          acc.assign(count, 0.0);
+          PackedOutcome base_outs[kPackedGroup];
+          PackedOutcome outs[kPackedGroup];
+          // balance = n - one_sided; the n terms cancel in the marginal,
+          // and the empty allocation has one_sided == 0 (same arithmetic
+          // as the scalar batch below).
+          ForEachBlockGroup(
+              packed->ChunkBlocks(c), options_.packed_wide,
+              [&](const PackedWorldSet::Block* const* blocks, int group) {
+                if (!base_empty) engine.Run(blocks, group, base, base_outs);
+                for (std::size_t j = 0; j < count; ++j) {
+                  engine.Run(blocks, group, merged[j], outs);
+                  for (int g = 0; g < group; ++g) {
+                    for (int l = 0; l < blocks[g]->lane_count; ++l) {
+                      const double without =
+                          base_empty ? 0.0
+                                     : -static_cast<double>(
+                                           base_outs[g].one_sided_01[l]);
+                      const double with = -static_cast<double>(
+                          outs[g].one_sided_01[l]);
+                      acc[j] += with - without;
+                    }
+                  }
+                }
+              });
+        },
+        static_cast<unsigned>(chunks));
+    std::vector<double> totals(count, 0.0);
+    for (std::size_t j = 0; j < count; ++j) {
+      for (const std::vector<double>& p : partial) totals[j] += p[j];
+      totals[j] /= options_.num_worlds;
+    }
+    return totals;
+  }
+
+  const WorldPool& pool = EnsurePool();
   std::vector<std::vector<double>> partial(chunks);
   ParallelFor(
       chunks,

@@ -20,6 +20,13 @@
 // the budget stream lazily exactly like the non-batch path. Batched
 // results are bit-identical to calling the corresponding streaming method
 // per candidate, at any thread count.
+//
+// Word-parallel evaluation: when EstimatorOptions::packed_kernel is on
+// (the default) and the batch qualifies, the batch methods evaluate 64
+// worlds per machine word with the bit-packed kernel of
+// simulate/packed_world.h instead of one diffusion per world — same
+// world streams, same canonical aggregation order, bit-identical results;
+// only wall time changes. See docs/kernel.md.
 #ifndef CWM_SIMULATE_ESTIMATOR_H_
 #define CWM_SIMULATE_ESTIMATOR_H_
 
@@ -36,6 +43,8 @@
 #include "simulate/world_pool.h"
 
 namespace cwm {
+
+class PackedWorldSet;
 
 /// Options shared by all Monte-Carlo estimates.
 struct EstimatorOptions {
@@ -58,6 +67,30 @@ struct EstimatorOptions {
   /// snapshot_budget_bytes is ignored). Not owned; must outlive the
   /// estimator. Never changes results — only wall time.
   WorldPoolStore* pool_store = nullptr;
+  /// Evaluate batch calls with the word-parallel kernel
+  /// (simulate/packed_world.h): 64 worlds per machine word instead of one
+  /// diffusion per world. Falls back to the scalar snapshot path
+  /// transparently when the batch has fewer than `packed_min_worlds`
+  /// worlds, the graph's mean edge probability is below
+  /// `packed_min_mean_prob`, the configuration has more than 6 items (the
+  /// packed transition tables are 3^m), or the packed layout exceeds the
+  /// snapshot/store byte budget. Never changes results — bit-identical to
+  /// the scalar path at any thread count — only wall time.
+  bool packed_kernel = true;
+  /// Minimum worlds before packing pays for its set build.
+  int packed_min_worlds = 32;
+  /// Regime gate: the packed kernel wins when the 64 lanes of a word
+  /// mostly agree (strong-tie / noise-dominated graphs — see
+  /// docs/kernel.md), and loses to per-world snapshots on weak-tie graphs
+  /// whose cascades barely overlap across worlds. Engage packing only
+  /// when the graph's mean edge probability reaches this threshold;
+  /// 0 packs unconditionally. Purely a speed decision — results are
+  /// bit-identical on every path.
+  double packed_min_mean_prob = 0.4;
+  /// Let the packed kernel process 4 blocks (256 worlds) per pass, with
+  /// AVX2 when the CPU has it. Identical results either way; exposed so
+  /// tests can pin the narrow arm.
+  bool packed_wide = true;
 };
 
 /// Expected-value statistics of an allocation.
@@ -141,12 +174,20 @@ class WelfareEstimator {
   /// The lazily built snapshot pool (one per estimator lifetime).
   const WorldPool& EnsurePool() const;
 
+  /// The lazily built packed world set, or nullptr when the packed path
+  /// is unavailable (knob off, too few worlds, too many items, or over
+  /// budget) — callers take the scalar snapshot path then. Resolved once
+  /// per estimator lifetime.
+  const PackedWorldSet* EnsurePacked() const;
+
   const Graph& graph_;
   const UtilityConfig& config_;
   EstimatorOptions options_;
 
   mutable std::mutex pool_mutex_;
   mutable std::shared_ptr<const WorldPool> pool_;
+  mutable std::shared_ptr<const PackedWorldSet> packed_;
+  mutable bool packed_resolved_ = false;
 };
 
 }  // namespace cwm

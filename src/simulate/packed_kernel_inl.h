@@ -1,0 +1,248 @@
+// The word-parallel UIC diffusion kernel, templated on the group width W
+// (1 = one block / 64 worlds, kPackedGroup = the wide arm). Included by
+// packed_world.cc for the portable instantiations and by
+// packed_world_avx2.cc for the AVX2-compiled wide instantiation; the two
+// wide builds run identical code, so dispatch never changes results.
+//
+// Semantics mirror UicSimulator::RunDiffusion lane-wise exactly: the
+// diffusion state (desire/adoption sets per node) is set-valued and
+// round-synchronous, so the packed OR/AND updates commute with the scalar
+// per-world updates, and the only order-sensitive outcome — the welfare
+// double — is aggregated over touched nodes in ascending node order, the
+// canonical order the scalar path uses too. See docs/kernel.md.
+#ifndef CWM_SIMULATE_PACKED_KERNEL_INL_H_
+#define CWM_SIMULATE_PACKED_KERNEL_INL_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "model/items.h"
+#include "simulate/packed_world.h"
+
+namespace cwm {
+namespace internal {
+
+/// Resets node `v`'s packed state on first touch of this run.
+inline void PackedTouch(PackedScratch& s, NodeId v) {
+  if (s.stamp[v] == s.epoch) return;
+  s.stamp[v] = s.epoch;
+  const std::size_t base =
+      static_cast<std::size_t>(v) * s.num_items * kPackedGroup;
+  const std::size_t words =
+      static_cast<std::size_t>(s.num_items) * kPackedGroup;
+  for (std::size_t k = 0; k < words; ++k) {
+    s.desire[base + k] = 0;
+    s.adopted[base + k] = 0;
+  }
+  s.touched.push_back(v);
+}
+
+template <int W>
+void RunPackedKernel(PackedScratch& s, const Graph& graph,
+                     const PackedWorldSet::Block* const* blocks,
+                     const Allocation& allocation, PackedOutcome* out) {
+  const int m = s.num_items;
+  constexpr int kStride = kPackedGroup;
+  const auto idx = [m](NodeId v) {
+    return static_cast<std::size_t>(v) * m * kStride;
+  };
+
+  ++s.epoch;
+  s.touched.clear();
+  s.frontier_nodes.clear();
+  s.frontier_fresh.clear();
+
+  // t = 1: seeds desire their allocated items in every lane and adopt the
+  // best bundle via the precomputed (itemset, empty) transition plane.
+  for (const auto& [v, itemset] : allocation.SeededItemsets()) {
+    PackedTouch(s, v);
+    uint64_t* dv = &s.desire[idx(v)];
+    ForEachItem(itemset, [&](ItemId i) {
+      for (int g = 0; g < W; ++g) dv[i * kStride + g] = blocks[g]->lane_mask;
+    });
+    const std::size_t pair0 =
+        s.pair_base[itemset] + (std::size_t{1} << SetSize(itemset)) - 1;
+    uint64_t* av = &s.adopted[idx(v)];
+    uint64_t fresh[kMaxPackedItems * W] = {};
+    uint64_t any = 0;
+    for (int i = 0; i < m; ++i) {
+      for (int g = 0; g < W; ++g) {
+        const uint64_t plane = blocks[g]->adopt_plane[pair0 * m + i];
+        av[i * kStride + g] = plane;
+        fresh[i * W + g] = plane;
+        any |= plane;
+      }
+    }
+    if (any != 0) {
+      s.frontier_nodes.push_back(v);
+      s.frontier_fresh.insert(s.frontier_fresh.end(), fresh,
+                              fresh + static_cast<std::size_t>(m) * W);
+    }
+  }
+
+  // t >= 2: offer freshly adopted items along live edges (per lane), then
+  // re-solve the adoption argmax for every node whose desire grew.
+  while (!s.frontier_nodes.empty()) {
+    ++s.affected_epoch;
+    s.affected.clear();
+    for (std::size_t e = 0; e < s.frontier_nodes.size(); ++e) {
+      const NodeId u = s.frontier_nodes[e];
+      const uint64_t* fresh =
+          &s.frontier_fresh[e * static_cast<std::size_t>(m) * W];
+      const auto edges = graph.OutEdges(u);
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        const EdgeId eid = graph.OutEdgeId(u, k);
+        uint64_t mask[W];
+        uint64_t mask_any = 0;
+        for (int g = 0; g < W; ++g) {
+          mask[g] = blocks[g]->edge_mask[eid];
+          mask_any |= mask[g];
+        }
+        if (mask_any == 0) continue;
+        const NodeId to = edges[k].to;
+        PackedTouch(s, to);
+        uint64_t* dto = &s.desire[idx(to)];
+        uint64_t total[W] = {};
+        for (int i = 0; i < m; ++i) {
+          for (int g = 0; g < W; ++g) {
+            const uint64_t delta =
+                fresh[i * W + g] & mask[g] & ~dto[i * kStride + g];
+            dto[i * kStride + g] |= delta;
+            total[g] |= delta;
+          }
+        }
+        uint64_t total_any = 0;
+        for (int g = 0; g < W; ++g) total_any |= total[g];
+        if (total_any == 0) continue;
+        uint64_t* gw = &s.grew[static_cast<std::size_t>(to) * kStride];
+        if (s.affected_stamp[to] != s.affected_epoch) {
+          s.affected_stamp[to] = s.affected_epoch;
+          s.affected.push_back(to);
+          for (int g = 0; g < W; ++g) gw[g] = total[g];
+        } else {
+          for (int g = 0; g < W; ++g) gw[g] |= total[g];
+        }
+      }
+    }
+
+    s.next_nodes.clear();
+    s.next_fresh.clear();
+    for (const NodeId v : s.affected) {
+      const uint64_t* gw = &s.grew[static_cast<std::size_t>(v) * kStride];
+      const uint64_t* dv = &s.desire[idx(v)];
+      uint64_t* av = &s.adopted[idx(v)];
+      uint64_t fresh_acc[kMaxPackedItems * W] = {};
+      uint64_t changed_any = 0;
+      // Every grown lane matches exactly one (desired, adopted) pair;
+      // enumerate pairs in the canonical build order, keeping the running
+      // pair index aligned even over skipped desire masks. Updating
+      // `adopted` in place is safe: submask enumeration is descending, so
+      // a lane's post-update set (a strict superset of its old one) was
+      // enumerated before and can never re-match.
+      std::size_t pair = 0;
+      const ItemSet all = FullSet(m);
+      for (ItemSet d = 0;; d = static_cast<ItemSet>(d + 1)) {
+        uint64_t eq_d[W];
+        for (int g = 0; g < W; ++g) eq_d[g] = gw[g];
+        for (int i = 0; i < m; ++i) {
+          const bool has = (d >> i) & 1u;
+          for (int g = 0; g < W; ++g) {
+            const uint64_t w = dv[i * kStride + g];
+            eq_d[g] &= has ? w : ~w;
+          }
+        }
+        uint64_t d_any = 0;
+        for (int g = 0; g < W; ++g) d_any |= eq_d[g];
+        if (d_any == 0) {
+          pair += std::size_t{1} << SetSize(d);
+        } else {
+          ItemSet a = d;
+          for (;;) {
+            uint64_t eq[W];
+            for (int g = 0; g < W; ++g) eq[g] = eq_d[g];
+            for (int i = 0; i < m; ++i) {
+              const bool has = (a >> i) & 1u;
+              for (int g = 0; g < W; ++g) {
+                const uint64_t w = av[i * kStride + g];
+                eq[g] &= has ? w : ~w;
+              }
+            }
+            uint64_t eq_any = 0;
+            for (int g = 0; g < W; ++g) eq_any |= eq[g];
+            if (eq_any != 0) {
+              uint64_t changed[W];
+              uint64_t c_any = 0;
+              for (int g = 0; g < W; ++g) {
+                changed[g] = eq[g] & blocks[g]->adopt_changed[pair];
+                c_any |= changed[g];
+              }
+              if (c_any != 0) {
+                changed_any |= c_any;
+                for (int i = 0; i < m; ++i) {
+                  if ((a >> i) & 1u) continue;  // progressive: i stays
+                  for (int g = 0; g < W; ++g) {
+                    const uint64_t add =
+                        blocks[g]->adopt_plane[pair * m + i] & changed[g];
+                    av[i * kStride + g] |= add;
+                    fresh_acc[i * W + g] |= add;
+                  }
+                }
+              }
+            }
+            ++pair;
+            if (a == 0) break;
+            a = static_cast<ItemSet>((a - 1) & d);
+          }
+        }
+        if (d == all) break;
+      }
+      if (changed_any != 0) {
+        s.next_nodes.push_back(v);
+        s.next_fresh.insert(s.next_fresh.end(), fresh_acc,
+                            fresh_acc + static_cast<std::size_t>(m) * W);
+      }
+    }
+    s.frontier_nodes.swap(s.next_nodes);
+    s.frontier_fresh.swap(s.next_fresh);
+  }
+
+  // Aggregate per-lane outcomes over touched nodes in ascending node
+  // order — the canonical order the scalar path sums in.
+  for (int g = 0; g < W; ++g) out[g].Reset(m);
+  std::sort(s.touched.begin(), s.touched.end());
+  for (const NodeId v : s.touched) {
+    const uint64_t* dv = &s.desire[idx(v)];
+    const uint64_t* av = &s.adopted[idx(v)];
+    for (int g = 0; g < W; ++g) {
+      uint64_t any_desire = 0;
+      for (int i = 0; i < m; ++i) any_desire |= dv[i * kStride + g];
+      if (any_desire == 0) continue;
+      uint64_t os = dv[0 * kStride + g];
+      if (m > 1) os ^= dv[1 * kStride + g];
+      for (uint64_t rest = os; rest != 0; rest &= rest - 1) {
+        ++out[g].one_sided_01[std::countr_zero(rest)];
+      }
+      uint64_t act = 0;
+      for (int i = 0; i < m; ++i) act |= av[i * kStride + g];
+      for (uint64_t rest = act; rest != 0; rest &= rest - 1) {
+        const int l = std::countr_zero(rest);
+        ItemSet set = 0;
+        for (int i = 0; i < m; ++i) {
+          set |= static_cast<ItemSet>(((av[i * kStride + g] >> l) & 1u) << i);
+        }
+        out[g].welfare[l] +=
+            blocks[g]->utility[(static_cast<std::size_t>(l) << m) | set];
+        ++out[g].adopting_nodes[l];
+        ForEachItem(set, [&](ItemId i) {
+          ++out[g].adopters[static_cast<std::size_t>(i) * kPackedLanes + l];
+        });
+      }
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace cwm
+
+#endif  // CWM_SIMULATE_PACKED_KERNEL_INL_H_

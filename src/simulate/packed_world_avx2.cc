@@ -1,0 +1,21 @@
+// AVX2-compiled instantiation of the wide kernel arm. This translation
+// unit is added to the build (with -mavx2 and CWM_HAVE_AVX2_TU defined on
+// packed_world.cc) only when the toolchain targets x86 and accepts the
+// flag; PackedDiffusion::Run dispatches here after a runtime
+// __builtin_cpu_supports("avx2") check. The source is byte-for-byte the
+// same template the portable wide arm runs — the compiler merely gets to
+// fuse the kPackedGroup-wide bitwise lane updates into 256-bit ops — so
+// results are identical with or without it.
+#include "simulate/packed_kernel_inl.h"
+
+namespace cwm {
+namespace internal {
+
+void RunPackedKernelAvx2(PackedScratch& s, const Graph& graph,
+                         const PackedWorldSet::Block* const* blocks,
+                         const Allocation& allocation, PackedOutcome* out) {
+  RunPackedKernel<kPackedGroup>(s, graph, blocks, allocation, out);
+}
+
+}  // namespace internal
+}  // namespace cwm

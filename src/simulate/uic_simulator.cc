@@ -1,5 +1,7 @@
 #include "simulate/uic_simulator.h"
 
+#include <algorithm>
+
 #include "simulate/world_pool.h"
 
 namespace cwm {
@@ -94,7 +96,12 @@ WorldOutcome UicSimulator::RunDiffusion(const Allocation& allocation,
     frontier_.swap(next_frontier_);
   }
 
-  // Aggregate the outcome over touched nodes.
+  // Aggregate the outcome over touched nodes in ascending node order.
+  // Touch order is world-specific (it follows the frontier), but the
+  // canonical ascending order is reproducible by any evaluation engine —
+  // in particular the word-parallel kernel (simulate/packed_world.h),
+  // which must land on bit-identical welfare sums.
+  std::sort(touched_.begin(), touched_.end());
   WorldOutcome outcome;
   outcome.adopters_per_item.assign(config_.num_items(), 0);
   for (NodeId v : touched_) {

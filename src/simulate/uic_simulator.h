@@ -30,6 +30,9 @@ class WorldSnapshot;
 /// Outcome of one deterministic possible-world diffusion.
 struct WorldOutcome {
   /// rho_w(S): sum over nodes of the utility of their final adoption set.
+  /// Summed in ascending node order — the canonical aggregation order
+  /// every evaluation engine (lazy, snapshot, packed) reproduces exactly,
+  /// so the double is bit-identical across all of them.
   double welfare = 0.0;
   /// Number of nodes whose final adoption set contains item i.
   std::vector<uint64_t> adopters_per_item;

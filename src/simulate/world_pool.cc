@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simulate/packed_world.h"
 #include "support/thread_pool.h"
 
 namespace cwm {
@@ -104,7 +105,7 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
       MetricsRegistry::Global().GetCounter("pool.evictions");
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  const Key key{&graph, &config, seed, num_worlds};
+  const Key key{&graph, &config, seed, num_worlds, /*chunks=*/0};
   if (auto it = pools_.find(key); it != pools_.end()) {
     reuse_counter.Add(1);
     ++pool_reuses_;
@@ -125,7 +126,7 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
   while (resident + desired > budget_bytes_) {
     auto victim = pools_.end();
     for (auto it = pools_.begin(); it != pools_.end(); ++it) {
-      if (it->second.pool.use_count() > 1) continue;
+      if (it->second.use_count() > 1) continue;
       if (victim == pools_.end() ||
           it->second.last_use < victim->second.last_use) {
         victim = it;
@@ -149,6 +150,63 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
   ++pools_built_;
   auto [it, inserted] = pools_.emplace(key, std::move(entry));
   return it->second.pool;
+}
+
+std::shared_ptr<const PackedWorldSet> WorldPoolStore::GetOrBuildPacked(
+    const Graph& graph, const UtilityConfig& config, uint64_t seed,
+    int num_worlds, std::size_t chunks, unsigned num_threads) {
+  // Same counters as GetOrBuild: a packed set is the same cached artifact
+  // (one key's materialized world sequence) in a different layout, so the
+  // `--metrics` pool counters and the stderr "pools:" line cover both.
+  static Counter& built_counter =
+      MetricsRegistry::Global().GetCounter("pool.builds");
+  static Counter& reuse_counter =
+      MetricsRegistry::Global().GetCounter("pool.reuses");
+  static Counter& evict_counter =
+      MetricsRegistry::Global().GetCounter("pool.evictions");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{&graph, &config, seed, num_worlds, chunks};
+  if (auto it = pools_.find(key); it != pools_.end()) {
+    reuse_counter.Add(1);
+    ++pool_reuses_;
+    it->second.last_use = ++tick_;
+    return it->second.packed;
+  }
+
+  const std::size_t desired = PackedWorldSet::EstimateBytes(
+      graph, config.num_items(), num_worlds, chunks);
+  if (desired > budget_bytes_) return nullptr;
+  std::size_t resident = 0;
+  for (const auto& [k, entry] : pools_) resident += entry.bytes;
+  while (resident + desired > budget_bytes_) {
+    auto victim = pools_.end();
+    for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+      if (it->second.use_count() > 1) continue;
+      if (victim == pools_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == pools_.end()) break;
+    resident -= victim->second.bytes;
+    pools_.erase(victim);
+    evict_counter.Add(1);
+    ++pools_evicted_;
+  }
+  // All-or-nothing: a partially packed set has no transparent fallback
+  // per world, so refuse rather than overshoot the budget.
+  if (resident + desired > budget_bytes_) return nullptr;
+
+  Entry entry;
+  entry.packed = std::make_shared<const PackedWorldSet>(
+      graph, config, seed, num_worlds, chunks, num_threads);
+  entry.bytes = entry.packed->bytes();
+  entry.last_use = ++tick_;
+  built_counter.Add(1);
+  ++pools_built_;
+  auto [it, inserted] = pools_.emplace(key, std::move(entry));
+  return it->second.packed;
 }
 
 WorldPoolStoreStats WorldPoolStore::stats() const {

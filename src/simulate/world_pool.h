@@ -47,6 +47,8 @@
 
 namespace cwm {
 
+class PackedWorldSet;
+
 /// One fully materialized possible world: live out-edges as a CSR over
 /// the full node universe, plus the world's fixed-noise utility table.
 class WorldSnapshot {
@@ -166,6 +168,18 @@ class WorldPoolStore {
                                               uint64_t seed, int num_worlds,
                                               unsigned num_threads);
 
+  /// The packed world set (simulate/packed_world.h) for
+  /// (graph, config, seed, num_worlds) laid out for a `chunks`-way
+  /// evaluation — the extra key field, because lane packing bakes the
+  /// chunk stride in. Unlike snapshot pools, a packed set is
+  /// all-or-nothing: returns nullptr when it cannot fit the store budget
+  /// even after LRU eviction, and the caller falls back to the scalar
+  /// path. Packed entries share the store's budget, eviction policy, and
+  /// built/reuse/evict counters with snapshot pools.
+  std::shared_ptr<const PackedWorldSet> GetOrBuildPacked(
+      const Graph& graph, const UtilityConfig& config, uint64_t seed,
+      int num_worlds, std::size_t chunks, unsigned num_threads);
+
   WorldPoolStoreStats stats() const;
 
   std::size_t budget_bytes() const { return budget_bytes_; }
@@ -176,17 +190,24 @@ class WorldPoolStore {
     const UtilityConfig* config;
     uint64_t seed;
     int num_worlds;
+    std::size_t chunks;  // 0 = snapshot pool; > 0 = packed set layout
     bool operator<(const Key& o) const {
       if (graph != o.graph) return graph < o.graph;
       if (config != o.config) return config < o.config;
       if (seed != o.seed) return seed < o.seed;
-      return num_worlds < o.num_worlds;
+      if (num_worlds != o.num_worlds) return num_worlds < o.num_worlds;
+      return chunks < o.chunks;
     }
   };
   struct Entry {
+    // Exactly one of the two is set, per Key::chunks.
     std::shared_ptr<const WorldPool> pool;
+    std::shared_ptr<const PackedWorldSet> packed;
     std::size_t bytes = 0;
     uint64_t last_use = 0;
+    long use_count() const {
+      return pool != nullptr ? pool.use_count() : packed.use_count();
+    }
   };
 
   const std::size_t budget_bytes_;

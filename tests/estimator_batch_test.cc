@@ -128,8 +128,13 @@ TEST_P(EstimatorBatchTest, TinyBudgetStreamsWorldsWithIdenticalResults) {
   // batch loop. 0: materialization disabled outright. Both must match the
   // default-budget batch bit for bit.
   const std::vector<Allocation> candidates = Candidates(c.num_items());
-  const WelfareEstimator full(
-      g, c, {.num_worlds = 33, .seed = 13, .num_threads = GetParam()});
+  // packed_kernel off: this test is about the snapshot pool's streaming
+  // fallback, so the reference must actually build snapshots.
+  const WelfareEstimator full(g, c,
+                              {.num_worlds = 33,
+                               .seed = 13,
+                               .num_threads = GetParam(),
+                               .packed_kernel = false});
   const std::vector<WelfareStats> reference = full.StatsBatch(candidates);
   EXPECT_GT(full.snapshot_stats().snapshotted, 0);
   for (const std::size_t budget : {std::size_t{1}, std::size_t{0}}) {

@@ -1,10 +1,9 @@
-// Unit tests for the experiment-harness helpers: environment knobs and
-// the shared ExperimentRunner.
+// Unit tests for the environment-knob helpers (exp/env.h).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 
-#include "exp/runner.h"
+#include "exp/env.h"
 
 namespace cwm {
 namespace {

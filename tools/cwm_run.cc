@@ -35,6 +35,10 @@
 //                     snapshots backing batched welfare evaluation
 //                     (default 256; 0 streams every world lazily).
 //                     Bit-identical results at any value.
+//   --no-packed       evaluate welfare batches on the scalar path instead
+//                     of the word-parallel packed kernel (CWM_PACKED=0).
+//                     Bit-identical results either way; packed is just
+//                     faster.
 //   --slow            run greedyWM/Balance-C on every cell (CWM_GREEDY=1)
 //   --timing          include wall-clock timing (seconds + the sample_s/
 //                     select_s/estimate_s phase breakdown) in --out/--csv
@@ -50,8 +54,8 @@
 //   --quiet           suppress the progress table on stdout
 //
 // Environment knobs (CWM_SIMS, CWM_EVAL_SIMS, CWM_BENCH_SCALE, CWM_GREEDY,
-// CWM_THREADS, CWM_INNER_THREADS, CWM_RR_THREADS, CWM_SNAPSHOT_BUDGET_MB)
-// provide defaults; flags win.
+// CWM_THREADS, CWM_INNER_THREADS, CWM_RR_THREADS, CWM_SNAPSHOT_BUDGET_MB,
+// CWM_PACKED) provide defaults; flags win.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -80,7 +84,7 @@ int Usage(const char* argv0, int code) {
                "         [--algos CSV] [--threads N] [--rr-threads N]\n"
                "         [--inner-threads N]\n"
                "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
-               "         [--snapshot-budget-mb N]\n"
+               "         [--snapshot-budget-mb N] [--no-packed]\n"
                "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n"
                "         [--trace FILE.json] [--metrics FILE.json]\n",
                argv0, argv0, argv0);
@@ -239,6 +243,7 @@ int main(int argc, char** argv) {
     }
     if (ParseValue(argc, argv, &i, "--trace", &trace_path)) continue;
     if (ParseValue(argc, argv, &i, "--metrics", &metrics_path)) continue;
+    if (arg == "--no-packed") { options.packed_kernel = false; continue; }
     if (arg == "--slow") { options.run_slow_everywhere = true; continue; }
     if (arg == "--timing") { timing = true; continue; }
     if (arg == "--quiet") { quiet = true; continue; }
