@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Docs-drift gate: the README's flag and env-knob tables must match the
-# binaries and the sweep engine they document, and the docs/ book must
-# exist with intact relative links. Run from the repository root with the
-# cwm_run binary as $1 (default build/cwm_run).
+# binaries and the sweep engine they document, docs/serving.md must match
+# cwm_serve --help, and the docs/ book must exist with intact relative
+# links. Run from the repository root with the cwm_run binary as $1
+# (default build/cwm_run) and cwm_serve as $2 (default build/cwm_serve).
 set -euo pipefail
 
 CWM_RUN="${1:-build/cwm_run}"
+CWM_SERVE="${2:-build/cwm_serve}"
 status=0
 
 if [[ ! -x "$CWM_RUN" ]]; then
   echo "cwm_run binary not found at $CWM_RUN (build first)" >&2
+  exit 2
+fi
+if [[ ! -x "$CWM_SERVE" ]]; then
+  echo "cwm_serve binary not found at $CWM_SERVE (build first)" >&2
   exit 2
 fi
 
@@ -31,6 +37,25 @@ stale=$(comm -13 <(echo "$help_flags") <(echo "$readme_flags"))
 if [[ -n "$stale" ]]; then
   echo "FLAGS DOCUMENTED IN README.md BUT ABSENT FROM --help:" >&2
   echo "$stale" >&2
+  status=1
+fi
+
+# --- 1b. docs/serving.md flag table vs. `cwm_serve --help` ----------------
+serve_help_flags=$("$CWM_SERVE" --help | grep -oE -- '--[a-z-]+' | sort -u)
+serve_doc_flags=$(grep -oE '^\| `--[a-z-]+' docs/serving.md \
+  | grep -oE -- '--[a-z-]+' | sort -u)
+
+serve_undocumented=$(comm -23 <(echo "$serve_help_flags") \
+                              <(echo "$serve_doc_flags"))
+if [[ -n "$serve_undocumented" ]]; then
+  echo "FLAGS IN cwm_serve --help BUT MISSING FROM docs/serving.md:" >&2
+  echo "$serve_undocumented" >&2
+  status=1
+fi
+serve_stale=$(comm -13 <(echo "$serve_help_flags") <(echo "$serve_doc_flags"))
+if [[ -n "$serve_stale" ]]; then
+  echo "FLAGS DOCUMENTED IN docs/serving.md BUT ABSENT FROM cwm_serve --help:" >&2
+  echo "$serve_stale" >&2
   status=1
 fi
 
@@ -57,7 +82,7 @@ fi
 
 # --- 3. The docs book exists and its relative links resolve --------------
 for doc in docs/ARCHITECTURE.md docs/kernel.md docs/determinism.md \
-           docs/embedding.md; do
+           docs/embedding.md docs/serving.md; do
   if [[ ! -f "$doc" ]]; then
     echo "MISSING DOC: $doc" >&2
     status=1

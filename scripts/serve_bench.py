@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Load benchmark + correctness gate for the cwm_serve daemon.
+
+Starts cwm_serve on an ephemeral port, opens K concurrent connections,
+and drives M requests per connection (round-robin over a small algorithm
+x seed grid). Reports throughput and latency percentiles as JSON and
+optionally gates on them (CI's serve smoke):
+
+  * --min-throughput R   fail unless completed requests/s >= R
+  * --max-p99 S          fail unless p99 latency <= S seconds
+  * zero mismatches: every response payload must be bit-identical to the
+    ground truth printed by `cwm_serve --oneshot` for the same request
+    (timing fields excluded) — the serve path may never change results.
+
+Usage:
+  serve_bench.py ./build/cwm_serve [--connections 4] [--requests 25]
+      [--graph-scenario smoke-tiny] [--sims 20] [--eval-sims 24]
+      [--out serve_bench.json] [--min-throughput 0] [--max-p99 0]
+
+Exit status: 0 on pass, 1 on any gate failure or response mismatch.
+"""
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+CONFIG_TEMPLATE = {
+    "port": 0,
+    "workers": 0,
+    "queue_capacity": 256,
+    "graphs": [],
+}
+
+ALGOS = ["SeqGRD-NM", "SeqGRD", "MaxGRD"]
+
+
+def strip_timings(value):
+    """Drops *_seconds keys recursively: wall-clock noise, not payload."""
+    if isinstance(value, dict):
+        return {k: strip_timings(v) for k, v in value.items()
+                if not k.endswith("_seconds")}
+    if isinstance(value, list):
+        return [strip_timings(v) for v in value]
+    return value
+
+
+def make_request(index, args):
+    algo = ALGOS[index % len(ALGOS)]
+    seed = 1 + index // len(ALGOS)
+    return {
+        "id": f"r{index}",
+        "graph": "bench",
+        "algo": algo,
+        "budgets": [3],
+        "seed": seed,
+        "sims": args.sims,
+        "eval_sims": args.eval_sims,
+    }
+
+
+def drive_connection(port, requests, results, slot):
+    """Sends each request and awaits its response; records latencies."""
+    latencies, responses = [], {}
+    with socket.create_connection(("127.0.0.1", port), timeout=120) as sock:
+        reader = sock.makefile("r", encoding="utf-8")
+        for request in requests:
+            line = json.dumps(request)
+            start = time.monotonic()
+            sock.sendall((line + "\n").encode())
+            response = reader.readline()
+            latencies.append(time.monotonic() - start)
+            responses[request["id"]] = json.loads(response)
+    results[slot] = (latencies, responses)
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("serve_binary", help="path to cwm_serve")
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per connection")
+    parser.add_argument("--graph-scenario", default="smoke-tiny",
+                        help="registry scenario backing the served graph")
+    parser.add_argument("--sims", type=int, default=20)
+    parser.add_argument("--eval-sims", type=int, default=24)
+    parser.add_argument("--out", default="",
+                        help="write the report JSON here too")
+    parser.add_argument("--min-throughput", type=float, default=0.0,
+                        help="required completed requests/s (0 = no gate)")
+    parser.add_argument("--max-p99", type=float, default=0.0,
+                        help="max p99 latency in seconds (0 = no gate)")
+    args = parser.parse_args()
+
+    config = dict(CONFIG_TEMPLATE)
+    config["graphs"] = [{"name": "bench",
+                        "scenario": args.graph_scenario}]
+    config_json = json.dumps(config)
+
+    server = subprocess.Popen(
+        [args.serve_binary, "--config", config_json, "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    try:
+        banner = server.stdout.readline()
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", banner)
+        if not match:
+            raise SystemExit(f"unexpected cwm_serve banner: {banner!r}")
+        port = int(match.group(1))
+
+        total = args.connections * args.requests
+        plans = [[make_request(c * args.requests + r, args)
+                  for r in range(args.requests)]
+                 for c in range(args.connections)]
+
+        results = [None] * args.connections
+        threads = [threading.Thread(target=drive_connection,
+                                    args=(port, plans[c], results, c))
+                   for c in range(args.connections)]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.monotonic() - start
+    finally:
+        server.terminate()
+        server.wait(timeout=60)
+
+    latencies = sorted(lat for slot in results for lat in slot[0])
+    responses = {}
+    for slot in results:
+        responses.update(slot[1])
+
+    failures = sum(1 for response in responses.values()
+                   if not response.get("ok", False))
+
+    # Ground truth: one --oneshot run per distinct request payload
+    # (ids differ but payloads repeat across connections, so dedup).
+    mismatches = 0
+    checked = 0
+    oracle = {}
+    for plan in plans:
+        for request in plan:
+            key = json.dumps(
+                {k: v for k, v in request.items() if k != "id"},
+                sort_keys=True)
+            if key not in oracle:
+                proc = subprocess.run(
+                    [args.serve_binary, "--config", config_json,
+                     "--oneshot", json.dumps(request)],
+                    capture_output=True, text=True)
+                if proc.returncode != 0:
+                    raise SystemExit(
+                        f"--oneshot failed: {proc.stderr.strip()}")
+                oracle[key] = strip_timings(json.loads(proc.stdout))
+            served = strip_timings(responses[request["id"]])
+            served.pop("id", None)
+            expect = dict(oracle[key])
+            expect.pop("id", None)
+            checked += 1
+            if served != expect:
+                mismatches += 1
+                if mismatches <= 3:
+                    print(f"MISMATCH for {request['id']}:\n"
+                          f"  served: {served}\n  direct: {expect}",
+                          file=sys.stderr)
+
+    report = {
+        "connections": args.connections,
+        "requests": total,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(total / wall, 2) if wall > 0 else 0.0,
+        "latency_seconds": {
+            "p50": round(percentile(latencies, 0.50), 5),
+            "p90": round(percentile(latencies, 0.90), 5),
+            "p99": round(percentile(latencies, 0.99), 5),
+            "max": round(latencies[-1], 5) if latencies else 0.0,
+        },
+        "failed_responses": failures,
+        "oneshot_checked": checked,
+        "oneshot_mismatches": mismatches,
+    }
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+    ok = failures == 0 and mismatches == 0
+    if args.min_throughput > 0 and report["throughput_rps"] < args.min_throughput:
+        print(f"FAIL: throughput {report['throughput_rps']} req/s below "
+              f"gate {args.min_throughput}", file=sys.stderr)
+        ok = False
+    if args.max_p99 > 0 and report["latency_seconds"]["p99"] > args.max_p99:
+        print(f"FAIL: p99 {report['latency_seconds']['p99']}s above gate "
+              f"{args.max_p99}s", file=sys.stderr)
+        ok = False
+    if failures:
+        print(f"FAIL: {failures} non-ok responses", file=sys.stderr)
+    if mismatches:
+        print(f"FAIL: {mismatches} responses differ from --oneshot ground "
+              f"truth", file=sys.stderr)
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

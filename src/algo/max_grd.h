@@ -12,6 +12,7 @@
 #ifndef CWM_ALGO_MAX_GRD_H_
 #define CWM_ALGO_MAX_GRD_H_
 
+#include <span>
 #include <vector>
 
 #include "algo/params.h"
@@ -27,6 +28,19 @@ Allocation MaxGrd(const Graph& graph, const UtilityConfig& config,
                   const Allocation& sp, const std::vector<ItemId>& items,
                   const BudgetVector& budgets, const AlgoParams& params,
                   AlgoDiagnostics* diagnostics = nullptr);
+
+/// Runs MaxGRD at several budget points of one cell in a single pass: one
+/// PRIMA+ ranking over the union of every point's budget levels (prefix
+/// preservation keeps each point's prefix near-optimal), and one batched
+/// welfare sweep scoring all (point, item) candidates together. A batch
+/// of one is bit-identical to MaxGrd; larger batches share the ranking,
+/// so point p's allocation may differ from a standalone MaxGrd run at p
+/// (same approximation guarantee, different sampled ranking).
+std::vector<Allocation> MaxGrdBatch(
+    const Graph& graph, const UtilityConfig& config, const Allocation& sp,
+    const std::vector<ItemId>& items,
+    std::span<const BudgetVector> budget_points, const AlgoParams& params,
+    AlgoDiagnostics* diagnostics = nullptr);
 
 class AllocatorRegistry;
 /// Registers the MaxGRD adapter (api/registry.h).

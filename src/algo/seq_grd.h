@@ -16,6 +16,7 @@
 #ifndef CWM_ALGO_SEQ_GRD_H_
 #define CWM_ALGO_SEQ_GRD_H_
 
+#include <span>
 #include <vector>
 
 #include "algo/params.h"
@@ -41,6 +42,21 @@ Allocation SeqGrd(const Graph& graph, const UtilityConfig& config,
                   const BudgetVector& budgets, const AlgoParams& params,
                   const SeqGrdOptions& options = {},
                   AlgoDiagnostics* diagnostics = nullptr);
+
+/// Runs SeqGRD at several budget points of one cell in a single pass: one
+/// pooled PRIMA+ seed set sized for the largest point (levels = the union
+/// of every point's per-item budgets and totals), then each point's block
+/// assignment consumes its own prefix, with all marginal checks sharing
+/// one estimator (and therefore one world-snapshot pool). A batch of one
+/// is bit-identical to SeqGrd; larger batches share the ranking, so a
+/// point's allocation may differ from a standalone run at that point
+/// (same approximation guarantee, different sampled ranking).
+std::vector<Allocation> SeqGrdBatch(
+    const Graph& graph, const UtilityConfig& config, const Allocation& sp,
+    const std::vector<ItemId>& items,
+    std::span<const BudgetVector> budget_points, const AlgoParams& params,
+    const SeqGrdOptions& options = {},
+    AlgoDiagnostics* diagnostics = nullptr);
 
 /// Convenience wrapper for SeqGRD-NM.
 inline Allocation SeqGrdNm(const Graph& graph, const UtilityConfig& config,

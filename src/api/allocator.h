@@ -35,6 +35,7 @@
 #include "graph/graph.h"
 #include "model/allocation.h"
 #include "model/utility.h"
+#include "obs/cancel.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
@@ -158,13 +159,11 @@ class Allocator {
                           AllocateResult* result) const = 0;
 };
 
-/// Shared adapter helper: polls the cooperative cancellation flag.
+/// Shared adapter helper: polls the cooperative cancellation flag
+/// (obs/cancel.h — same counted poll the RR pipeline and the greedy
+/// round loops use).
 inline Status CheckCancelled(const AllocateRequest& request) {
-  static Counter& checks =
-      MetricsRegistry::Global().GetCounter("api.cancel_checks");
-  checks.Add(1);
-  if (request.cancel != nullptr &&
-      request.cancel->load(std::memory_order_relaxed)) {
+  if (CancelRequested(request.cancel)) {
     return Status::Cancelled(std::string(AlgoName(request.algo)) +
                              " cancelled");
   }

@@ -4,6 +4,8 @@
 #include <span>
 #include <utility>
 
+#include "algo/max_grd.h"
+#include "algo/seq_grd.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 #include "simulate/estimator.h"
@@ -88,6 +90,47 @@ Status ValidateRequest(const AllocateRequest& request,
 
 }  // namespace
 
+void Engine::BindRequest(AllocateRequest* request) const {
+  request->graph = graph_;
+  request->config = config_;
+  if (request->params.imm.cache == nullptr) {
+    request->params.imm.cache = options_.cache;
+  }
+  if (request->params.imm.graph_hash == 0) {
+    request->params.imm.graph_hash = graph_hash_;
+  }
+  if (request->ranking.cache == nullptr) {
+    request->ranking.cache = options_.cache;
+  }
+  if (request->ranking.graph_hash == 0) {
+    request->ranking.graph_hash = graph_hash_;
+  }
+  // Thread the request-level cancellation flag into the sampling and
+  // ranking parameter blocks, so the RR pipeline's per-chunk polls and
+  // the greedy round loops observe a deadline mid-run instead of only
+  // between engine phases.
+  if (request->params.imm.cancel == nullptr) {
+    request->params.imm.cancel = request->cancel;
+  }
+  if (request->ranking.cancel == nullptr) {
+    request->ranking.cancel = request->cancel;
+  }
+  if (request->params.estimator.pool_store == nullptr) {
+    request->params.estimator.pool_store = &pool_store_;
+  }
+  if (request->eval.pool_store == nullptr) {
+    request->eval.pool_store = &pool_store_;
+  }
+  if (request->candidate_pool == 0 && !request->budgets.empty()) {
+    // The bench default for the slow baselines: a pool around the
+    // largest budget.
+    request->candidate_pool =
+        static_cast<std::size_t>(*std::max_element(
+            request->budgets.begin(), request->budgets.end())) +
+        20;
+  }
+}
+
 Status Engine::Allocate(AllocateRequest request,
                         AllocateResult* result) const {
   const Allocator* allocator = GlobalAllocatorRegistry().Find(request.algo);
@@ -102,30 +145,7 @@ Status Engine::Allocate(AllocateRequest request,
 
   // Bind the engine's long-lived state into the request, never
   // overriding caller-pinned values.
-  request.graph = graph_;
-  request.config = config_;
-  if (request.params.imm.cache == nullptr) {
-    request.params.imm.cache = options_.cache;
-  }
-  if (request.params.imm.graph_hash == 0) {
-    request.params.imm.graph_hash = graph_hash_;
-  }
-  if (request.ranking.cache == nullptr) request.ranking.cache = options_.cache;
-  if (request.ranking.graph_hash == 0) request.ranking.graph_hash = graph_hash_;
-  if (request.params.estimator.pool_store == nullptr) {
-    request.params.estimator.pool_store = &pool_store_;
-  }
-  if (request.eval.pool_store == nullptr) {
-    request.eval.pool_store = &pool_store_;
-  }
-  if (request.candidate_pool == 0 && !request.budgets.empty()) {
-    // The bench default for the slow baselines: a pool around the
-    // largest budget.
-    request.candidate_pool =
-        static_cast<std::size_t>(*std::max_element(request.budgets.begin(),
-                                                   request.budgets.end())) +
-        20;
-  }
+  BindRequest(&request);
 
   if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
     return cancelled;
@@ -150,11 +170,15 @@ Status Engine::Allocate(AllocateRequest request,
     }
     return run;
   }
+  // A cancelled inner loop returns OK with a structurally valid filler
+  // allocation (so mid-algorithm invariants hold); the engine is the
+  // discard point — re-check the flag here so a cancelled run never
+  // reaches evaluation or the caller's hands.
+  if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+    return cancelled;
+  }
 
   if (request.evaluate) {
-    if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
-      return cancelled;
-    }
     ReportProgress(request, "evaluate");
     CWM_TRACE_SPAN("api.evaluate", {{"worlds", request.eval.num_worlds}});
     Timer evaluate_timer;
@@ -173,6 +197,125 @@ Status Engine::Allocate(AllocateRequest request,
   }
   result->pool_stats = pool_store_.stats();
   result->phases = phases.times();
+  return Status::OK();
+}
+
+Status Engine::AllocateBatch(AllocateRequest request,
+                             std::span<const BudgetVector> budget_points,
+                             std::vector<AllocateResult>* results) const {
+  if (budget_points.empty()) {
+    return Status::InvalidArgument("AllocateBatch: no budget points");
+  }
+  results->clear();
+
+  const bool shares_ranking = request.algo == AlgoKind::kMaxGrd ||
+                              request.algo == AlgoKind::kSeqGrd ||
+                              request.algo == AlgoKind::kSeqGrdNm;
+  if (!shares_ranking) {
+    // No cross-point sharing for this algorithm: one Allocate per point,
+    // bit-identical to the loop this call replaces.
+    results->resize(budget_points.size());
+    for (std::size_t p = 0; p < budget_points.size(); ++p) {
+      AllocateRequest point = request;
+      point.budgets = budget_points[p];
+      if (Status run = Allocate(std::move(point), &(*results)[p]);
+          !run.ok()) {
+        return run;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Validate every point up front: one bad point fails the whole batch
+  // before any sampling happens. The batch algorithms additionally
+  // require a positive budget per allocated item (their prefix blocks
+  // have no zero-size form).
+  for (const BudgetVector& budgets : budget_points) {
+    AllocateRequest point = request;
+    point.budgets = budgets;
+    if (Status valid = ValidateRequest(point, *config_); !valid.ok()) {
+      return valid;
+    }
+    for (ItemId i : request.items) {
+      if (budgets[i] < 1) {
+        return Status::InvalidArgument(
+            "AllocateBatch: every allocated item needs budget >= 1");
+      }
+    }
+  }
+
+  request.budgets = budget_points.front();
+  BindRequest(&request);
+  if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+    return cancelled;
+  }
+
+  PhaseCollector phases;
+  CWM_TRACE_SPAN("api.allocate_batch", {{"algo", AlgoName(request.algo)},
+                                        {"points", budget_points.size()}});
+  ReportProgress(request, AlgoName(request.algo));
+  Timer allocate_timer;
+  AlgoDiagnostics diagnostics;
+  std::vector<Allocation> allocations;
+  if (request.algo == AlgoKind::kMaxGrd) {
+    allocations =
+        MaxGrdBatch(*graph_, *config_, FixedOf(request), request.items,
+                    budget_points, request.params, &diagnostics);
+  } else {
+    allocations = SeqGrdBatch(
+        *graph_, *config_, FixedOf(request), request.items, budget_points,
+        request.params,
+        {.marginal_check = request.algo == AlgoKind::kSeqGrd},
+        &diagnostics);
+  }
+  const double allocate_seconds = allocate_timer.Seconds();
+  // Same discard point as Allocate: a cancelled batch returns filler
+  // allocations that must never reach evaluation or the caller.
+  if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
+    return cancelled;
+  }
+
+  results->resize(budget_points.size());
+  double evaluate_seconds = 0.0;
+  if (request.evaluate) {
+    ReportProgress(request, "evaluate");
+    CWM_TRACE_SPAN("api.evaluate", {{"worlds", request.eval.num_worlds}});
+    Timer evaluate_timer;
+    const WelfareEstimator evaluator(*graph_, *config_, request.eval);
+    const Allocation& sp = FixedOf(request);
+    const Allocation sp_or_empty =
+        sp.num_items() == 0 ? Allocation(config_->num_items()) : sp;
+    std::vector<Allocation> deployed;
+    deployed.reserve(allocations.size());
+    for (const Allocation& allocation : allocations) {
+      deployed.push_back(Allocation::Union(allocation, sp_or_empty));
+    }
+    // One batched evaluation for the whole sweep: every point is scored
+    // on the same materialized worlds, bit-identical to evaluating each
+    // point alone with the same eval options.
+    const std::vector<WelfareStats> stats = evaluator.StatsBatch(deployed);
+    for (std::size_t p = 0; p < budget_points.size(); ++p) {
+      (*results)[p].stats = stats[p];
+    }
+    evaluate_seconds = evaluate_timer.Seconds();
+  }
+
+  const PhaseTimes batch_phases = phases.times();
+  const WorldPoolStoreStats pool_stats = pool_store_.stats();
+  for (std::size_t p = 0; p < budget_points.size(); ++p) {
+    AllocateResult& result = (*results)[p];
+    result.allocation = std::move(allocations[p]);
+    result.diagnostics = diagnostics;
+    // The ranking and evaluation are shared across the batch, so wall
+    // time is attributed evenly — per-point times are averages, not
+    // independent measurements.
+    result.allocate_seconds =
+        allocate_seconds / static_cast<double>(budget_points.size());
+    result.evaluate_seconds =
+        evaluate_seconds / static_cast<double>(budget_points.size());
+    result.phases = batch_phases;
+    result.pool_stats = pool_stats;
+  }
   return Status::OK();
 }
 

@@ -25,6 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "api/registry.h"
 #include "scenario/scenario.h"
@@ -76,6 +78,19 @@ class Engine {
   /// leave `result` unspecified.
   Status Allocate(AllocateRequest request, AllocateResult* result) const;
 
+  /// Runs request.algo once per budget point (request.budgets is ignored;
+  /// each point replaces it) and fills one result per point. MaxGRD and
+  /// SeqGRD/SeqGRD-NM share a single PRIMA+ ranking across the whole
+  /// batch and evaluate every point's welfare in one batched sweep — the
+  /// per-point results keep the algorithms' approximation guarantees but
+  /// are NOT bit-identical to per-point Allocate calls when the batch has
+  /// more than one point (the shared ranking samples under the union of
+  /// levels). Every other algorithm falls back to one Allocate per point,
+  /// bit-identical to the loop it replaces.
+  Status AllocateBatch(AllocateRequest request,
+                       std::span<const BudgetVector> budget_points,
+                       std::vector<AllocateResult>* results) const;
+
   const Graph& graph() const { return *graph_; }
   const UtilityConfig& config() const { return *config_; }
   uint64_t graph_hash() const { return graph_hash_; }
@@ -88,6 +103,11 @@ class Engine {
   Engine(std::unique_ptr<const Graph> owned_graph,
          std::unique_ptr<const UtilityConfig> owned_config,
          EngineOptions options);
+
+  /// Binds the engine's long-lived state (graph, config, cache, hash,
+  /// pool store, cancellation threading, candidate-pool default) into a
+  /// request, never overriding caller-pinned values.
+  void BindRequest(AllocateRequest* request) const;
 
   // Owned storage for the Open() path; null when borrowing.
   std::unique_ptr<const Graph> owned_graph_;

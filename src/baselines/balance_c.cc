@@ -67,6 +67,8 @@ Allocation BalanceC(const Graph& graph, const UtilityConfig& config,
 
   int round = 0;
   while (total_remaining > 0 && !heap.empty()) {
+    // Same per-pop cancellation poll as GreedyWm (see greedy_wm.cc).
+    if (CancelRequested(params.imm.cancel)) break;
     Entry top = heap.top();
     heap.pop();
     if (remaining[top.item] == 0) continue;

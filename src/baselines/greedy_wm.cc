@@ -118,6 +118,10 @@ Allocation GreedyWm(const Graph& graph, const UtilityConfig& config,
 
   int round = 0;
   while (total_remaining > 0 && !heap.empty()) {
+    // Each lazy refresh is a full Monte-Carlo marginal, so poll the
+    // cooperative-cancellation flag per CELF pop; a cancelled run breaks
+    // with a partial allocation the caller discards.
+    if (CancelRequested(params.imm.cancel)) break;
     Entry top = heap.top();
     heap.pop();
     if (remaining[top.item] == 0) continue;  // budget exhausted

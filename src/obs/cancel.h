@@ -1,0 +1,36 @@
+// Cooperative-cancellation polling, shared by every layer.
+//
+// A cancellation flag is a caller-owned std::atomic<bool> that flips to
+// true exactly once (a deadline firing, a client disconnecting). Code on
+// a cancellable path polls it at bounded intervals — per RR-sampling
+// chunk, per greedy/CELF round — so a request stops within milliseconds
+// of the flag, not at the next phase boundary. Polling never changes
+// results: a run that is never cancelled is bit-identical to one whose
+// request carried no flag at all.
+//
+// Every poll increments the process-wide `api.cancel_checks` counter
+// (obs/metrics.h), which is why this helper lives in the obs layer: the
+// counter is the observable contract tests and `--metrics` consumers use
+// to verify that fine-grained polling actually happens.
+#ifndef CWM_OBS_CANCEL_H_
+#define CWM_OBS_CANCEL_H_
+
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace cwm {
+
+/// Polls a cooperative-cancellation flag (null = never cancelled) and
+/// counts the check. memory_order_relaxed: the flag carries no data, only
+/// the request to stop.
+inline bool CancelRequested(const std::atomic<bool>* cancel) {
+  static Counter& checks =
+      MetricsRegistry::Global().GetCounter("api.cancel_checks");
+  checks.Add(1);
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+}  // namespace cwm
+
+#endif  // CWM_OBS_CANCEL_H_

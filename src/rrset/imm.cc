@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/cancel.h"
 #include "rrset/node_selection.h"
 #include "rrset/rr_sampler.h"
 #include "store/format.h"
@@ -80,11 +81,29 @@ ImmResult RunImmDriver(std::size_t num_nodes,
   if (params.cache != nullptr && params.graph_hash != 0 && source_id != 0) {
     pipeline.BindCache(params.cache, params.graph_hash, source_id);
   }
+  pipeline.BindCancel(params.cancel);
   RrCollection rr(n);
+  // Sticky cancellation: once observed (by the pipeline's per-chunk polls
+  // or between phases here), every later sampling request is a no-op and
+  // the driver falls through to a structurally valid filler result — full
+  // seed-set size, zero estimates — that the caller discards after
+  // re-checking the flag. Never taken by uncancelled runs, so it cannot
+  // change their results.
+  bool cancel_seen = false;
+  auto check_cancel = [&]() {
+    if (!cancel_seen &&
+        (pipeline.cancelled() ||
+         (params.cancel != nullptr && CancelRequested(params.cancel)))) {
+      cancel_seen = true;
+    }
+    return cancel_seen;
+  };
   auto sample_until = [&](double theta) {
+    if (cancel_seen) return;
     std::size_t want = static_cast<std::size_t>(std::ceil(theta));
     if (params.max_rr_sets > 0) want = std::min(want, params.max_rr_sets);
     pipeline.ExtendTo(&rr, want);
+    check_cancel();
   };
 
   const int i_max = std::max(1, static_cast<int>(std::log2(
@@ -98,6 +117,7 @@ ImmResult RunImmDriver(std::size_t num_nodes,
     while (i <= i_max) {
       const double x = static_cast<double>(n) / std::exp2(i);
       sample_until(lam_prime / x);
+      if (cancel_seen) break;
       const GreedySelection sel = SelectMaxCoverage(rr, b);
       const double est = CoverageOfPrefix(rr, sel, sel.seeds.size(), n);
       if (est >= (1.0 + eps_prime) * x) {
@@ -106,6 +126,7 @@ ImmResult RunImmDriver(std::size_t num_nodes,
       }
       ++i;
     }
+    if (cancel_seen) break;
     const double theta_b = lam_star / lb;
     // Keep the working collection at this level's theta so the next
     // level's statistical test sees at least as many samples (the
@@ -114,7 +135,11 @@ ImmResult RunImmDriver(std::size_t num_nodes,
     theta_final = std::max(theta_final, theta_b);
   }
 
-  // Final pass with fresh RR sets (fix of [17]).
+  // Final pass with fresh RR sets (fix of [17]). A cancelled run skips it
+  // and selects over the just-cleared collection: SelectMaxCoverage pads
+  // to the full budget with smallest untaken ids, so the result has the
+  // shape every caller relies on (size, distinctness, range) at
+  // O(budget) cost.
   rr.Clear();
   sample_until(theta_final);
   const int total_b = budget_levels.back();

@@ -20,6 +20,7 @@
 #ifndef CWM_RRSET_IMM_H_
 #define CWM_RRSET_IMM_H_
 
+#include <atomic>
 #include <vector>
 
 #include "graph/graph.h"
@@ -55,6 +56,13 @@ struct ImmParams {
   /// Content hash of the graph being sampled (store/format.h's
   /// GraphContentHash); 0 = unknown, disables caching.
   uint64_t graph_hash = 0;
+  /// Optional cooperative cancellation flag (obs/cancel.h), polled per
+  /// sampling chunk inside the RR pipeline and between driver phases so a
+  /// deadline fires within milliseconds, not at the next phase boundary.
+  /// A cancelled driver run returns fast with structurally valid filler
+  /// seeds (callers observing the flag must discard the result). Not
+  /// owned; may be null. Never affects results of uncancelled runs.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Result of a driver run.

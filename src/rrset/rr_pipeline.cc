@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/cancel.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 #include "store/artifact_cache.h"
@@ -93,6 +94,10 @@ void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
     served = rr->size() - before;
   }
   if (rr->size() >= target) return;
+  if (cancel_ != nullptr && CancelRequested(cancel_)) {
+    cancel_observed_.store(true, std::memory_order_relaxed);
+  }
+  if (cancelled()) return;
   const std::size_t fresh = target - rr->size();
   const std::size_t num_chunks = (fresh + kChunkSize - 1) / kChunkSize;
   std::vector<RrShard> shards(num_chunks);
@@ -104,6 +109,16 @@ void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
   ParallelForWorkers(
       num_chunks,
       [&](std::size_t worker, std::size_t chunk) {
+        // Fine-grained cancellation: one poll per chunk (~kChunkSize
+        // samples) bounds the latency between a deadline firing and the
+        // pipeline going quiet, without a per-sample atomic in the hot
+        // loop. Skipped chunks leave their shard empty; the collection is
+        // then not the canonical prefix, which is fine because a
+        // cancelled run's output is discarded and never cached.
+        if (cancel_ != nullptr && CancelRequested(cancel_)) {
+          cancel_observed_.store(true, std::memory_order_relaxed);
+          return;
+        }
         RrSampleFn& sample = workers_[worker];
         if (!sample) sample = factory_();
         std::vector<NodeId>& members = scratch_[worker];
@@ -125,8 +140,11 @@ void RrPipeline::ExtendTo(RrCollection* rr, std::size_t target) {
   for (const RrShard& shard : shards) rr->Merge(shard);
 
   // Persist the grown era. Epochs grow geometrically, so rewriting the
-  // whole collection each time costs at most ~2x the final bytes.
-  if (cache_ != nullptr && rr->size() > era_stored_) {
+  // whole collection each time costs at most ~2x the final bytes. Never
+  // after a cancellation: skipped chunks mean the collection is not the
+  // canonical prefix its provenance would claim, and storing it would
+  // poison the persistent cache for every later run.
+  if (cache_ != nullptr && !cancelled() && rr->size() > era_stored_) {
     // ServeFromCache ran earlier in this call and validated that `rr` is
     // the era's single collection, so era_start_ is its true provenance.
     const RrProvenance provenance{.graph_hash = graph_hash_,

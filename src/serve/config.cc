@@ -1,0 +1,137 @@
+#include "serve/config.h"
+
+#include <cmath>
+#include <set>
+
+#include "serve/json.h"
+
+namespace cwm {
+
+namespace {
+
+Status FieldError(std::string_view key, std::string_view what) {
+  return Status::InvalidArgument("serve config field '" + std::string(key) +
+                                 "': " + std::string(what));
+}
+
+StatusOr<int64_t> AsInteger(const JsonValue& value, std::string_view key) {
+  if (!value.IsNumber() || value.number != std::floor(value.number) ||
+      std::fabs(value.number) > 9.0e15) {
+    return FieldError(key, "expected an integer");
+  }
+  return static_cast<int64_t>(value.number);
+}
+
+StatusOr<ServeGraphSpec> ParseGraphSpec(const JsonValue& value) {
+  if (!value.IsObject()) {
+    return Status::InvalidArgument("graphs entries must be objects");
+  }
+  ServeGraphSpec spec;
+  for (const auto& [key, member] : value.object) {
+    if (key == "name") {
+      if (!member.IsString()) return FieldError(key, "expected a string");
+      spec.name = member.string;
+    } else if (key == "scenario") {
+      if (!member.IsString()) return FieldError(key, "expected a string");
+      spec.scenario = member.string;
+    } else if (key == "network") {
+      StatusOr<int64_t> n = AsInteger(member, key);
+      if (!n.ok()) return n.status();
+      if (n.value() < 0) return FieldError(key, "must be >= 0");
+      spec.network_index = static_cast<std::size_t>(n.value());
+    } else if (key == "config") {
+      StatusOr<int64_t> n = AsInteger(member, key);
+      if (!n.ok()) return n.status();
+      if (n.value() < 0) return FieldError(key, "must be >= 0");
+      spec.config_index = static_cast<std::size_t>(n.value());
+    } else if (key == "scale") {
+      if (!member.IsNumber() || member.number <= 0.0) {
+        return FieldError(key, "expected a positive number");
+      }
+      spec.scale = member.number;
+    } else {
+      return Status::InvalidArgument("unknown graphs field '" + key + "'");
+    }
+  }
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("graphs entry missing 'name'");
+  }
+  if (spec.scenario.empty()) {
+    return Status::InvalidArgument("graphs entry missing 'scenario'");
+  }
+  return spec;
+}
+
+}  // namespace
+
+Status ServeConfig::Validate() const {
+  if (graphs.empty()) {
+    return Status::InvalidArgument("serve config needs at least one graph");
+  }
+  std::set<std::string> names;
+  for (const ServeGraphSpec& graph : graphs) {
+    if (!names.insert(graph.name).second) {
+      return Status::InvalidArgument("duplicate graph name '" + graph.name +
+                                     "'");
+    }
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  return Status::OK();
+}
+
+StatusOr<ServeConfig> ParseServeConfig(std::string_view text) {
+  StatusOr<JsonValue> parsed = ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.IsObject()) {
+    return Status::InvalidArgument("serve config must be a JSON object");
+  }
+
+  ServeConfig config;
+  for (const auto& [key, value] : root.object) {
+    if (key == "port") {
+      StatusOr<int64_t> n = AsInteger(value, key);
+      if (!n.ok()) return n.status();
+      config.port = static_cast<int>(n.value());
+    } else if (key == "workers") {
+      StatusOr<int64_t> n = AsInteger(value, key);
+      if (!n.ok()) return n.status();
+      if (n.value() < 0) return FieldError(key, "must be >= 0");
+      config.workers = static_cast<unsigned>(n.value());
+    } else if (key == "queue_capacity") {
+      StatusOr<int64_t> n = AsInteger(value, key);
+      if (!n.ok()) return n.status();
+      if (n.value() < 1) return FieldError(key, "must be >= 1");
+      config.queue_capacity = static_cast<std::size_t>(n.value());
+    } else if (key == "snapshot_budget_mb") {
+      StatusOr<int64_t> n = AsInteger(value, key);
+      if (!n.ok()) return n.status();
+      if (n.value() < 0) return FieldError(key, "must be >= 0");
+      config.snapshot_budget_bytes =
+          static_cast<std::size_t>(n.value()) << 20;
+    } else if (key == "cache_dir") {
+      if (!value.IsString()) return FieldError(key, "expected a string");
+      config.cache_dir = value.string;
+    } else if (key == "graphs") {
+      if (!value.IsArray()) return FieldError(key, "expected an array");
+      for (const JsonValue& entry : value.array) {
+        StatusOr<ServeGraphSpec> spec = ParseGraphSpec(entry);
+        if (!spec.ok()) return spec.status();
+        config.graphs.push_back(std::move(spec).value());
+      }
+    } else {
+      return Status::InvalidArgument("unknown serve config field '" + key +
+                                     "'");
+    }
+  }
+
+  if (Status valid = config.Validate(); !valid.ok()) return valid;
+  return config;
+}
+
+}  // namespace cwm

@@ -1,0 +1,57 @@
+// ServeConfig — the declarative startup description of a cwm_serve
+// daemon: which graphs to load (each an Engine over a scenario's
+// network + utility configuration, keyed by name), and the capacity
+// knobs (listen port, worker count, queue bound, snapshot budget).
+//
+// JSON form (cwm_serve --config FILE):
+//   {"port": 7077,                 // 0 = ephemeral (printed at startup)
+//    "workers": 4,                 // worker threads; 0 = hw concurrency
+//    "queue_capacity": 64,         // bounded request queue
+//    "snapshot_budget_mb": 256,    // per-engine world-pool budget
+//    "cache_dir": "",              // artifact cache ("" = none)
+//    "graphs": [
+//      {"name": "tiny",            // request routing key
+//       "scenario": "smoke-tiny",  // registry scenario supplying specs
+//       "network": 0,              // index into the scenario's networks
+//       "config": 0,               // index into the scenario's configs
+//       "scale": 1.0}]}            // CWM_BENCH_SCALE semantics
+#ifndef CWM_SERVE_CONFIG_H_
+#define CWM_SERVE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace cwm {
+
+/// One graph the server loads at startup.
+struct ServeGraphSpec {
+  std::string name;      ///< routing key requests use
+  std::string scenario;  ///< GlobalScenarioRegistry name
+  std::size_t network_index = 0;
+  std::size_t config_index = 0;
+  double scale = 1.0;
+};
+
+struct ServeConfig {
+  int port = 0;  ///< 0 = bind an ephemeral port
+  unsigned workers = 0;  ///< 0 = hardware concurrency
+  std::size_t queue_capacity = 64;
+  std::size_t snapshot_budget_bytes = 256ull << 20;
+  std::string cache_dir;
+  std::vector<ServeGraphSpec> graphs;
+
+  /// Structural validation (non-empty graphs, unique names, sane caps).
+  Status Validate() const;
+};
+
+/// Parses the JSON config document (not a file path).
+StatusOr<ServeConfig> ParseServeConfig(std::string_view text);
+
+}  // namespace cwm
+
+#endif  // CWM_SERVE_CONFIG_H_

@@ -1,0 +1,143 @@
+// The cwm_serve wire protocol.
+//
+// Line-delimited JSON over a byte stream: the client writes one request
+// object per line, the server writes exactly one response line per
+// request (in completion order — responses carry the request's `id` so
+// pipelined clients can match them up).
+//
+// Request:
+//   {"id": "r1",                 // echoed back; optional
+//    "graph": "tiny",            // ServeConfig graph name (required)
+//    "algo": "SeqGRD",           // AlgoName (required)
+//    "budgets": [5, 5],          // one point: per-item budgets, or a
+//                                //   single broadcast value [5]
+//                                // or several points: [[5,5],[10,10]]
+//                                //   (served by Engine::AllocateBatch)
+//    "items": [0, 1],            // optional; default: all config items
+//    "seed": 1,                  // optional; default 1
+//    "deadline_ms": 250,         // optional; 0/absent = no deadline
+//    "sims": 64,                 // optional estimator worlds override
+//    "eval_sims": 128,           // optional evaluation worlds override
+//    "epsilon": 0.5, "ell": 1.0, // optional accuracy overrides
+//    "evaluate": true}           // optional; default true
+//
+// Response (success):
+//   {"id": "r1", "ok": true, "graph": "tiny", "algo": "SeqGRD",
+//    "results": [{"budgets": [5,5], "welfare": 123.4,
+//                 "allocation": [[node, item], ...],
+//                 "skipped": false, "allocate_seconds": 0.01,
+//                 "evaluate_seconds": 0.002}]}
+//
+// Response (error):
+//   {"id": "r1", "ok": false,
+//    "error": {"code": "overloaded", "message": "..."}}
+//
+// Error codes: "invalid_argument" (malformed JSON / unknown fields),
+// "not_found" (unknown graph or algorithm), "overloaded" (admission
+// control rejected — bounded queue full), "deadline_exceeded" (the
+// request's deadline fired mid-run; partial work discarded),
+// "cancelled" (server shutting down), "internal" (anything else).
+//
+// Determinism: BuildAllocateRequest derives every seed from the
+// request's (seed, algo) alone, so the same request against the same
+// graph produces a bit-identical response from any server, any worker
+// thread, and the cwm_serve --oneshot path — the property the serve
+// tests and scripts/serve_bench.py verify against direct Engine calls.
+#ifndef CWM_SERVE_PROTOCOL_H_
+#define CWM_SERVE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/allocator.h"
+#include "serve/json.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// One parsed request line.
+struct ServeRequest {
+  std::string id;      ///< echoed in the response; may be empty
+  std::string graph;   ///< ServeConfig graph name
+  AlgoKind algo = AlgoKind::kSeqGrdNm;
+  /// One or more budget points; each already broadcast to one entry per
+  /// config item by BuildAllocateRequest (parse keeps them raw).
+  std::vector<std::vector<int>> budget_points;
+  std::vector<ItemId> items;  ///< empty = all config items
+  uint64_t seed = 1;
+  int64_t deadline_ms = 0;  ///< 0 = no deadline
+  int sims = 0;             ///< 0 = server default
+  int eval_sims = 0;        ///< 0 = server default
+  double epsilon = 0.5;
+  double ell = 1.0;
+  bool evaluate = true;
+};
+
+/// Per-point allocation outcome, flattened for the wire.
+struct ServePointResult {
+  BudgetVector budgets;
+  bool skipped = false;
+  std::string skip_reason;
+  double welfare = 0.0;
+  double allocate_seconds = 0.0;
+  double evaluate_seconds = 0.0;
+  /// (node, item) pairs in allocation order.
+  std::vector<std::pair<NodeId, ItemId>> allocation;
+};
+
+/// Wire error codes (stable strings; see file comment).
+enum class ServeErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kOverloaded,
+  kDeadlineExceeded,
+  kCancelled,
+  kInternal,
+};
+const char* ServeErrorCodeName(ServeErrorCode code);
+
+/// Maps an engine Status onto the wire code (Cancelled becomes
+/// deadline_exceeded only when the caller says the deadline fired).
+ServeErrorCode ServeErrorCodeOf(const Status& status, bool deadline_fired);
+
+/// Parses one request line. Unknown top-level keys are rejected (typos
+/// must not silently change meaning). Budget values must be >= 1.
+StatusOr<ServeRequest> ParseServeRequest(std::string_view line);
+
+/// Default estimator/evaluation world counts when the request does not
+/// override them (matching SweepOptions' defaults keeps one-request
+/// numbers comparable with sweep rows).
+inline constexpr int kServeDefaultSims = 64;
+inline constexpr int kServeDefaultEvalSims = 128;
+
+/// Resolves the request's budget points against the configuration's item
+/// count: broadcasts single-value points, validates sizes and
+/// positivity. Returns one BudgetVector per point.
+StatusOr<std::vector<BudgetVector>> ResolveServeBudgets(
+    const ServeRequest& request, int num_items);
+
+/// Builds the AllocateRequest a worker (or the --oneshot path, or a
+/// test's direct Engine call) runs for this request — the ONE place
+/// serve-side seeds are derived, so every path is bit-identical by
+/// construction. `budgets` is the resolved point this run uses;
+/// `cancel` is the worker's deadline flag (may be null).
+AllocateRequest BuildAllocateRequest(const ServeRequest& request,
+                                     const BudgetVector& budgets,
+                                     const std::vector<ItemId>& items,
+                                     const std::atomic<bool>* cancel);
+
+/// Formats the success response line (no trailing newline).
+std::string FormatServeResponse(const ServeRequest& request,
+                                const std::vector<ServePointResult>& results);
+
+/// Formats an error response line (no trailing newline). `id` may be
+/// empty (unparseable request lines have no id to echo).
+std::string FormatServeError(std::string_view id, ServeErrorCode code,
+                             std::string_view message);
+
+}  // namespace cwm
+
+#endif  // CWM_SERVE_PROTOCOL_H_

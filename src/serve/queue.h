@@ -1,0 +1,91 @@
+// Bounded MPMC work queue — cwm_serve's admission-control point.
+//
+// Connection readers TryPush parsed requests; worker threads PopBlocking.
+// The capacity bound is the server's only buffering: when it is full the
+// reader rejects the request with a structured `overloaded` error
+// instead of queueing unboundedly (a saturated server degrades to fast
+// rejections, never to memory growth). Close() wakes every blocked
+// worker after the remaining items drain — the graceful-shutdown path.
+#ifndef CWM_SERVE_QUEUE_H_
+#define CWM_SERVE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/check.h"
+
+namespace cwm {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    CWM_CHECK(capacity_ > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; never blocks. Returns
+  /// false on rejection (the caller sends `overloaded` / `cancelled`).
+  bool TryPush(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND
+  /// drained; nullopt means "shut down, nothing left" (worker exits).
+  std::optional<T> PopBlocking() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all blocked poppers. Items already
+  /// queued still drain (graceful shutdown runs accepted work).
+  void Close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// True once Close() ran — lets a rejected pusher distinguish
+  /// "saturated" (overloaded) from "shutting down" (cancelled).
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Instantaneous depth (the serve.queue_depth gauge).
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SERVE_QUEUE_H_

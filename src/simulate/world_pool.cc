@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simulate/packed_world.h"
+#include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace cwm {
@@ -88,133 +89,215 @@ WorldPoolStats WorldPool::stats() const {
   return stats;
 }
 
-std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
-    const Graph& graph, const UtilityConfig& config, uint64_t seed,
-    int num_worlds, unsigned num_threads) {
-  // Building under the lock serializes misses but makes concurrent
-  // requests for one key (every task of a sweep cell asking for the
-  // cell's evaluation pool at once) build exactly once; the build itself
-  // is still parallel over num_threads.
-  // Process-wide twins of the per-store counters below (same increment
-  // sites), read by `--metrics` and the stderr formatter.
-  static Counter& built_counter =
-      MetricsRegistry::Global().GetCounter("pool.builds");
-  static Counter& reuse_counter =
-      MetricsRegistry::Global().GetCounter("pool.reuses");
-  static Counter& evict_counter =
+namespace {
+
+// Process-wide twins of the per-store counters (same increment sites),
+// read by `--metrics` and the stderr formatter.
+Counter& PoolBuildsCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter("pool.builds");
+  return counter;
+}
+Counter& PoolReusesCounter() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter("pool.reuses");
+  return counter;
+}
+Counter& PoolEvictionsCounter() {
+  static Counter& counter =
       MetricsRegistry::Global().GetCounter("pool.evictions");
+  return counter;
+}
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const Key key{&graph, &config, seed, num_worlds, /*chunks=*/0};
-  if (auto it = pools_.find(key); it != pools_.end()) {
-    reuse_counter.Add(1);
-    ++pool_reuses_;
-    it->second.last_use = ++tick_;
-    return it->second.pool;
-  }
+}  // namespace
 
+SnapshotFootprint WorldPoolStore::FootprintOf(const Graph& graph) {
+  auto [it, inserted] = footprints_.try_emplace(&graph);
+  if (inserted) it->second = EstimateSnapshotFootprint(graph);
+  return it->second;
+}
+
+std::size_t WorldPoolStore::EvictFor(std::size_t desired) {
   std::size_t resident = 0;
   for (const auto& [k, entry] : pools_) resident += entry.bytes;
-  // One footprint scan per miss: the estimate feeds both the eviction
-  // target and, passed through, the new pool's prefix cutoff.
-  const SnapshotFootprint footprint = EstimateSnapshotFootprint(graph);
-  const std::size_t desired = std::min(
-      budget_bytes_,
-      footprint.bytes * static_cast<std::size_t>(num_worlds));
-  // Make room LRU-first, but never drop a pool an estimator still holds:
-  // evicting it would not free memory, only forfeit future reuse.
+  // Make room LRU-first, but never drop a pool an estimator still holds
+  // (evicting it would not free memory, only forfeit future reuse) and
+  // never a building entry (its bytes are a reservation another thread
+  // is actively filling, and waiters hold its future).
   while (resident + desired > budget_bytes_) {
     auto victim = pools_.end();
     for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+      if (!it->second.ready.load(std::memory_order_relaxed)) continue;
       if (it->second.use_count() > 1) continue;
       if (victim == pools_.end() ||
-          it->second.last_use < victim->second.last_use) {
+          it->second.last_use.load(std::memory_order_relaxed) <
+              victim->second.last_use.load(std::memory_order_relaxed)) {
         victim = it;
       }
     }
     if (victim == pools_.end()) break;
     resident -= victim->second.bytes;
     pools_.erase(victim);
-    evict_counter.Add(1);
-    ++pools_evicted_;
+    PoolEvictionsCounter().Add(1);
+    pools_evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return resident;
+}
+
+std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
+    const Graph& graph, const UtilityConfig& config, uint64_t seed,
+    int num_worlds, unsigned num_threads) {
+  const Key key{&graph, &config, seed, num_worlds, /*chunks=*/0};
+
+  // Fast path: resident pools serve under a shared lock, so concurrent
+  // requests (a serving worker pool evaluating many requests against one
+  // engine) never contend once the pool exists.
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (auto it = pools_.find(key);
+        it != pools_.end() && it->second.ready.load(std::memory_order_acquire)) {
+      PoolReusesCounter().Add(1);
+      pool_reuses_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_use.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return it->second.pool;
+    }
   }
 
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (;;) {
+    auto it = pools_.find(key);
+    if (it == pools_.end()) break;
+    if (it->second.ready.load(std::memory_order_acquire)) {
+      PoolReusesCounter().Add(1);
+      pool_reuses_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_use.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return it->second.pool;
+    }
+    // Another thread is building this key: wait on its build outside the
+    // lock, then re-check (the finished entry could have been evicted in
+    // the window, in which case we become the builder).
+    std::shared_future<void> build = it->second.build;
+    lock.unlock();
+    build.wait();
+    lock.lock();
+  }
+
+  // Miss: reserve the key and its budget estimate under the lock, build
+  // outside it. One footprint estimate per graph feeds the reservation,
+  // the eviction target, and the pool's own prefix cutoff.
+  const SnapshotFootprint footprint = FootprintOf(graph);
+  const std::size_t desired = std::min(
+      budget_bytes_, footprint.bytes * static_cast<std::size_t>(num_worlds));
+  const std::size_t resident = EvictFor(desired);
   const std::size_t remaining =
       budget_bytes_ > resident ? budget_bytes_ - resident : 0;
-  Entry entry;
-  entry.pool = std::make_shared<const WorldPool>(
+  std::promise<void> done;
+  auto [it, inserted] = pools_.try_emplace(key);
+  CWM_CHECK(inserted);
+  Entry& entry = it->second;
+  entry.bytes = std::min(desired, remaining);  // reservation until built
+  entry.build = done.get_future().share();
+  entry.last_use.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+  lock.unlock();
+
+  auto pool = std::make_shared<const WorldPool>(
       graph, config, seed, num_worlds, remaining, num_threads, footprint);
-  entry.bytes = entry.pool->stats().bytes;
-  entry.last_use = ++tick_;
-  built_counter.Add(1);
-  ++pools_built_;
-  auto [it, inserted] = pools_.emplace(key, std::move(entry));
-  return it->second.pool;
+
+  lock.lock();
+  entry.pool = pool;  // the entry cannot be evicted while !ready
+  entry.bytes = pool->stats().bytes;
+  entry.ready.store(true, std::memory_order_release);
+  PoolBuildsCounter().Add(1);
+  pools_built_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  done.set_value();
+  return pool;
 }
 
 std::shared_ptr<const PackedWorldSet> WorldPoolStore::GetOrBuildPacked(
     const Graph& graph, const UtilityConfig& config, uint64_t seed,
     int num_worlds, std::size_t chunks, unsigned num_threads) {
-  // Same counters as GetOrBuild: a packed set is the same cached artifact
-  // (one key's materialized world sequence) in a different layout, so the
-  // `--metrics` pool counters and the stderr "pools:" line cover both.
-  static Counter& built_counter =
-      MetricsRegistry::Global().GetCounter("pool.builds");
-  static Counter& reuse_counter =
-      MetricsRegistry::Global().GetCounter("pool.reuses");
-  static Counter& evict_counter =
-      MetricsRegistry::Global().GetCounter("pool.evictions");
-
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // Same counters and build discipline as GetOrBuild: a packed set is the
+  // same cached artifact (one key's materialized world sequence) in a
+  // different layout, so the `--metrics` pool counters and the stderr
+  // "pools:" line cover both.
   const Key key{&graph, &config, seed, num_worlds, chunks};
-  if (auto it = pools_.find(key); it != pools_.end()) {
-    reuse_counter.Add(1);
-    ++pool_reuses_;
-    it->second.last_use = ++tick_;
-    return it->second.packed;
+
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (auto it = pools_.find(key);
+        it != pools_.end() && it->second.ready.load(std::memory_order_acquire)) {
+      PoolReusesCounter().Add(1);
+      pool_reuses_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_use.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return it->second.packed;
+    }
   }
 
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (;;) {
+    auto it = pools_.find(key);
+    if (it == pools_.end()) break;
+    if (it->second.ready.load(std::memory_order_acquire)) {
+      PoolReusesCounter().Add(1);
+      pool_reuses_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_use.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return it->second.packed;
+    }
+    std::shared_future<void> build = it->second.build;
+    lock.unlock();
+    build.wait();
+    lock.lock();
+  }
+
+  // All-or-nothing: a partially packed set has no transparent fallback
+  // per world, so refuse (before reserving anything) rather than
+  // overshoot the budget. A refusal inserts no entry — concurrent
+  // same-key callers each re-evaluate, which only costs repeated
+  // eviction scans, never repeated builds.
   const std::size_t desired = PackedWorldSet::EstimateBytes(
       graph, config.num_items(), num_worlds, chunks);
   if (desired > budget_bytes_) return nullptr;
-  std::size_t resident = 0;
-  for (const auto& [k, entry] : pools_) resident += entry.bytes;
-  while (resident + desired > budget_bytes_) {
-    auto victim = pools_.end();
-    for (auto it = pools_.begin(); it != pools_.end(); ++it) {
-      if (it->second.use_count() > 1) continue;
-      if (victim == pools_.end() ||
-          it->second.last_use < victim->second.last_use) {
-        victim = it;
-      }
-    }
-    if (victim == pools_.end()) break;
-    resident -= victim->second.bytes;
-    pools_.erase(victim);
-    evict_counter.Add(1);
-    ++pools_evicted_;
-  }
-  // All-or-nothing: a partially packed set has no transparent fallback
-  // per world, so refuse rather than overshoot the budget.
+  const std::size_t resident = EvictFor(desired);
   if (resident + desired > budget_bytes_) return nullptr;
 
-  Entry entry;
-  entry.packed = std::make_shared<const PackedWorldSet>(
+  std::promise<void> done;
+  auto [it, inserted] = pools_.try_emplace(key);
+  CWM_CHECK(inserted);
+  Entry& entry = it->second;
+  entry.bytes = desired;  // reservation until built
+  entry.build = done.get_future().share();
+  entry.last_use.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+  lock.unlock();
+
+  auto packed = std::make_shared<const PackedWorldSet>(
       graph, config, seed, num_worlds, chunks, num_threads);
-  entry.bytes = entry.packed->bytes();
-  entry.last_use = ++tick_;
-  built_counter.Add(1);
-  ++pools_built_;
-  auto [it, inserted] = pools_.emplace(key, std::move(entry));
-  return it->second.packed;
+
+  lock.lock();
+  entry.packed = packed;
+  entry.bytes = packed->bytes();
+  entry.ready.store(true, std::memory_order_release);
+  PoolBuildsCounter().Add(1);
+  pools_built_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  done.set_value();
+  return packed;
 }
 
 WorldPoolStoreStats WorldPoolStore::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   WorldPoolStoreStats stats;
-  stats.pools_built = pools_built_;
-  stats.pool_reuses = pool_reuses_;
-  stats.pools_evicted = pools_evicted_;
+  stats.pools_built = pools_built_.load(std::memory_order_relaxed);
+  stats.pool_reuses = pool_reuses_.load(std::memory_order_relaxed);
+  stats.pools_evicted = pools_evicted_.load(std::memory_order_relaxed);
   stats.resident_pools = pools_.size();
   for (const auto& [key, entry] : pools_) stats.resident_bytes += entry.bytes;
   return stats;

@@ -33,11 +33,14 @@
 #ifndef CWM_SIMULATE_WORLD_POOL_H_
 #define CWM_SIMULATE_WORLD_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -152,6 +155,13 @@ struct WorldPoolStoreStats {
 /// evicting unreferenced pools (LRU-first), and falls back to streaming
 /// when nothing remains. Thread-safe; concurrent GetOrBuild calls for one
 /// key build once and share. Never changes results — only wall time.
+///
+/// Concurrency: hits take a shared lock (concurrent serve requests for
+/// resident pools never contend), and a miss builds its pool *outside*
+/// the exclusive lock — the key is reserved first with its budget
+/// estimate and a build future, so same-key callers wait on that one
+/// build while distinct-key callers build in parallel, and the combined
+/// reservations never overshoot the store budget.
 class WorldPoolStore {
  public:
   explicit WorldPoolStore(std::size_t budget_bytes)
@@ -200,23 +210,39 @@ class WorldPoolStore {
     }
   };
   struct Entry {
-    // Exactly one of the two is set, per Key::chunks.
+    // Exactly one of the two is set, per Key::chunks. Written once, by
+    // the building thread under the exclusive lock; `ready` (release)
+    // publishes them to shared-lock readers (acquire).
     std::shared_ptr<const WorldPool> pool;
     std::shared_ptr<const PackedWorldSet> packed;
+    /// Budget reservation while building; actual footprint once ready.
     std::size_t bytes = 0;
-    uint64_t last_use = 0;
+    /// LRU stamp; atomic because shared-lock hits refresh it.
+    std::atomic<uint64_t> last_use{0};
+    std::atomic<bool> ready{false};
+    /// Valid while !ready: same-key callers wait on it outside the lock.
+    std::shared_future<void> build;
     long use_count() const {
       return pool != nullptr ? pool.use_count() : packed.use_count();
     }
   };
 
+  /// Evicts unreferenced ready entries LRU-first until `desired` more
+  /// bytes fit (or nothing evictable remains); returns resident bytes
+  /// after eviction. Caller holds the exclusive lock.
+  std::size_t EvictFor(std::size_t desired);
+  /// The graph's snapshot footprint estimate, computed once per graph
+  /// (the O(edges) scan) and memoized. Caller holds the exclusive lock.
+  SnapshotFootprint FootprintOf(const Graph& graph);
+
   const std::size_t budget_bytes_;
-  mutable std::mutex mutex_;
-  uint64_t tick_ = 0;
+  mutable std::shared_mutex mutex_;
+  std::atomic<uint64_t> tick_{0};
   std::map<Key, Entry> pools_;
-  uint64_t pools_built_ = 0;
-  uint64_t pool_reuses_ = 0;
-  uint64_t pools_evicted_ = 0;
+  std::map<const Graph*, SnapshotFootprint> footprints_;
+  std::atomic<uint64_t> pools_built_{0};
+  std::atomic<uint64_t> pool_reuses_{0};
+  std::atomic<uint64_t> pools_evicted_{0};
 };
 
 }  // namespace cwm

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "api/registry.h"
 #include "exp/configs.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
 #include "scenario/registry.h"
 #include "scenario/sweep.h"
 #include "support/rng.h"
@@ -200,6 +203,104 @@ TEST(EngineTest, CooperativeCancellationReturnsCancelled) {
   AllocateResult result;
   const Status status = engine.Allocate(std::move(request), &result);
   EXPECT_EQ(status.code(), Status::Code::kCancelled);
+}
+
+TEST(EngineTest, PreCancelledRequestFailsFastAndCountsPolls) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  Engine engine(g, c);
+  Counter& checks =
+      MetricsRegistry::Global().GetCounter("api.cancel_checks");
+  const uint64_t before = checks.value();
+  std::atomic<bool> cancel{true};
+  // A request whose uncancelled run samples plenty (SeqGRD with marginal
+  // checks): the pre-set flag must short-circuit it at the first poll.
+  AllocateRequest request = TinyRequest(AlgoKind::kSeqGrd);
+  request.params.estimator.num_worlds = 2000;
+  request.cancel = &cancel;
+  AllocateResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = engine.Allocate(std::move(request), &result);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  EXPECT_EQ(status.code(), Status::Code::kCancelled);
+  EXPECT_GT(checks.value(), before);  // every poll is counted
+  EXPECT_LT(elapsed, 5.0);  // orders of magnitude under the full run
+}
+
+TEST(EngineTest, AllocateBatchOfOneIsBitIdenticalToAllocate) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  Engine engine(g, c);
+  // The algorithms that share a PRIMA+ ranking across the batch, plus a
+  // fallback algorithm (per-point Allocate) for contrast.
+  for (AlgoKind algo : {AlgoKind::kSeqGrd, AlgoKind::kSeqGrdNm,
+                        AlgoKind::kMaxGrd, AlgoKind::kRoundRobin}) {
+    AllocateResult single;
+    ASSERT_TRUE(engine.Allocate(TinyRequest(algo), &single).ok())
+        << AlgoName(algo);
+    const std::vector<BudgetVector> points = {{3, 3}};
+    std::vector<AllocateResult> batch;
+    ASSERT_TRUE(engine
+                    .AllocateBatch(TinyRequest(algo),
+                                   std::span<const BudgetVector>(points),
+                                   &batch)
+                    .ok())
+        << AlgoName(algo);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].allocation.ToString(), single.allocation.ToString())
+        << AlgoName(algo);
+    EXPECT_EQ(batch[0].stats.welfare, single.stats.welfare)
+        << AlgoName(algo);
+    EXPECT_EQ(batch[0].skipped, single.skipped);
+  }
+}
+
+TEST(EngineTest, AllocateBatchServesEveryBudgetPoint) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  Engine engine(g, c);
+  const std::vector<BudgetVector> points = {{2, 2}, {4, 4}, {6, 6}};
+  for (AlgoKind algo :
+       {AlgoKind::kSeqGrd, AlgoKind::kMaxGrd, AlgoKind::kRoundRobin}) {
+    std::vector<AllocateResult> batch;
+    ASSERT_TRUE(engine
+                    .AllocateBatch(TinyRequest(algo),
+                                   std::span<const BudgetVector>(points),
+                                   &batch)
+                    .ok())
+        << AlgoName(algo);
+    ASSERT_EQ(batch.size(), points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      EXPECT_FALSE(batch[p].skipped);
+      // Every point's allocation respects its own budget exactly —
+      // MaxGRD spends one item's budget (everything on the best item),
+      // the others spend every item's.
+      const std::size_t want =
+          algo == AlgoKind::kMaxGrd
+              ? static_cast<std::size_t>(points[p][0])
+              : static_cast<std::size_t>(points[p][0] + points[p][1]);
+      EXPECT_EQ(batch[p].allocation.TotalPairs(), want)
+          << AlgoName(algo) << " point " << p;
+      EXPECT_GT(batch[p].stats.welfare, 0.0);
+    }
+    // More budget never hurts the estimated welfare materially; the
+    // batch rows must at least be monotone-ish (loose sanity, not a
+    // bit-exact contract).
+    EXPECT_GE(batch[2].stats.welfare, batch[0].stats.welfare * 0.9);
+  }
+}
+
+TEST(EngineTest, AllocateBatchRejectsEmptyPoints) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC1();
+  Engine engine(g, c);
+  std::vector<AllocateResult> batch;
+  const Status status =
+      engine.AllocateBatch(TinyRequest(AlgoKind::kSeqGrd), {}, &batch);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
 }
 
 TEST(EngineTest, ProgressHookReportsStages) {

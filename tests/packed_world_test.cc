@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -280,6 +282,52 @@ TEST(PackedWorldTest, WeakTieGraphDefaultsToScalarPath) {
   for (std::size_t j = 0; j < got.size(); ++j) {
     ExpectStatsBitEqual(got[j], want[j]);
   }
+}
+
+TEST(PackedWorldTest, PoolStoreConcurrentSameKeyBuildsOnce) {
+  // The serve daemon's workers hit one engine's store concurrently: all
+  // same-key callers must share a single build and pointer.
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC5();
+  WorldPoolStore store(64ull << 20);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const WorldPool>> pools(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      pools[t] = store.GetOrBuild(g, c, /*seed=*/77, /*num_worlds=*/64,
+                                  /*num_threads=*/1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(pools[t], nullptr);
+    EXPECT_EQ(pools[t], pools[0]);
+  }
+  EXPECT_EQ(store.stats().pools_built, 1u);
+  EXPECT_EQ(store.stats().pool_reuses, kThreads - 1u);
+}
+
+TEST(PackedWorldTest, PoolStoreConcurrentDistinctKeysAllMaterialize) {
+  const Graph g = TestGraph();
+  const UtilityConfig c = MakeConfigC5();
+  WorldPoolStore store(256ull << 20);
+  constexpr int kThreads = 6;
+  std::vector<std::shared_ptr<const WorldPool>> pools(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Distinct seeds = distinct keys: builds may run in parallel.
+      pools[t] = store.GetOrBuild(g, c, /*seed=*/100 + t,
+                                  /*num_worlds=*/32, /*num_threads=*/1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(pools[t], nullptr);
+    for (int u = 0; u < t; ++u) EXPECT_NE(pools[t], pools[u]);
+  }
+  EXPECT_EQ(store.stats().pools_built, static_cast<uint64_t>(kThreads));
 }
 
 TEST(PackedWorldTest, PoolStoreSharesPackedSetsAcrossEstimators) {

@@ -1,0 +1,197 @@
+// cwm_serve — the allocation service daemon.
+//
+//   cwm_serve --config FILE [options]    serve requests over TCP
+//   cwm_serve --config FILE --oneshot REQUEST
+//                                        run one request in-process and
+//                                        print its response line (the
+//                                        bit-identical ground truth the
+//                                        bench and tests compare against)
+//
+// The config is the ServeConfig JSON document (serve/config.h); pass a
+// file path, or the document itself when the value starts with '{'.
+//
+// Options:
+//   --config FILE|JSON   serve config (required)
+//   --port N             override the config's listen port (0 = ephemeral)
+//   --workers N          override the worker thread count (0 = hardware)
+//   --queue-capacity N   override the bounded request-queue capacity
+//   --oneshot REQUEST    execute one request line in-process (no socket,
+//                        no deadline) and print the response to stdout
+//   --metrics FILE       write the metrics registry as JSON on exit
+//   --quiet              suppress the startup banner on stderr
+//   --help               this text
+//
+// Daemon mode prints exactly one line to stdout once ready:
+//   listening on 127.0.0.1:<port>
+// (scripts parse the port from it when the config asks for an ephemeral
+// one), then serves until SIGINT/SIGTERM, drains in-flight requests, and
+// exits 0. The wire protocol is documented in src/serve/protocol.h and
+// docs/serving.md.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/config.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace cwm;
+
+int Usage(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s --config FILE|JSON [--port N] [--workers N]\n"
+               "         [--queue-capacity N] [--metrics FILE.json]\n"
+               "         [--quiet] [--help]\n"
+               "       %s --config FILE|JSON --oneshot REQUEST\n",
+               argv0, argv0);
+  return code;
+}
+
+bool ParseValue(int argc, char** argv, int* i, const char* flag,
+                std::string* out) {
+  if (std::strcmp(argv[*i], flag) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+/// --config accepts the document inline (starts with '{') or a path.
+StatusOr<ServeConfig> LoadConfig(const std::string& value) {
+  if (!value.empty() && value.front() == '{') {
+    return ParseServeConfig(value);
+  }
+  std::ifstream file(value);
+  if (!file) {
+    return Status::IOError("cannot open config file '" + value + "'");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return ParseServeConfig(text.str());
+}
+
+void WriteMetrics(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  file << MetricsToJson(MetricsRegistry::Global().Snapshot()) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_value, oneshot, metrics_path, value;
+  int port_override = -1;
+  int workers_override = -1;
+  int queue_override = -1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage(argv[0], 0);
+    if (ParseValue(argc, argv, &i, "--config", &config_value)) continue;
+    if (ParseValue(argc, argv, &i, "--oneshot", &oneshot)) continue;
+    if (ParseValue(argc, argv, &i, "--metrics", &metrics_path)) continue;
+    if (ParseValue(argc, argv, &i, "--port", &value)) {
+      port_override = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--workers", &value)) {
+      workers_override = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--queue-capacity", &value)) {
+      queue_override = std::atoi(value.c_str());
+      continue;
+    }
+    if (arg == "--quiet") { quiet = true; continue; }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage(argv[0], 2);
+  }
+
+  if (config_value.empty()) {
+    std::fprintf(stderr, "--config is required\n");
+    return Usage(argv[0], 2);
+  }
+
+  StatusOr<ServeConfig> config = LoadConfig(config_value);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  if (port_override >= 0) config.value().port = port_override;
+  if (workers_override >= 0) {
+    config.value().workers = static_cast<unsigned>(workers_override);
+  }
+  if (queue_override >= 1) {
+    config.value().queue_capacity =
+        static_cast<std::size_t>(queue_override);
+  }
+
+  if (!oneshot.empty()) {
+    // In-process execution: same parse, same seed derivation, same
+    // engine path as a served request — the ground-truth oracle.
+    StatusOr<std::unique_ptr<ServeEngineSet>> engines =
+        ServeEngineSet::Load(config.value());
+    if (!engines.ok()) {
+      std::fprintf(stderr, "%s\n", engines.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<ServeRequest> request = ParseServeRequest(oneshot);
+    if (!request.ok()) {
+      std::printf("%s\n",
+                  FormatServeError("",
+                                   ServeErrorCodeOf(request.status(), false),
+                                   request.status().message())
+                      .c_str());
+      WriteMetrics(metrics_path);
+      return 1;
+    }
+    const std::string response = ExecuteServeRequest(
+        *engines.value(), request.value(), /*cancel=*/nullptr);
+    std::printf("%s\n", response.c_str());
+    WriteMetrics(metrics_path);
+    return response.find("\"ok\":true") != std::string::npos ? 0 : 1;
+  }
+
+  // Daemon mode: block the termination signals before starting threads
+  // so every thread inherits the mask and sigwait below is the single
+  // delivery point.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  StatusOr<std::unique_ptr<Server>> server =
+      Server::Start(std::move(config).value());
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "cwm_serve: ready; Ctrl-C to drain and exit\n");
+  }
+  std::printf("listening on 127.0.0.1:%d\n", server.value()->port());
+  std::fflush(stdout);
+
+  int signo = 0;
+  sigwait(&mask, &signo);
+  if (!quiet) {
+    std::fprintf(stderr, "cwm_serve: signal %d; draining\n", signo);
+  }
+  server.value()->Shutdown();
+  WriteMetrics(metrics_path);
+  return 0;
+}
