@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Docs-drift gate: the README's flag and env-knob tables must match the
 # binaries and the sweep engine they document, docs/serving.md must match
-# cwm_serve --help, and the docs/ book must exist with intact relative
-# links. Run from the repository root with the cwm_run binary as $1
-# (default build/cwm_run) and cwm_serve as $2 (default build/cwm_serve).
+# cwm_serve --help, the docs/robustness.md failpoint table must match the
+# sites in src/ and the failpoint.cc inventory, and the docs/ book must
+# exist with intact relative links. Run from the repository root with the
+# cwm_run binary as $1 (default build/cwm_run) and cwm_serve as $2
+# (default build/cwm_serve).
 set -euo pipefail
 
 CWM_RUN="${1:-build/cwm_run}"
@@ -80,9 +82,45 @@ if [[ -n "$stale_knobs" ]]; then
   status=1
 fi
 
+# --- 2b. Failpoint inventory: code sites vs. registry vs. docs table -----
+# Three sources must agree: the CWM_FAILPOINT sites in src/, the static
+# inventory in failpoint.cc, and the docs/robustness.md table (rows
+# between the BEGIN/END_FAILPOINT_TABLE markers).
+code_sites=$(grep -rhoE 'CWM_FAILPOINT(_STATUS)?\("[a-z_.]+"' src/ \
+  | grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u)
+inventory_sites=$(sed -n '/BEGIN_FAILPOINT_INVENTORY/,/END_FAILPOINT_INVENTORY/p' \
+  src/support/failpoint.cc | grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u)
+doc_sites=$(sed -n '/BEGIN_FAILPOINT_TABLE/,/END_FAILPOINT_TABLE/p' \
+  docs/robustness.md | grep -oE '^\| `[a-z_.]+`' | tr -d '`| ' | sort -u)
+
+unregistered=$(comm -23 <(echo "$code_sites") <(echo "$inventory_sites"))
+if [[ -n "$unregistered" ]]; then
+  echo "FAILPOINT SITES IN src/ BUT MISSING FROM THE failpoint.cc INVENTORY:" >&2
+  echo "$unregistered" >&2
+  status=1
+fi
+unused=$(comm -13 <(echo "$code_sites") <(echo "$inventory_sites"))
+if [[ -n "$unused" ]]; then
+  echo "INVENTORY FAILPOINTS WITH NO CWM_FAILPOINT SITE IN src/:" >&2
+  echo "$unused" >&2
+  status=1
+fi
+undoc_sites=$(comm -23 <(echo "$inventory_sites") <(echo "$doc_sites"))
+if [[ -n "$undoc_sites" ]]; then
+  echo "FAILPOINTS MISSING FROM THE docs/robustness.md TABLE:" >&2
+  echo "$undoc_sites" >&2
+  status=1
+fi
+stale_sites=$(comm -13 <(echo "$inventory_sites") <(echo "$doc_sites"))
+if [[ -n "$stale_sites" ]]; then
+  echo "docs/robustness.md TABLE ROWS WITH NO REGISTERED FAILPOINT:" >&2
+  echo "$stale_sites" >&2
+  status=1
+fi
+
 # --- 3. The docs book exists and its relative links resolve --------------
 for doc in docs/ARCHITECTURE.md docs/kernel.md docs/determinism.md \
-           docs/embedding.md docs/serving.md; do
+           docs/embedding.md docs/serving.md docs/robustness.md; do
   if [[ ! -f "$doc" ]]; then
     echo "MISSING DOC: $doc" >&2
     status=1

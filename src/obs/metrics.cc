@@ -104,6 +104,17 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snapshot;
 }
 
+Counter& DegradedEventsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("store.degraded.events");
+  return counter;
+}
+
+void NoteDegradedEvent(const char* counter_name) {
+  MetricsRegistry::Global().GetCounter(counter_name).Add(1);
+  DegradedEventsCounter().Add(1);
+}
+
 void MetricsRegistry::ResetForTest() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();

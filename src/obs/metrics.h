@@ -125,6 +125,17 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Records one degraded-mode event: bumps the named counter (e.g.
+/// "store.degraded.heap_loads", "cache.quarantined") and the shared
+/// "store.degraded.events" total the serve layer watches to mark
+/// responses `degraded`. Degradations are rare by definition, so the
+/// name lookup per call is fine.
+void NoteDegradedEvent(const char* counter_name);
+
+/// The shared "store.degraded.events" counter (every NoteDegradedEvent
+/// bumps it); cwm_serve snapshots it around request execution.
+Counter& DegradedEventsCounter();
+
 /// Renders `snapshot` as one JSON object:
 ///   {"counters":{...},"gauges":{...},
 ///    "histograms":{"name":{"count":..,"sum":..,

@@ -55,6 +55,10 @@ void RrPipeline::ServeFromCache(RrCollection* rr, std::size_t target) {
                               .sample_seed = seed_,
                               .source_id = source_id_,
                               .era_start = era_start};
+    // Degraded-mode contract: a corrupt or unreadable era comes back as
+    // nullopt (the cache quarantines it), so the pipeline falls through
+    // to resampling below — bit-identical, because sample k's RNG stream
+    // is derived from (seed, k), never from what the cache held.
     std::optional<RrEraData> loaded = cache_->LoadRrEra(
         RrRecipeHash(graph_hash_, source_id_, seed_, era_start), expect,
         rr->num_nodes());

@@ -1,6 +1,7 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <utility>
@@ -171,8 +172,10 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   Timer total_timer;
 
   // Artifact cache: the spec's own pin wins, then the sweep-level knob
-  // (CWM_CACHE_DIR). Opening failures fail the sweep fast — a
-  // half-working cache would silently change performance expectations.
+  // (CWM_CACHE_DIR). An unopenable cache dir degrades to an uncached
+  // sweep — results are bit-identical either way (the cache only trades
+  // time), so a broken disk must not fail hours of compute. The loud
+  // stderr note keeps the performance expectation honest.
   const std::string& cache_dir =
       !spec.cache_dir.empty() ? spec.cache_dir : options.cache_dir;
   std::unique_ptr<ArtifactCache> cache_holder;
@@ -180,9 +183,16 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
   if (!cache_dir.empty()) {
     StatusOr<std::unique_ptr<ArtifactCache>> opened =
         ArtifactCache::Open(cache_dir);
-    if (!opened.ok()) return opened.status();
-    cache_holder = std::move(opened).value();
-    cache = cache_holder.get();
+    if (opened.ok()) {
+      cache_holder = std::move(opened).value();
+      cache = cache_holder.get();
+    } else {
+      NoteDegradedEvent("store.degraded.cache_disabled");
+      std::fprintf(stderr,
+                   "cwm: cache disabled for this sweep: %s (continuing "
+                   "uncached; results are unaffected)\n",
+                   opened.status().ToString().c_str());
+    }
   }
 
   // Phase 1 (serial, deterministic): materialize networks and configs once.

@@ -230,7 +230,7 @@ AllocateRequest BuildAllocateRequest(const ServeRequest& request,
 
 std::string FormatServeResponse(
     const ServeRequest& request,
-    const std::vector<ServePointResult>& results) {
+    const std::vector<ServePointResult>& results, bool degraded) {
   std::string out = "{";
   out += "\"id\":";
   AppendJsonString(&out, request.id);
@@ -238,6 +238,7 @@ std::string FormatServeResponse(
   AppendJsonString(&out, request.graph);
   out += ",\"algo\":";
   AppendJsonString(&out, AlgoName(request.algo));
+  if (degraded) out += ",\"degraded\":true";
   out += ",\"results\":[";
   for (std::size_t p = 0; p < results.size(); ++p) {
     const ServePointResult& result = results[p];

@@ -129,9 +129,14 @@ AllocateRequest BuildAllocateRequest(const ServeRequest& request,
                                      const std::vector<ItemId>& items,
                                      const std::atomic<bool>* cancel);
 
-/// Formats the success response line (no trailing newline).
+/// Formats the success response line (no trailing newline). `degraded`
+/// adds a `"degraded":true` field: the results are correct (degradations
+/// are bit-identical by contract) but a storage fallback fired while
+/// executing — clients may alert on it. False omits the field entirely,
+/// so healthy responses are byte-identical to pre-degraded-mode builds.
 std::string FormatServeResponse(const ServeRequest& request,
-                                const std::vector<ServePointResult>& results);
+                                const std::vector<ServePointResult>& results,
+                                bool degraded = false);
 
 /// Formats an error response line (no trailing newline). `id` may be
 /// empty (unparseable request lines have no id to echo).

@@ -6,8 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <numeric>
@@ -21,6 +23,7 @@
 #include "scenario/registry.h"
 #include "serve/queue.h"
 #include "support/check.h"
+#include "support/failpoint.h"
 
 namespace cwm {
 
@@ -59,6 +62,11 @@ Counter& DeadlineExceededCounter() {
 Counter& ErrorsCounter() {
   static Counter& counter =
       MetricsRegistry::Global().GetCounter("serve.errors");
+  return counter;
+}
+Counter& IoErrorsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("serve.io_errors");
   return counter;
 }
 Gauge& QueueDepthGauge() {
@@ -113,6 +121,14 @@ ExecOutcome ExecuteInternal(const ServeEngineSet& engines,
                  {{"points", static_cast<int64_t>(points.value().size())},
                   {"deadline_ms", request.deadline_ms}});
 
+  // Degraded detection: any storage fallback firing while this request
+  // executes (quarantine+rebuild, heap load, cache flipped read-only)
+  // bumps the shared counter; the delta marks the response `degraded`.
+  // Concurrent requests can blame each other's degradation — acceptable:
+  // the flag means "the substrate degraded under this answer", and the
+  // answer's bytes are identical either way.
+  const uint64_t degraded_before = DegradedEventsCounter().value();
+
   AllocateRequest allocate_request =
       BuildAllocateRequest(request, points.value().front(), items, cancel);
   std::vector<AllocateResult> results;
@@ -152,7 +168,8 @@ ExecOutcome ExecuteInternal(const ServeEngineSet& engines,
       }
     }
   }
-  return {FormatServeResponse(request, wire), true,
+  const bool degraded = DegradedEventsCounter().value() > degraded_before;
+  return {FormatServeResponse(request, wire, degraded), true,
           ServeErrorCode::kInternal};
 }
 
@@ -230,10 +247,17 @@ struct Connection {
     framed += '\n';
     std::size_t sent = 0;
     while (sent < framed.size()) {
+      // An injected send fault is a transient I/O error: count it and
+      // retry — the response must still reach the client.
+      if (!CWM_FAILPOINT_STATUS("serve.send").ok()) {
+        IoErrorsCounter().Add(1);
+        continue;
+      }
       // MSG_NOSIGNAL: a client that hung up turns writes into EPIPE
       // errors, not process-killing SIGPIPEs.
       const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
                                MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;  // stray signal; retry
       if (n <= 0) return;  // peer gone; nothing useful to do
       sent += static_cast<std::size_t>(n);
     }
@@ -260,8 +284,18 @@ StatusOr<std::unique_ptr<ServeEngineSet>> ServeEngineSet::Load(
   if (!config.cache_dir.empty()) {
     StatusOr<std::unique_ptr<ArtifactCache>> cache =
         ArtifactCache::Open(config.cache_dir);
-    if (!cache.ok()) return cache.status();
-    set->cache_ = std::move(cache).value();
+    if (cache.ok()) {
+      set->cache_ = std::move(cache).value();
+    } else {
+      // An unopenable cache dir must not keep the service down: engines
+      // build their graphs from scratch and serve uncached — slower,
+      // bit-identical answers.
+      NoteDegradedEvent("store.degraded.cache_disabled");
+      std::fprintf(stderr,
+                   "cwm_serve: cache disabled: %s (serving uncached; "
+                   "results are unaffected)\n",
+                   cache.status().ToString().c_str());
+    }
   }
 
   for (const ServeGraphSpec& spec : config.graphs) {
@@ -322,8 +356,23 @@ struct Server::Impl {
 
   void AcceptLoop() {
     while (true) {
+      // An injected accept fault models a transient kernel error
+      // (EMFILE, ENOBUFS): count it and keep accepting.
+      if (!CWM_FAILPOINT_STATUS("serve.accept").ok()) {
+        IoErrorsCounter().Add(1);
+        continue;
+      }
       const int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) return;  // listener shut down
+      if (fd < 0) {
+        // EINTR: a stray signal must not kill the acceptor (and with it
+        // the whole service). ECONNABORTED: the peer gave up while
+        // queued — their loss, not a listener failure.
+        if (errno == EINTR || errno == ECONNABORTED) {
+          IoErrorsCounter().Add(1);
+          continue;
+        }
+        return;  // listener shut down
+      }
       auto conn = std::make_shared<Connection>(fd);
       const std::lock_guard<std::mutex> lock(connections_mutex);
       connections.emplace_back(
@@ -335,7 +384,12 @@ struct Server::Impl {
     std::string buffer;
     char chunk[4096];
     while (true) {
+      if (!CWM_FAILPOINT_STATUS("serve.recv").ok()) {
+        IoErrorsCounter().Add(1);
+        continue;  // transient read fault: the connection survives
+      }
       const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;  // stray signal; retry
       if (n <= 0) return;  // EOF or reset (or our shutdown)
       buffer.append(chunk, static_cast<std::size_t>(n));
       std::size_t pos;
@@ -382,7 +436,11 @@ struct Server::Impl {
     // queue rejects fast with a structured error rather than queueing
     // unboundedly.
     const std::string id = job.request.id;
-    if (!queue->TryPush(std::move(job))) {
+    // The injected queue fault models admission pressure: the client
+    // gets the same structured overloaded error a real full queue sends.
+    const bool pushed = CWM_FAILPOINT_STATUS("serve.queue_push").ok() &&
+                        queue->TryPush(std::move(job));
+    if (!pushed) {
       RejectedCounter().Add(1);
       const ServeErrorCode code = queue->closed()
                                       ? ServeErrorCode::kCancelled

@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "store/graph_store.h"
 #include "store/mapped_file.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 
 namespace cwm {
@@ -83,6 +84,7 @@ StatusOr<std::unique_ptr<ArtifactCache>> ArtifactCache::Open(
   if (root.empty()) {
     return Status::InvalidArgument("artifact cache root is empty");
   }
+  CWM_FAILPOINT("cache.open");
   std::error_code ec;
   fs::create_directories(fs::path(root) / "graphs", ec);
   if (!ec) fs::create_directories(fs::path(root) / "rr", ec);
@@ -90,14 +92,22 @@ StatusOr<std::unique_ptr<ArtifactCache>> ArtifactCache::Open(
     return Status::IOError("cannot create cache directories under " + root +
                            ": " + ec.message());
   }
-  // Touch every cache.* counter so a `--metrics` dump always carries the
-  // full family once a cache is open — a zero is data ("no hits"), an
-  // absent name is not.
+  // Touch every cache.* and degraded-mode counter so a `--metrics` dump
+  // always carries the full family once a cache is open — a zero is data
+  // ("no degradations"), an absent name is not.
   GraphHitsCounter();
   GraphMissesCounter();
   RrHitsCounter();
   RrMissesCounter();
   BytesWrittenCounter();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("cache.quarantined");
+  registry.GetCounter("store.degraded.events");
+  registry.GetCounter("store.degraded.heap_loads");
+  registry.GetCounter("store.degraded.graph_rebuilds");
+  registry.GetCounter("store.degraded.rr_resamples");
+  registry.GetCounter("store.degraded.cache_write_off");
+  registry.GetCounter("store.degraded.cache_disabled");
   return std::unique_ptr<ArtifactCache>(new ArtifactCache(std::move(root)));
 }
 
@@ -126,7 +136,12 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
     if (stored.has_value() && *stored == recipe) {
       CWM_TRACE_SPAN("store.open_graph");
       uint64_t stored_hash = 0;
-      StatusOr<Graph> opened = OpenGraphFile(path, &stored_hash);
+      StatusOr<Graph> opened = [&]() -> StatusOr<Graph> {
+        if (Status s = CWM_FAILPOINT_STATUS("cache.graph.load"); !s.ok()) {
+          return s;
+        }
+        return OpenGraphFile(path, &stored_hash);
+      }();
       if (opened.ok()) {
         if (content_hash != nullptr) {
           // Old entries (pre-content-hash header) report 0: compute the
@@ -141,7 +156,17 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
         ++stats_.graph_hits;
         return opened;
       }
-      // Corrupt entry (e.g. torn disk): fall through and rebuild.
+      // Corrupt entry (torn disk, bit rot): move it aside and rebuild
+      // from the recipe below — the rebuild is bit-identical by the
+      // content-addressing contract.
+      (void)QuarantineEntry(path);
+      NoteDegradedEvent("store.degraded.graph_rebuilds");
+    } else if (!stored.has_value()) {
+      // The entry exists but its recipe sidecar is missing or unreadable:
+      // without it a hit can never be validated, so the entry is dead
+      // weight — quarantine and rebuild.
+      (void)QuarantineEntry(path);
+      NoteDegradedEvent("store.degraded.graph_rebuilds");
     }
   }
 
@@ -151,14 +176,21 @@ StatusOr<Graph> ArtifactCache::GetOrBuildGraph(
   const uint64_t recipe_hash = Fnv1a64(recipe);
   const uint64_t built_hash = GraphContentHash(built.value());
   if (content_hash != nullptr) *content_hash = built_hash;
-  const Status write =
-      WriteGraphFile(built.value(), path, recipe_hash, built_hash);
+  Status write = writes_enabled()
+                     ? CWM_FAILPOINT_STATUS("cache.graph.store")
+                     : Status::FailedPrecondition("cache writes disabled");
+  if (write.ok()) {
+    write = WriteGraphFile(built.value(), path, recipe_hash, built_hash);
+  }
   if (write.ok()) {
     const ByteSection section{recipe.data(), recipe.size()};
-    (void)WriteFileAtomic(recipe_path, {&section, 1});
+    const Status sidecar = WriteFileAtomic(recipe_path, {&section, 1});
+    if (!sidecar.ok()) DisableWrites(sidecar);
+  } else if (writes_enabled()) {
+    DisableWrites(write);
   }
   // A failed store is not a failed build: return the graph regardless and
-  // let the next run retry the write.
+  // continue uncached.
   GraphMissesCounter().Add(1);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.graph_misses;
@@ -180,12 +212,26 @@ std::optional<RrEraData> ArtifactCache::LoadRrEra(uint64_t recipe_hash,
   const std::string path = RrPathFor(recipe_hash);
   std::error_code ec;
   if (fs::exists(path, ec)) {
-    StatusOr<RrEraData> opened = OpenRrFile(path, &expect, num_nodes);
+    StatusOr<RrEraData> opened = [&]() -> StatusOr<RrEraData> {
+      if (Status s = CWM_FAILPOINT_STATUS("cache.rr.load"); !s.ok()) {
+        return s;
+      }
+      return OpenRrFile(path, &expect, num_nodes);
+    }();
     if (opened.ok()) {
       RrHitsCounter().Add(1);
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.rr_hits;
       return std::move(opened).value();
+    }
+    // NotFound = provenance mismatch (hash collision or stale key): a
+    // plain miss; the entry is wrong-for-us, not broken. Anything else
+    // means the file existed but could not be used — quarantine it and
+    // let the pipeline resample the era (bit-identical: the sampler's
+    // RNG streams never depend on the cache).
+    if (opened.status().code() != Status::Code::kNotFound) {
+      (void)QuarantineEntry(path);
+      NoteDegradedEvent("store.degraded.rr_resamples");
     }
   }
   RrMissesCounter().Add(1);
@@ -212,7 +258,12 @@ Status ArtifactCache::StoreRrEra(uint64_t recipe_hash,
       existing.value().era_start == provenance.era_start) {
     return Status::OK();
   }
-  const Status status = WriteRrFile(rr, provenance, path);
+  if (!writes_enabled()) {
+    return Status::FailedPrecondition("cache writes disabled");
+  }
+  Status status = CWM_FAILPOINT_STATUS("cache.rr.store");
+  if (status.ok()) status = WriteRrFile(rr, provenance, path);
+  if (!status.ok()) DisableWrites(status);
   if (status.ok()) {
     std::error_code ec;
     const uint64_t bytes = fs::file_size(path, ec);
@@ -281,12 +332,15 @@ GcResult ArtifactCache::Gc(uint64_t max_bytes) {
   constexpr auto kStaleTmpAge = std::chrono::hours(1);
   const auto now = fs::file_time_type::clock::now();
   std::error_code ec;
-  for (const char* sub : {"graphs", "rr", "edge-hashes"}) {
+  for (const char* sub : {"graphs", "rr", "edge-hashes", "quarantine"}) {
     fs::directory_iterator it(fs::path(root_) / sub, ec);
     if (ec) continue;
     for (const fs::directory_entry& file : it) {
       const std::string name = file.path().filename().string();
-      bool reclaimable = name.find(".tmp.") != std::string::npos;
+      // Quarantined entries are evidence, not cache state: keep them
+      // long enough for doctor to look, then reclaim like stale temps.
+      bool reclaimable = name.find(".tmp.") != std::string::npos ||
+                         std::string_view(sub) == "quarantine";
       if (!reclaimable && file.path().extension() == ".recipe") {
         // A sidecar whose .cwg is gone (interrupted eviction, manual
         // delete) is invisible to List(); reclaim it once stale.
@@ -341,6 +395,58 @@ GcResult ArtifactCache::Gc(uint64_t max_bytes) {
     ++result.files_removed;
   }
   return result;
+}
+
+std::string ArtifactCache::QuarantineDir() const {
+  return (fs::path(root_) / "quarantine").string();
+}
+
+Status ArtifactCache::QuarantineEntry(const std::string& path) {
+  const fs::path source(path);
+  const fs::path dir(QuarantineDir());
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (!ec) fs::rename(source, dir / source.filename(), ec);
+  if (ec) {
+    // Cannot move it aside (read-only filesystem?): removing unblocks
+    // the rebuild at the cost of the evidence.
+    std::error_code remove_ec;
+    fs::remove(source, remove_ec);
+    if (remove_ec) {
+      return Status::IOError("cannot quarantine " + path + ": " +
+                             ec.message());
+    }
+  }
+  if (source.extension() == ".cwg") {
+    // The sidecar travels with its entry; a leftover .recipe would pair
+    // with the rebuilt .cwg anyway (same recipe), but moving both keeps
+    // quarantine/ self-describing for doctor.
+    const fs::path recipe = fs::path(source).replace_extension(".recipe");
+    std::error_code side_ec;
+    if (fs::exists(recipe, side_ec)) {
+      fs::rename(recipe, dir / recipe.filename(), side_ec);
+      if (side_ec) fs::remove(recipe, side_ec);
+    }
+  }
+  NoteDegradedEvent("cache.quarantined");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.quarantined;
+  return Status::OK();
+}
+
+void ArtifactCache::DisableWrites(const Status& cause) {
+  bool expected = true;
+  if (!writes_enabled_.compare_exchange_strong(expected, false,
+                                               std::memory_order_relaxed)) {
+    return;  // already disabled; first failure already reported
+  }
+  NoteDegradedEvent("store.degraded.cache_write_off");
+  std::fprintf(stderr,
+               "cwm: artifact cache now read-only after write failure: "
+               "%s (continuing uncached; results are unaffected)\n",
+               cause.ToString().c_str());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.writes_disabled = true;
 }
 
 CacheStats ArtifactCache::stats() const {

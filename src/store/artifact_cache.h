@@ -16,6 +16,19 @@
 //   <root>/graphs/<hex16>.recipe    the recipe string (collision guard +
 //                                   human-readable `cwm_data list`)
 //   <root>/rr/<hex16>.cwr           RR collection (store/rr_store.h)
+//   <root>/quarantine/              entries that failed to open (torn
+//                                   write, bit rot): moved aside — never
+//                                   deleted in the serving path — so the
+//                                   rebuild can proceed and `cwm_data
+//                                   doctor` can examine the evidence
+//
+// Degraded-mode contract (docs/robustness.md): a read failure quarantines
+// the entry and the caller rebuilds/resamples from the recipe — bytes
+// identical to a healthy hit, because RNG streams never depend on the
+// cache. A write failure (ENOSPC, EROFS, permissions) flips the cache to
+// read-only for the rest of the process; every later store is skipped and
+// allocations continue uncached. Both paths count store.degraded.* /
+// cache.quarantined metrics.
 //
 // Writes are atomic (temp + rename), so concurrent sweep workers may race
 // on a key safely: both compute identical bytes and the loser's rename
@@ -25,6 +38,7 @@
 #ifndef CWM_STORE_ARTIFACT_CACHE_H_
 #define CWM_STORE_ARTIFACT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -47,6 +61,8 @@ struct CacheStats {
   uint64_t rr_hits = 0;
   uint64_t rr_misses = 0;
   uint64_t bytes_written = 0;
+  uint64_t quarantined = 0;     ///< unreadable entries moved aside
+  bool writes_disabled = false; ///< a write failed; cache is read-only now
 };
 
 /// One cache entry as reported by List().
@@ -105,8 +121,22 @@ class ArtifactCache {
 
   /// Deletes oldest-first (by mtime) until total size <= max_bytes.
   /// Also reclaims stale `*.tmp.*` files (> 1 hour old) left behind by
-  /// writers killed mid-publication.
+  /// writers killed mid-publication, and quarantined entries older than
+  /// the same threshold (doctor has had its chance to look).
   GcResult Gc(uint64_t max_bytes);
+
+  /// Moves an unreadable entry (and a graph's .recipe sidecar) into
+  /// <root>/quarantine/ so a rebuild can publish a fresh one and doctor
+  /// can examine the bytes; deletes it if the move itself fails. Counts
+  /// cache.quarantined. Public for `cwm_data doctor`.
+  Status QuarantineEntry(const std::string& path);
+
+  std::string QuarantineDir() const;
+
+  /// False once a write failure flipped the cache to read-only.
+  bool writes_enabled() const {
+    return writes_enabled_.load(std::memory_order_relaxed);
+  }
 
   CacheStats stats() const;
 
@@ -115,7 +145,12 @@ class ArtifactCache {
 
   std::string RrPathFor(uint64_t recipe_hash) const;
 
+  /// First write failure wins: logs once, flips writes_enabled_ off,
+  /// counts store.degraded.cache_write_off.
+  void DisableWrites(const Status& cause);
+
   std::string root_;
+  std::atomic<bool> writes_enabled_{true};
   mutable std::mutex mutex_;
   CacheStats stats_;
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "store/mapped_file.h"
+#include "support/failpoint.h"
 
 namespace cwm {
 
@@ -58,6 +59,7 @@ struct OpenedGraph {
 
 /// Maps `path` and validates structure; shared by Open and Verify.
 StatusOr<OpenedGraph> MapAndValidate(const std::string& path) {
+  CWM_FAILPOINT("store.graph.validate");
   StatusOr<MappedFile> mapped = MappedFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   auto mapping =

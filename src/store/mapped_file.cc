@@ -8,6 +8,9 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "support/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define CWM_HAVE_MMAP 1
 #include <fcntl.h>
@@ -43,9 +46,35 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   return *this;
 }
 
+#if CWM_HAVE_MMAP
+namespace {
+
+/// Degraded fallback when mmap is refused (vm.max_map_count pressure,
+/// injected fault): read the whole file through the fd instead. Slower
+/// (no page sharing, eager I/O) but byte-identical.
+Status ReadIntoHeap(int fd, const std::string& path, std::byte* buffer,
+                    std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, buffer + got, size - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      delete[] buffer;
+      return Status::IOError("short read of " + path + ": " + ErrnoString());
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  NoteDegradedEvent("store.degraded.heap_loads");
+  return Status::OK();
+}
+
+}  // namespace
+#endif
+
 StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
   MappedFile file;
   file.path_ = path;
+  CWM_FAILPOINT("store.mapped_file.open");
 #if CWM_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -60,15 +89,23 @@ StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
   }
   file.size_ = static_cast<std::size_t>(st.st_size);
   if (file.size_ > 0) {
-    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
-    if (addr == MAP_FAILED) {
-      const Status status =
-          Status::IOError("cannot mmap " + path + ": " + ErrnoString());
-      ::close(fd);
-      return status;
+    void* addr = MAP_FAILED;
+    if (CWM_FAILPOINT_STATUS("store.mapped_file.mmap").ok()) {
+      addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
     }
-    file.data_ = static_cast<std::byte*>(addr);
-    file.mapped_ = true;
+    if (addr != MAP_FAILED) {
+      file.data_ = static_cast<std::byte*>(addr);
+      file.mapped_ = true;
+    } else {
+      std::byte* buffer = new std::byte[file.size_];
+      const Status read = ReadIntoHeap(fd, path, buffer, file.size_);
+      if (!read.ok()) {
+        ::close(fd);
+        return read;
+      }
+      file.data_ = buffer;
+      file.mapped_ = false;
+    }
   }
   ::close(fd);
   return file;
@@ -123,10 +160,16 @@ Status WriteFileAtomic(const std::string& path,
 #endif
   const std::string tmp = path + ".tmp." + std::to_string(writer_id) + "." +
                           std::to_string(tmp_counter.fetch_add(1));
+  CWM_FAILPOINT("store.write.open");
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot open " + tmp + " for writing: " +
                            ErrnoString());
+  }
+  if (Status s = CWM_FAILPOINT_STATUS("store.write.write"); !s.ok()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return s;
   }
   for (const ByteSection& section : sections) {
     if (section.size == 0) continue;
@@ -141,6 +184,11 @@ Status WriteFileAtomic(const std::string& path,
     std::remove(tmp.c_str());
     return Status::IOError("cannot flush " + tmp);
   }
+  if (Status s = CWM_FAILPOINT_STATUS("store.write.fsync"); !s.ok()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return s;
+  }
 #if CWM_HAVE_MMAP
   // Data must be durable before the rename publishes it; otherwise a
   // crash could leave a complete-looking but empty file at `path`.
@@ -153,6 +201,10 @@ Status WriteFileAtomic(const std::string& path,
   if (std::fclose(f) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError("cannot close " + tmp);
+  }
+  if (Status s = CWM_FAILPOINT_STATUS("store.write.rename"); !s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
   }
   // std::filesystem::rename replaces an existing destination on every
   // platform (plain std::rename does not on Windows), which the

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "store/mapped_file.h"
+#include "support/failpoint.h"
 
 namespace cwm {
 
@@ -35,6 +36,7 @@ struct OpenedRr {
 };
 
 StatusOr<OpenedRr> MapAndValidate(const std::string& path) {
+  CWM_FAILPOINT("store.rr.validate");
   StatusOr<MappedFile> mapped = MappedFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   OpenedRr opened;

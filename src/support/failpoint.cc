@@ -1,0 +1,254 @@
+#include "support/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace cwm {
+
+namespace {
+
+// The canonical inventory of injection sites. Every CWM_FAILPOINT(_STATUS)
+// call in src/ must name an entry here, docs/robustness.md tables the same
+// set, and scripts/check_docs.sh diffs all three. Keep one name per line
+// between the BEGIN/END markers — the gate parses this block textually.
+// BEGIN_FAILPOINT_INVENTORY
+const char* const kFailpointInventory[] = {
+    "cache.graph.load",
+    "cache.graph.store",
+    "cache.open",
+    "cache.rr.load",
+    "cache.rr.store",
+    "serve.accept",
+    "serve.queue_push",
+    "serve.recv",
+    "serve.send",
+    "store.graph.validate",
+    "store.mapped_file.mmap",
+    "store.mapped_file.open",
+    "store.rr.validate",
+    "store.write.fsync",
+    "store.write.open",
+    "store.write.rename",
+    "store.write.write",
+};
+// END_FAILPOINT_INVENTORY
+
+Status SpecError(const std::string& spec, const char* what) {
+  return Status::InvalidArgument("failpoint spec '" + spec + "': " + what);
+}
+
+Status InjectedStatus(Status::Code code, const char* name) {
+  std::string msg =
+      std::string("injected failure at failpoint '") + name + "'";
+  switch (code) {
+    case Status::Code::kCorruption: return Status::Corruption(std::move(msg));
+    case Status::Code::kNotFound: return Status::NotFound(std::move(msg));
+    case Status::Code::kCancelled: return Status::Cancelled(std::move(msg));
+    default: return Status::IOError(std::move(msg));
+  }
+}
+
+}  // namespace
+
+namespace failpoint_internal {
+
+std::atomic<int> g_armed{0};
+
+Status Fire(const char* name) { return FailpointRegistry::Global().Fire(name); }
+
+}  // namespace failpoint_internal
+
+FailpointRegistry::FailpointRegistry() {
+  for (const char* name : kFailpointInventory) points_.emplace(name, State{});
+  if (const char* env = std::getenv("CWM_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    if (!kFailpointsCompiledIn) {
+      std::fprintf(stderr,
+                   "cwm: CWM_FAILPOINTS set but failpoints are compiled "
+                   "out (-DCWM_FAILPOINTS=OFF); ignoring\n");
+      return;
+    }
+    if (const Status installed = InstallFromSpec(env); !installed.ok()) {
+      // Report and continue: an injection typo must not take down the
+      // process it was meant to harden.
+      std::fprintf(stderr, "cwm: CWM_FAILPOINTS: %s\n",
+                   installed.ToString().c_str());
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+// Constructing the registry at static-init time (not first Fire) makes
+// the env var authoritative even for processes whose first armed check
+// happens on a hot path that skips Global() while g_armed is zero.
+namespace {
+const bool g_env_installed = (FailpointRegistry::Global(), true);
+}  // namespace
+
+Status FailpointRegistry::Set(const std::string& name,
+                              const std::string& spec) {
+  // Grammar: [COUNT*]KIND[(ARG)]
+  std::string body = spec;
+  int64_t count = -1;
+  if (const std::size_t star = body.find('*'); star != std::string::npos) {
+    char* end = nullptr;
+    count = std::strtol(body.c_str(), &end, 10);
+    if (end != body.c_str() + star || count < 1) {
+      return SpecError(spec, "count must be a positive integer before '*'");
+    }
+    body = body.substr(star + 1);
+  }
+  std::string arg;
+  if (const std::size_t paren = body.find('('); paren != std::string::npos) {
+    if (body.back() != ')') return SpecError(spec, "unterminated '('");
+    arg = body.substr(paren + 1, body.size() - paren - 2);
+    body = body.substr(0, paren);
+  }
+
+  State state;
+  state.remaining = count;
+  if (body == "off") {
+    state.kind = State::Kind::kOff;
+  } else if (body == "error") {
+    state.kind = State::Kind::kError;
+    if (arg.empty() || arg == "io") {
+      state.error_code = Status::Code::kIOError;
+    } else if (arg == "corruption") {
+      state.error_code = Status::Code::kCorruption;
+    } else if (arg == "notfound") {
+      state.error_code = Status::Code::kNotFound;
+    } else if (arg == "cancelled") {
+      state.error_code = Status::Code::kCancelled;
+    } else {
+      return SpecError(spec,
+                       "error kind must be io, corruption, notfound, or "
+                       "cancelled");
+    }
+  } else if (body == "delay") {
+    state.kind = State::Kind::kDelay;
+    char* end = nullptr;
+    state.delay_ms = static_cast<int>(std::strtol(arg.c_str(), &end, 10));
+    if (arg.empty() || *end != '\0' || state.delay_ms < 0) {
+      return SpecError(spec, "delay requires milliseconds, e.g. delay(10)");
+    }
+  } else {
+    return SpecError(spec, "kind must be error, delay, or off");
+  }
+  state.spec = spec;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) {
+    std::string known;
+    for (const char* n : kFailpointInventory) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::InvalidArgument("unknown failpoint '" + name +
+                                   "'; registered: " + known);
+  }
+  const bool was_armed = it->second.kind != State::Kind::kOff;
+  state.hits = it->second.hits;
+  const bool now_armed = state.kind != State::Kind::kOff;
+  it->second = std::move(state);
+  if (was_armed != now_armed) {
+    failpoint_internal::g_armed.fetch_add(now_armed ? 1 : -1,
+                                          std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Clear(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return;
+  if (it->second.kind != State::Kind::kOff) {
+    failpoint_internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second.kind = State::Kind::kOff;
+  it->second.spec.clear();
+}
+
+void FailpointRegistry::ClearAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, state] : points_) {
+    if (state.kind != State::Kind::kOff) {
+      failpoint_internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+    state = State{};
+  }
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<FailpointInfo> FailpointRegistry::List() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FailpointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    out.push_back({name, state.spec, state.hits});
+  }
+  return out;  // map iteration order = name-sorted
+}
+
+Status FailpointRegistry::InstallFromSpec(const std::string& specs) {
+  std::size_t start = 0;
+  while (start < specs.size()) {
+    std::size_t end = specs.find_first_of(";,", start);
+    if (end == std::string::npos) end = specs.size();
+    const std::string entry = specs.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return SpecError(entry, "expected NAME=POLICY");
+    }
+    if (const Status set = Set(entry.substr(0, eq), entry.substr(eq + 1));
+        !set.ok()) {
+      return set;
+    }
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::Fire(const char* name) {
+  int delay_ms = -1;
+  Status injected = Status::OK();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(std::string_view(name));
+    if (it == points_.end() || it->second.kind == State::Kind::kOff) {
+      return Status::OK();
+    }
+    State& state = it->second;
+    ++state.hits;
+    if (state.remaining > 0 && --state.remaining == 0) {
+      // Trigger count exhausted: this firing still applies, then disarm.
+      state.kind = State::Kind::kOff;
+      failpoint_internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (state.kind == State::Kind::kDelay ||
+        (state.kind == State::Kind::kOff && state.delay_ms > 0)) {
+      delay_ms = state.delay_ms;
+    } else {
+      injected = InjectedStatus(state.error_code, name);
+    }
+  }
+  if (delay_ms >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return Status::OK();
+  }
+  return injected;
+}
+
+}  // namespace cwm

@@ -1,0 +1,148 @@
+// Failpoint fault injection: named sites at every fallible I/O boundary
+// (store opens, mmaps, writes, fsyncs, renames; serve accept/recv/send)
+// that tests and CI can arm with an error or delay policy, so degraded
+// paths are exercised deterministically instead of waiting for a real
+// torn disk or ENOSPC.
+//
+// A site is a macro call naming an entry of the static inventory in
+// failpoint.cc (the registry rejects unknown names, so a typo'd site
+// cannot silently never fire):
+//
+//   Status DoWrite(...) {
+//     CWM_FAILPOINT("store.write.fsync");   // early-returns the injected
+//     ...                                    // Status when armed
+//   }
+//
+//   // Expression form, for sites with custom fallback handling:
+//   if (Status s = CWM_FAILPOINT_STATUS("store.mapped_file.mmap"); !s.ok())
+//     ... fall back to a heap read ...
+//
+// Policies follow the grammar `NAME=[COUNT*]KIND[(ARG)]`, joined by ';':
+//
+//   CWM_FAILPOINTS="store.write.fsync=error;cache.rr.load=2*error(corruption);serve.send=1*error;store.mapped_file.mmap=delay(10)"
+//
+//   error[(io|corruption|notfound|cancelled)]   return that Status code
+//   delay(MS)                                   sleep, then succeed
+//   off                                         disarm
+//   COUNT*                                      fire COUNT times, then off
+//
+// The env var is parsed once at process start; tests use the Set/Clear
+// API directly. Unarmed sites cost one relaxed atomic load of a global
+// armed-site count; when CWM_FAILPOINTS_ENABLED is not defined (CMake
+// -DCWM_FAILPOINTS=OFF) both macros compile to nothing at all.
+#ifndef CWM_SUPPORT_FAILPOINT_H_
+#define CWM_SUPPORT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace cwm {
+
+#if defined(CWM_FAILPOINTS_ENABLED)
+inline constexpr bool kFailpointsCompiledIn = true;
+#else
+inline constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+namespace failpoint_internal {
+/// Number of currently armed sites; the macros' fast path.
+extern std::atomic<int> g_armed;
+
+/// Slow path behind the macros: looks up `name` and applies its policy.
+Status Fire(const char* name);
+}  // namespace failpoint_internal
+
+/// True when at least one failpoint has an active policy.
+inline bool FailpointsArmed() {
+  if constexpr (!kFailpointsCompiledIn) return false;
+  return failpoint_internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+#if defined(CWM_FAILPOINTS_ENABLED)
+/// Evaluates to the injected Status (OK when unarmed). Expression form
+/// for sites that degrade rather than propagate.
+#define CWM_FAILPOINT_STATUS(name)                         \
+  (::cwm::FailpointsArmed() ? ::cwm::failpoint_internal::Fire(name) \
+                            : ::cwm::Status::OK())
+/// Early-returns the injected Status from the enclosing function.
+#define CWM_FAILPOINT(name)                                      \
+  do {                                                           \
+    if (::cwm::FailpointsArmed()) {                              \
+      ::cwm::Status cwm_fp_status = ::cwm::failpoint_internal::Fire(name); \
+      if (!cwm_fp_status.ok()) return cwm_fp_status;             \
+    }                                                            \
+  } while (false)
+#else
+#define CWM_FAILPOINT_STATUS(name) (::cwm::Status::OK())
+#define CWM_FAILPOINT(name) \
+  do {                      \
+  } while (false)
+#endif
+
+/// One row of List(): a registered site, its active policy spec (empty
+/// when disarmed), and how many times it has fired.
+struct FailpointInfo {
+  std::string name;
+  std::string policy;
+  uint64_t hits = 0;
+};
+
+/// The process-wide failpoint table. Every site name is pre-registered
+/// from the static inventory; Set() on an unknown name is an error.
+class FailpointRegistry {
+ public:
+  /// The singleton. First access installs policies from CWM_FAILPOINTS
+  /// (malformed entries are reported on stderr and skipped — a typo'd
+  /// injection must not take down the process it was meant to harden).
+  static FailpointRegistry& Global();
+
+  /// Arms `name` with `spec` ("[COUNT*]KIND[(ARG)]"; see header comment).
+  /// InvalidArgument on unknown name or malformed spec.
+  Status Set(const std::string& name, const std::string& spec);
+
+  /// Disarms `name` (keeps its hit count). Unknown names are ignored.
+  void Clear(const std::string& name);
+
+  /// Disarms every site and zeroes hit counts (test isolation).
+  void ClearAll();
+
+  /// Times `name` has fired (applied its policy) since process start.
+  uint64_t HitCount(const std::string& name) const;
+
+  /// Every registered site, name-sorted (`cwm_run --list-failpoints`).
+  std::vector<FailpointInfo> List() const;
+
+  /// Parses "name=spec;name=spec" (';' or ',' separated) and arms each.
+  /// Stops at the first bad entry and returns its error.
+  Status InstallFromSpec(const std::string& specs);
+
+ private:
+  friend Status failpoint_internal::Fire(const char* name);
+
+  struct State {
+    enum class Kind { kOff, kError, kDelay };
+    Kind kind = Kind::kOff;
+    Status::Code error_code = Status::Code::kIOError;
+    int delay_ms = 0;
+    int64_t remaining = -1;  ///< fires left; -1 = unlimited
+    uint64_t hits = 0;
+    std::string spec;  ///< original text, for List()
+  };
+
+  FailpointRegistry();
+
+  Status Fire(const char* name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, State, std::less<>> points_;
+};
+
+}  // namespace cwm
+
+#endif  // CWM_SUPPORT_FAILPOINT_H_

@@ -3,6 +3,11 @@
 // boundary conditions, and failure-injection on the fallible paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "algo/seq_grd.h"
@@ -14,8 +19,12 @@
 #include "graph/loader.h"
 #include "rrset/imm.h"
 #include "rrset/prima_plus.h"
+#include "obs/metrics.h"
 #include "simulate/estimator.h"
 #include "simulate/uic_simulator.h"
+#include "store/artifact_cache.h"
+#include "store/format.h"
+#include "support/failpoint.h"
 
 namespace cwm {
 namespace {
@@ -252,6 +261,124 @@ TEST(ExposureAccountingTest, DesireTracksBlockedItems) {
   const WorldOutcome out =
       sim.RunWorld(alloc, EdgeWorld{1}, WorldUtilityTable(c, {0.0, 0.0}));
   EXPECT_EQ(out.one_sided_exposure_01, 3u);
+}
+
+// ---- Failpoint machinery ----------------------------------------------
+
+TEST(FailpointTest, UnknownNamesAndBadSpecsAreRejected) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  EXPECT_FALSE(failpoints.Set("no.such.site", "error").ok());
+  EXPECT_FALSE(failpoints.Set("store.write.fsync", "bogus").ok());
+  EXPECT_FALSE(failpoints.Set("store.write.fsync", "error(bogus)").ok());
+  EXPECT_FALSE(failpoints.Set("store.write.fsync", "delay(-1)").ok());
+  EXPECT_FALSE(failpoints.Set("store.write.fsync", "0x*error").ok());
+  EXPECT_FALSE(FailpointsArmed());
+}
+
+TEST(FailpointTest, CountedErrorFiresThenDisarms) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(
+      failpoints.Set("store.write.fsync", "2*error(corruption)").ok());
+  EXPECT_TRUE(FailpointsArmed());
+  const uint64_t before = failpoints.HitCount("store.write.fsync");
+
+  EXPECT_EQ(failpoint_internal::Fire("store.write.fsync").code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(failpoint_internal::Fire("store.write.fsync").code(),
+            Status::Code::kCorruption);
+  // Exhausted: the site disarmed itself and later calls pass through.
+  EXPECT_TRUE(failpoint_internal::Fire("store.write.fsync").ok());
+  EXPECT_EQ(failpoints.HitCount("store.write.fsync"), before + 2);
+  EXPECT_FALSE(FailpointsArmed());
+}
+
+TEST(FailpointTest, DelayPolicySleepsThenSucceeds) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(failpoints.Set("serve.send", "1*delay(20)").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(failpoint_internal::Fire("serve.send").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            20);
+  EXPECT_FALSE(FailpointsArmed());  // 1* exhausted
+}
+
+TEST(FailpointTest, InstallFromSpecListAndClearAll) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(failpoints
+                  .InstallFromSpec("cache.rr.load=error(notfound);"
+                                   "store.write.rename=3*error")
+                  .ok());
+  bool saw_load = false, saw_rename = false;
+  for (const FailpointInfo& info : failpoints.List()) {
+    if (info.name == "cache.rr.load") {
+      saw_load = true;
+      EXPECT_EQ(info.policy, "error(notfound)");
+    }
+    if (info.name == "store.write.rename") {
+      saw_rename = true;
+      EXPECT_EQ(info.policy, "3*error");
+    }
+  }
+  EXPECT_TRUE(saw_load);
+  EXPECT_TRUE(saw_rename);
+  // The first bad entry stops the parse and reports which one.
+  EXPECT_FALSE(failpoints.InstallFromSpec("cache.rr.load=error;oops").ok());
+
+  failpoints.ClearAll();
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_EQ(failpoints.HitCount("cache.rr.load"), 0u);
+  for (const FailpointInfo& info : failpoints.List()) {
+    EXPECT_TRUE(info.policy.empty()) << info.name;
+  }
+}
+
+// ---- Degraded-mode end-to-end -----------------------------------------
+
+// A warm cache whose every RR read fails mid-run must resample and land
+// on bit-identical results — the cache is an accelerator, never an
+// input — while counting each fallback in store.degraded.rr_resamples.
+TEST(FailpointTest, RrLoadFailureResamplesBitIdentically) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  const Graph g = WithWeightedCascade(BarabasiAlbert(400, 3, 21));
+
+  ImmParams params;
+  params.seed = 0xFA11;
+  params.num_threads = 2;
+  const ImmResult uncached = Imm(g, 8, params);
+
+  static const uint64_t token = std::random_device{}();
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("cwm_robust_" + std::to_string(token));
+  StatusOr<std::unique_ptr<ArtifactCache>> cache =
+      ArtifactCache::Open(dir.string());
+  ASSERT_TRUE(cache.ok());
+  params.cache = cache.value().get();
+  params.graph_hash = GraphContentHash(g);
+  const ImmResult cold = Imm(g, 8, params);
+
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(failpoints.Set("cache.rr.load", "error(corruption)").ok());
+  Counter& resamples =
+      MetricsRegistry::Global().GetCounter("store.degraded.rr_resamples");
+  const uint64_t before = resamples.value();
+  const ImmResult degraded = Imm(g, 8, params);
+  failpoints.Clear("cache.rr.load");
+
+  EXPECT_GT(resamples.value(), before);
+  EXPECT_GT(cache.value()->stats().quarantined, 0u);
+  for (const ImmResult* other : {&cold, &degraded}) {
+    ASSERT_EQ(uncached.seeds, other->seeds);
+    ASSERT_EQ(uncached.rr_count, other->rr_count);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "serve/protocol.h"
 #include "serve/queue.h"
 #include "serve/server.h"
+#include "support/failpoint.h"
 
 namespace cwm {
 namespace {
@@ -302,6 +305,9 @@ std::string Canonical(const JsonValue& value) {
             key.compare(key.size() - 8, 8, "_seconds") == 0) {
           continue;  // wall-clock noise, not payload
         }
+        // "degraded" flags a storage fallback that is bit-identical by
+        // contract — a degraded response must still match a healthy one.
+        if (key == "degraded") continue;
         if (!first) out += ',';
         first = false;
         AppendJsonString(&out, key);
@@ -527,6 +533,48 @@ TEST(ServeServerTest, FullQueueRejectsWithOverloaded) {
 
   EXPECT_EQ(ErrorCodeOf(busy.ReadLine()), "deadline_exceeded");
   server.value()->Shutdown();
+}
+
+// Degraded-mode serving: a cache whose RR reads fail mid-request makes
+// the worker resample — the response carries "degraded": true but an
+// otherwise bit-identical payload; injected transport faults on the
+// send path are retried until the response reaches the client.
+TEST(ServeServerTest, DegradedResponsesAreFlaggedAndBitIdentical) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  ServeConfig config = TestServeConfig();
+  static const uint64_t token = std::random_device{}();
+  const std::filesystem::path cache_dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("cwm_serve_degraded_" + std::to_string(token));
+  config.cache_dir = cache_dir.string();
+  StatusOr<std::unique_ptr<Server>> server = Server::Start(config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Client client(server.value()->port());
+
+  // Healthy pass warms the cache; the response must not carry the flag.
+  const std::string request = SmallRequest("warm", "SeqGRD-NM", 9);
+  client.Send(request);
+  const std::string healthy = client.ReadLine();
+  ASSERT_FALSE(healthy.empty());
+  EXPECT_EQ(FieldOf(healthy, "ok"), "true") << healthy;
+  EXPECT_EQ(FieldOf(healthy, "degraded"), "") << healthy;
+
+  // Same payload with every warm RR read failing and one injected send
+  // fault: flagged degraded, payload identical, response still delivered.
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(failpoints.Set("cache.rr.load", "error(corruption)").ok());
+  ASSERT_TRUE(failpoints.Set("serve.send", "1*error").ok());
+  client.Send(request);
+  const std::string degraded = client.ReadLine();
+  failpoints.Clear("cache.rr.load");
+  failpoints.Clear("serve.send");
+  ASSERT_FALSE(degraded.empty());
+  EXPECT_EQ(FieldOf(degraded, "degraded"), "true") << degraded;
+  EXPECT_EQ(CanonicalResponse(degraded), CanonicalResponse(healthy));
+
+  server.value()->Shutdown();
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
 }
 
 TEST(ServeServerTest, GracefulShutdownDrainsInFlightRequests) {

@@ -31,6 +31,7 @@
 #include "store/graph_store.h"
 #include "store/mapped_file.h"
 #include "store/rr_store.h"
+#include "support/failpoint.h"
 
 namespace cwm {
 namespace {
@@ -726,6 +727,136 @@ TEST_F(StoreTest, WriteFileAtomicReplacesAndNeverTears) {
     ++files;
   }
   EXPECT_EQ(files, 1u);
+}
+
+// Torn-write robustness: a .cwg cut at every 1/8 of its length — plus a
+// cut inside the header itself — must come back as a clean Status from
+// Open and Verify, never a crash. These are the byte patterns a torn
+// rename or a power cut mid-write leaves behind.
+TEST_F(StoreTest, TruncatedGraphFileFailsCleanly) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(300, 3, 13));
+  const std::string path = Path("whole.cwg");
+  ASSERT_TRUE(WriteGraphFile(g, path).ok());
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  const std::size_t size = mapped.value().size();
+
+  std::vector<std::size_t> cuts = {sizeof(GraphFileHeader) / 2};
+  for (std::size_t i = 1; i < 8; ++i) cuts.push_back(size * i / 8);
+  for (const std::size_t keep : cuts) {
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " of " +
+                 std::to_string(size) + " bytes");
+    const std::string cut = Path("cut.cwg");
+    std::ofstream(cut, std::ios::binary)
+        .write(reinterpret_cast<const char*>(mapped.value().data()),
+               static_cast<std::streamsize>(keep));
+    EXPECT_FALSE(OpenGraphFile(cut).ok());
+    EXPECT_FALSE(VerifyGraphFile(cut).ok());
+  }
+}
+
+TEST_F(StoreTest, TruncatedRrFileFailsCleanly) {
+  const Graph g = WithWeightedCascade(BarabasiAlbert(200, 2, 19));
+  const RrCollection rr = SampleCollection(g, 150, /*with_empty=*/true);
+  const std::string path = Path("whole.cwr");
+  ASSERT_TRUE(WriteRrFile(rr, {}, path).ok());
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  const std::size_t size = mapped.value().size();
+
+  std::vector<std::size_t> cuts = {sizeof(RrFileHeader) / 2};
+  for (std::size_t i = 1; i < 8; ++i) cuts.push_back(size * i / 8);
+  for (const std::size_t keep : cuts) {
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " of " +
+                 std::to_string(size) + " bytes");
+    const std::string cut = Path("cut.cwr");
+    std::ofstream(cut, std::ios::binary)
+        .write(reinterpret_cast<const char*>(mapped.value().data()),
+               static_cast<std::streamsize>(keep));
+    EXPECT_FALSE(OpenRrFile(cut).ok());
+    EXPECT_FALSE(VerifyRrFile(cut).ok());
+  }
+}
+
+// Self-healing: a corrupt cached graph is quarantined (entry + recipe
+// sidecar moved into <cache>/quarantine/) and transparently rebuilt
+// bit-identically; the rebuilt entry serves hits again afterwards.
+TEST_F(StoreTest, CacheQuarantinesCorruptEntryAndRebuilds) {
+  StatusOr<std::unique_ptr<ArtifactCache>> cache =
+      ArtifactCache::Open(Path("cache_heal"));
+  ASSERT_TRUE(cache.ok());
+
+  int builds = 0;
+  const auto build = [&]() -> StatusOr<Graph> {
+    ++builds;
+    return WithWeightedCascade(BarabasiAlbert(400, 3, 17));
+  };
+  StatusOr<Graph> cold = cache.value()->GetOrBuildGraph("heal-recipe", build);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(builds, 1);
+
+  const std::string path = cache.value()->GraphPathFor("heal-recipe");
+  {
+    std::fstream io(path, std::ios::in | std::ios::out | std::ios::binary);
+    io.seekp(0);
+    io.put('X');  // smash the magic: the next open must fail
+  }
+
+  StatusOr<Graph> healed =
+      cache.value()->GetOrBuildGraph("heal-recipe", build);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(builds, 2);
+  ExpectGraphsBitIdentical(cold.value(), healed.value());
+  EXPECT_EQ(cache.value()->stats().quarantined, 1u);
+
+  // The broken bytes (and their sidecar) moved aside, not vanished.
+  std::size_t cwg = 0, recipe = 0;
+  for (const auto& entry :
+       fs::directory_iterator(cache.value()->QuarantineDir())) {
+    cwg += entry.path().extension() == ".cwg";
+    recipe += entry.path().extension() == ".recipe";
+  }
+  EXPECT_EQ(cwg, 1u);
+  EXPECT_EQ(recipe, 1u);
+
+  // The rebuild rewrote a valid entry: the third call is a plain hit.
+  StatusOr<Graph> warm = cache.value()->GetOrBuildGraph("heal-recipe", build);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.value()->stats().graph_hits, 1u);
+}
+
+// Degraded-mode write contract: the first failed store flips the cache
+// read-only for the process and every later allocation continues
+// uncached — a full or read-only cache disk must never fail a build.
+TEST_F(StoreTest, CacheWriteFailureFlipsReadOnlyAndContinues) {
+  if (!kFailpointsCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  ASSERT_TRUE(failpoints.Set("cache.graph.store", "1*error").ok());
+
+  StatusOr<std::unique_ptr<ArtifactCache>> cache =
+      ArtifactCache::Open(Path("cache_ro"));
+  ASSERT_TRUE(cache.ok());
+  ASSERT_TRUE(cache.value()->writes_enabled());
+
+  int builds = 0;
+  const auto build = [&]() -> StatusOr<Graph> {
+    ++builds;
+    return WithConstantProb(BarabasiAlbert(150, 2, 31), 0.1);
+  };
+  StatusOr<Graph> first = cache.value()->GetOrBuildGraph("ro-a", build);
+  ASSERT_TRUE(first.ok());  // the failed store must not fail the build
+  EXPECT_EQ(builds, 1);
+  EXPECT_FALSE(cache.value()->writes_enabled());
+  EXPECT_TRUE(cache.value()->stats().writes_disabled);
+
+  // The failpoint is exhausted, but writes stay off: later stores are
+  // skipped entirely and the cache keeps serving builds uncached.
+  StatusOr<Graph> second = cache.value()->GetOrBuildGraph("ro-b", build);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(builds, 2);
+  EXPECT_TRUE(cache.value()->List().empty());
+  failpoints.Clear("cache.graph.store");
 }
 
 TEST(StoreFormatTest, HashHelpers) {

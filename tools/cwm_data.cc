@@ -31,6 +31,13 @@
 //   cwm_data gc --cache-dir DIR --max-bytes N
 //       Deletes oldest entries until the cache fits in N bytes.
 //
+//   cwm_data doctor [--cache-dir DIR] [--repair]
+//       Health-checks every cache entry: full checksum + structural
+//       verification, plus (for graphs) a non-empty recipe sidecar.
+//       Sick entries are quarantined into <cache>/quarantine/ — the
+//       same self-healing path a running sweep takes — or deleted
+//       outright with --repair.
+//
 // --cache-dir defaults to $CWM_CACHE_DIR everywhere.
 #include <cctype>
 #include <cerrno>
@@ -64,7 +71,8 @@ int Usage(int code) {
       "       cwm_data list [--cache-dir DIR]\n"
       "       cwm_data info FILE...\n"
       "       cwm_data verify FILE... | cwm_data verify --cache-dir DIR\n"
-      "       cwm_data gc --cache-dir DIR --max-bytes N\n");
+      "       cwm_data gc --cache-dir DIR --max-bytes N\n"
+      "       cwm_data doctor [--cache-dir DIR] [--repair]\n");
   return code;
 }
 
@@ -97,7 +105,7 @@ const char* kValueFlags[] = {"--out",        "--default-prob", "--prob",
 bool ParseArgs(int argc, char** argv, Args* out) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--undirected") {
+    if (arg == "--undirected" || arg == "--repair") {
       out->switches.push_back(arg);
       continue;
     }
@@ -419,6 +427,63 @@ int CmdGc(const Args& args) {
   return 0;
 }
 
+int CmdDoctor(const Args& args) {
+  const std::string cache_dir = CacheDirOr(args);
+  if (cache_dir.empty()) {
+    std::fprintf(stderr, "doctor requires --cache-dir or CWM_CACHE_DIR\n");
+    return 2;
+  }
+  const bool repair = args.Switch("--repair");
+  StatusOr<std::unique_ptr<ArtifactCache>> cache =
+      ArtifactCache::Open(cache_dir);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<CacheEntry> entries = cache.value()->List();
+  std::size_t healthy = 0, sick = 0, quarantined = 0, deleted = 0;
+  for (const CacheEntry& entry : entries) {
+    Status status = entry.is_graph ? VerifyGraphFile(entry.path)
+                                   : VerifyRrFile(entry.path);
+    if (status.ok() && entry.is_graph && entry.recipe.empty()) {
+      // An orphaned .cwg is unreachable by recipe lookup and GetOrBuild
+      // would rebuild over it forever — treat it as sick.
+      status = Status::Corruption("missing or empty recipe sidecar");
+    }
+    if (status.ok()) {
+      ++healthy;
+      continue;
+    }
+    ++sick;
+    std::printf("SICK  %s: %s\n", entry.path.c_str(),
+                status.ToString().c_str());
+    if (repair) {
+      std::remove(entry.path.c_str());
+      if (entry.is_graph) {
+        std::remove(
+            (entry.path.substr(0, entry.path.size() - 4) + ".recipe")
+                .c_str());
+      }
+      ++deleted;
+      std::printf("      deleted\n");
+    } else {
+      const Status moved = cache.value()->QuarantineEntry(entry.path);
+      if (moved.ok()) {
+        ++quarantined;
+        std::printf("      quarantined -> %s\n",
+                    cache.value()->QuarantineDir().c_str());
+      } else {
+        std::printf("      quarantine failed: %s\n",
+                    moved.ToString().c_str());
+      }
+    }
+  }
+  std::printf("doctor: %zu entries, %zu healthy, %zu sick "
+              "(%zu quarantined, %zu deleted)\n",
+              entries.size(), healthy, sick, quarantined, deleted);
+  return sick == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -440,6 +505,7 @@ int main(int argc, char** argv) {
   }
   if (command == "verify") return CmdVerify(args);
   if (command == "gc") return CmdGc(args);
+  if (command == "doctor") return CmdDoctor(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage(2);
 }

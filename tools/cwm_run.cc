@@ -71,6 +71,7 @@
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "scenario/sweep.h"
+#include "support/failpoint.h"
 
 namespace {
 
@@ -79,6 +80,7 @@ using namespace cwm;
 int Usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s --list\n"
+               "       %s --list-failpoints\n"
                "       %s --describe <scenario>|algos\n"
                "       %s <scenario>... [--out FILE] [--csv FILE]\n"
                "         [--algos CSV] [--threads N] [--rr-threads N]\n"
@@ -87,7 +89,7 @@ int Usage(const char* argv0, int code) {
                "         [--snapshot-budget-mb N] [--no-packed]\n"
                "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n"
                "         [--trace FILE.json] [--metrics FILE.json]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return code;
 }
 
@@ -175,7 +177,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> scenario_names;
   std::string out_path, csv_path, trace_path, metrics_path, value;
-  bool list = false, quiet = false, timing = false;
+  bool list = false, list_failpoints = false, quiet = false, timing = false;
   std::string describe, algos_csv;
   SweepOptions options = EnvSweepOptions();
   uint64_t seed_override = 0;
@@ -185,6 +187,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return Usage(argv[0], 0);
     if (arg == "--list") { list = true; continue; }
+    if (arg == "--list-failpoints") { list_failpoints = true; continue; }
     if (ParseValue(argc, argv, &i, "--describe", &describe)) continue;
     if (ParseValue(argc, argv, &i, "--out", &out_path)) continue;
     if (ParseValue(argc, argv, &i, "--csv", &csv_path)) continue;
@@ -256,6 +259,14 @@ int main(int argc, char** argv) {
 
   if (list) {
     ListScenarios();
+    return 0;
+  }
+
+  if (list_failpoints) {
+    // One name per line: scripts/check_fault_injection.py iterates this.
+    for (const FailpointInfo& info : FailpointRegistry::Global().List()) {
+      std::printf("%s\n", info.name.c_str());
+    }
     return 0;
   }
 
