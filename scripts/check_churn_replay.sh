@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Churn-replay smoke gate for the dynamic-graph delta subsystem.
+#
+# Replays a deterministic churn chain through the cwm_data delta verbs
+# and asserts, at EVERY step, that the incremental artifact is
+# byte-identical to a from-scratch rebuild:
+#
+#  * step-by-step patching (g0 -> g1 -> g2 -> g3, one delta at a time)
+#    must produce the same .cwg bytes and the same .chain sidecar as
+#    applying the whole prefix in one patch invocation from the base —
+#    the recipe-hash fold is path-independent by construction
+#    (delta/overlay.h), and this gate proves it end to end through the
+#    CLI, store headers included;
+#  * compacting the incremental and the from-scratch compositions must
+#    produce byte-identical standalone artifacts with no chain sidecar;
+#  * every artifact passes `cwm_data verify`;
+#  * the `churn-replay` registry scenario (the same machinery driven
+#    declaratively via NetworkSpec::churn_steps) is bit-deterministic
+#    across thread counts.
+#
+# Usage: scripts/check_churn_replay.sh [path/to/cwm_run] [path/to/cwm_data]
+set -euo pipefail
+
+CWM_RUN="${1:-./build/cwm_run}"
+CWM_DATA="${2:-./build/cwm_data}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+STEPS=3
+EDITS=10
+
+# Base graph: the churn-replay scenario's network (tiny ER, weighted
+# cascade), synthesized into a throwaway cache and copied out as a
+# standalone artifact.
+"$CWM_DATA" build erdos-renyi --nodes 300 --degree 4 \
+  --cache-dir "$tmpdir/cache" > /dev/null
+base_cwg=$(echo "$tmpdir"/cache/graphs/*.cwg)
+cp "$base_cwg" "$tmpdir/g0.cwg"
+
+prev="$tmpdir/g0.cwg"
+deltas=()
+for step in $(seq 1 "$STEPS"); do
+  # The delta is generated against the *incremental* head, so the
+  # one-shot replay below also validates every log's base-hash check.
+  "$CWM_DATA" gen-delta "$prev" --out "$tmpdir/d$step.cwd" \
+    --edits "$EDITS" --seed "$step" > /dev/null
+  deltas+=(--delta "$tmpdir/d$step.cwd")
+
+  "$CWM_DATA" patch "$prev" --delta "$tmpdir/d$step.cwd" \
+    --out "$tmpdir/g$step.cwg" > /dev/null
+  "$CWM_DATA" patch "$tmpdir/g0.cwg" "${deltas[@]}" \
+    --out "$tmpdir/G$step.cwg" > /dev/null
+
+  cmp "$tmpdir/g$step.cwg" "$tmpdir/G$step.cwg"
+  cmp "$tmpdir/g$step.cwg.chain" "$tmpdir/G$step.cwg.chain"
+  "$CWM_DATA" verify "$tmpdir/g$step.cwg" "$tmpdir/d$step.cwd" > /dev/null
+  prev="$tmpdir/g$step.cwg"
+done
+
+"$CWM_DATA" compact "$tmpdir/g$STEPS.cwg" --out "$tmpdir/c_inc.cwg" \
+  > /dev/null
+"$CWM_DATA" compact "$tmpdir/G$STEPS.cwg" --out "$tmpdir/c_scratch.cwg" \
+  > /dev/null
+cmp "$tmpdir/c_inc.cwg" "$tmpdir/c_scratch.cwg"
+if [[ -e "$tmpdir/c_inc.cwg.chain" ]]; then
+  echo "compact left a chain sidecar on $tmpdir/c_inc.cwg" >&2
+  exit 1
+fi
+"$CWM_DATA" verify "$tmpdir/c_inc.cwg" > /dev/null
+
+# The declarative route: the churn-replay scenario folds the same kind of
+# chain inside NetworkSpec::Build, and must stay bit-deterministic at any
+# thread count like every other sweep.
+"$CWM_RUN" churn-replay --threads 1 --out "$tmpdir/churn1.jsonl" --quiet
+"$CWM_RUN" churn-replay --threads 4 --out "$tmpdir/churn4.jsonl" --quiet
+cmp "$tmpdir/churn1.jsonl" "$tmpdir/churn4.jsonl"
+
+echo "churn replay gate: incremental == from-scratch at every step"

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI perf gate for the dynamic-graph delta subsystem.
+
+Reads a google-benchmark JSON file containing BM_ApplyDeltaIncremental/E
+(splice the delta into the in-memory base CSR, then re-key the cached RR
+era: clean sets reused verbatim, dirty ones resampled bit-identically)
+and BM_ApplyDeltaFullRebuild/E (regenerate the network from its recipe,
+compose the edits, resample the whole era from scratch) and fails
+(exit 1) unless the incremental path is at least `--min-speedup` times
+faster at `--edits` edits. Both arms produce bit-identical artifacts
+(tests/delta_test.cc), so the ratio is pure speedup. The gated pair runs
+a subcritical uniform-p independent-cascade fixture; the weighted-cascade
+pair (BM_ApplyDelta*Wc) is informational only — giant RR sets under the
+critical cascade bound reuse-by-time regardless of era size (see
+docs/dynamic-graphs.md).
+
+Usage:
+  check_delta_speedup.py bench.json [--edits 10] [--min-speedup 10.0]
+"""
+import argparse
+import json
+import sys
+
+
+_NS_PER_UNIT = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def best_time(benchmarks, name):
+    """Best (lowest) real_time across repetitions of `name`, in ns."""
+    times = [float(bench["real_time"]) *
+             _NS_PER_UNIT.get(bench.get("time_unit", "ns"), 1)
+             for bench in benchmarks
+             if bench.get("name") == name
+             and bench.get("run_type", "iteration") == "iteration"
+             # SkipWithError still emits an entry with a near-zero time;
+             # counting it would let a broken arm "pass" the gate.
+             and not bench.get("error_occurred", False)]
+    if not times:
+        raise SystemExit(f"benchmark '{name}' not found in the JSON input")
+    return min(times)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--edits", type=int, default=10,
+                        help="delta size (benchmark arg) to gate on")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required full/incremental time ratio")
+    args = parser.parse_args()
+
+    with open(args.json_path) as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+
+    incremental = best_time(benchmarks,
+                            f"BM_ApplyDeltaIncremental/{args.edits}")
+    full = best_time(benchmarks, f"BM_ApplyDeltaFullRebuild/{args.edits}")
+    speedup = full / incremental if incremental > 0 else float("inf")
+    print(f"Delta absorption at {args.edits} edits: "
+          f"full rebuild+resample = {full / 1e6:,.2f} ms, "
+          f"incremental = {incremental / 1e6:,.2f} ms "
+          f"(speedup {speedup:.1f}x, gate {args.min_speedup:.1f}x)")
+    if speedup < args.min_speedup:
+        print(f"FAIL: incremental delta application is only {speedup:.1f}x "
+              f"faster than a full rebuild (needs >= "
+              f"{args.min_speedup:.1f}x)", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

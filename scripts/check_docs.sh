@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Docs-drift gate: the README's flag and env-knob tables must match the
 # binaries and the sweep engine they document, docs/serving.md must match
-# cwm_serve --help, the docs/robustness.md failpoint table must match the
+# cwm_serve --help, docs/dynamic-graphs.md must match the delta verbs of
+# cwm_data --help, the docs/robustness.md failpoint table must match the
 # sites in src/ and the failpoint.cc inventory, and the docs/ book must
 # exist with intact relative links. Run from the repository root with the
-# cwm_run binary as $1 (default build/cwm_run) and cwm_serve as $2
-# (default build/cwm_serve).
+# cwm_run binary as $1 (default build/cwm_run), cwm_serve as $2
+# (default build/cwm_serve), and cwm_data as $3 (default build/cwm_data).
 set -euo pipefail
 
 CWM_RUN="${1:-build/cwm_run}"
 CWM_SERVE="${2:-build/cwm_serve}"
+CWM_DATA="${3:-build/cwm_data}"
 status=0
 
 if [[ ! -x "$CWM_RUN" ]]; then
@@ -18,6 +20,10 @@ if [[ ! -x "$CWM_RUN" ]]; then
 fi
 if [[ ! -x "$CWM_SERVE" ]]; then
   echo "cwm_serve binary not found at $CWM_SERVE (build first)" >&2
+  exit 2
+fi
+if [[ ! -x "$CWM_DATA" ]]; then
+  echo "cwm_data binary not found at $CWM_DATA (build first)" >&2
   exit 2
 fi
 
@@ -58,6 +64,40 @@ serve_stale=$(comm -13 <(echo "$serve_help_flags") <(echo "$serve_doc_flags"))
 if [[ -n "$serve_stale" ]]; then
   echo "FLAGS DOCUMENTED IN docs/serving.md BUT ABSENT FROM cwm_serve --help:" >&2
   echo "$serve_stale" >&2
+  status=1
+fi
+
+# --- 1c. docs/dynamic-graphs.md vs. the delta verbs of cwm_data ----------
+# The chapter's flag table must cover exactly the flags of the delta
+# subcommands (gen-delta / patch / compact), and the verbs themselves
+# must exist on both sides.
+for verb in gen-delta patch compact; do
+  if ! "$CWM_DATA" --help | grep -qE "cwm_data $verb "; then
+    echo "DELTA VERB '$verb' MISSING FROM cwm_data --help" >&2
+    status=1
+  fi
+  if ! grep -q "cwm_data $verb" docs/dynamic-graphs.md; then
+    echo "DELTA VERB '$verb' MISSING FROM docs/dynamic-graphs.md" >&2
+    status=1
+  fi
+done
+data_delta_flags=$("$CWM_DATA" --help \
+  | grep -E 'cwm_data (gen-delta|patch|compact) ' \
+  | grep -oE -- '--[a-z-]+' | sort -u)
+delta_doc_flags=$(grep -oE '^\| `--[a-z-]+' docs/dynamic-graphs.md \
+  | grep -oE -- '--[a-z-]+' | sort -u)
+
+delta_undocumented=$(comm -23 <(echo "$data_delta_flags") \
+                              <(echo "$delta_doc_flags"))
+if [[ -n "$delta_undocumented" ]]; then
+  echo "DELTA FLAGS IN cwm_data --help BUT MISSING FROM docs/dynamic-graphs.md:" >&2
+  echo "$delta_undocumented" >&2
+  status=1
+fi
+delta_stale=$(comm -13 <(echo "$data_delta_flags") <(echo "$delta_doc_flags"))
+if [[ -n "$delta_stale" ]]; then
+  echo "FLAGS DOCUMENTED IN docs/dynamic-graphs.md BUT ABSENT FROM the cwm_data delta verbs:" >&2
+  echo "$delta_stale" >&2
   status=1
 fi
 
@@ -120,7 +160,8 @@ fi
 
 # --- 3. The docs book exists and its relative links resolve --------------
 for doc in docs/ARCHITECTURE.md docs/kernel.md docs/determinism.md \
-           docs/embedding.md docs/serving.md docs/robustness.md; do
+           docs/embedding.md docs/serving.md docs/robustness.md \
+           docs/dynamic-graphs.md; do
   if [[ ! -f "$doc" ]]; then
     echo "MISSING DOC: $doc" >&2
     status=1

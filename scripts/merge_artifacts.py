@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Merge sharded cwm_run JSONL artifacts back into the single-process file.
+
+`cwm_run <scenario> --shard I/N --out shard_I.jsonl` partitions the task
+grid by task index modulo N; every emitted row is bit-identical to the
+same row of an unsharded run. This script interleaves the N shard files
+by the rows' "task" field and writes the exact byte sequence the
+unsharded `cwm_run <scenario> --out merged.jsonl` would have produced:
+one spec record per scenario (identical across shards, verified here)
+followed by its result records in ascending task order.
+
+Shards may list multiple scenarios (cwm_run runs them sequentially);
+each shard must contain the same scenario sequence.
+
+Usage:
+  merge_artifacts.py shard_0.jsonl shard_1.jsonl ... [-o merged.jsonl]
+"""
+import argparse
+import json
+import sys
+
+
+def read_segments(path):
+    """Splits one shard file into [(spec_line, [result_line, ...]), ...].
+
+    Lines are kept verbatim (byte fidelity); JSON is parsed only to
+    classify records and extract the task index.
+    """
+    segments = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "spec":
+                segments.append((line, []))
+            elif kind == "result":
+                if not segments:
+                    raise SystemExit(f"{path}: result record before any spec")
+                if "task" not in record:
+                    raise SystemExit(f"{path}: result record without a task "
+                                     f"index (not a shardable artifact)")
+                segments[-1][1].append((int(record["task"]), line))
+            else:
+                raise SystemExit(f"{path}: unknown record type {kind!r}")
+    return segments
+
+
+def merge(shard_segments, out):
+    """Interleaves per-scenario segments from every shard into `out`."""
+    num_scenarios = {len(segments) for segments in shard_segments}
+    if len(num_scenarios) != 1:
+        raise SystemExit("shards disagree on the number of scenarios: "
+                         f"{sorted(num_scenarios)}")
+    rows_out = 0
+    for scenario in range(num_scenarios.pop()):
+        specs = {segments[scenario][0] for segments in shard_segments}
+        if len(specs) != 1:
+            raise SystemExit(f"shards disagree on the spec record of "
+                             f"scenario #{scenario}; were they produced by "
+                             f"the same cwm_run configuration?")
+        out.write(specs.pop() + "\n")
+        rows = []
+        for segments in shard_segments:
+            rows.extend(segments[scenario][1])
+        rows.sort(key=lambda task_line: task_line[0])
+        for index, (task, line) in enumerate(rows):
+            if index > 0 and rows[index - 1][0] == task:
+                raise SystemExit(f"duplicate task {task} in scenario "
+                                 f"#{scenario}: the same shard was passed "
+                                 f"twice or shards overlap")
+        for _, line in rows:
+            out.write(line + "\n")
+        rows_out += len(rows)
+    return rows_out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("shards", nargs="+",
+                        help="JSONL artifacts from cwm_run --shard runs")
+    parser.add_argument("-o", "--out", default="-",
+                        help="merged output path ('-' = stdout)")
+    args = parser.parse_args()
+
+    shard_segments = [read_segments(path) for path in args.shards]
+    if args.out == "-":
+        merge(shard_segments, sys.stdout)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            rows = merge(shard_segments, fh)
+        print(f"merged {len(args.shards)} shards, {rows} rows -> {args.out}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 #include "api/engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <span>
 #include <utility>
 
 #include "algo/max_grd.h"
 #include "algo/seq_grd.h"
+#include "delta/overlay.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
 #include "simulate/estimator.h"
@@ -16,24 +18,80 @@ namespace cwm {
 
 Engine::Engine(const Graph& graph, const UtilityConfig& config,
                EngineOptions options)
-    : graph_(&graph),
-      config_(&config),
+    : config_(&config),
       options_(options),
-      graph_hash_(options.graph_hash != 0 ? options.graph_hash
-                                          : GraphContentHash(graph)),
-      pool_store_(options.snapshot_budget_bytes) {}
+      pool_store_(options.snapshot_budget_bytes) {
+  auto state = std::make_shared<GraphState>();
+  state->graph = &graph;
+  state->hash = options.graph_hash != 0 ? options.graph_hash
+                                        : GraphContentHash(graph);
+  state_ = std::move(state);
+}
 
 Engine::Engine(std::unique_ptr<const Graph> owned_graph,
                std::unique_ptr<const UtilityConfig> owned_config,
                EngineOptions options)
-    : owned_graph_(std::move(owned_graph)),
-      owned_config_(std::move(owned_config)),
-      graph_(owned_graph_.get()),
+    : owned_config_(std::move(owned_config)),
       config_(owned_config_.get()),
       options_(options),
-      graph_hash_(options.graph_hash != 0 ? options.graph_hash
-                                          : GraphContentHash(*graph_)),
-      pool_store_(options.snapshot_budget_bytes) {}
+      pool_store_(options.snapshot_budget_bytes) {
+  auto state = std::make_shared<GraphState>();
+  state->owned = std::move(owned_graph);
+  state->graph = state->owned.get();
+  state->hash = options.graph_hash != 0 ? options.graph_hash
+                                        : GraphContentHash(*state->graph);
+  state_ = std::move(state);
+}
+
+std::shared_ptr<const Engine::GraphState> Engine::CurrentState() const {
+  std::shared_lock lock(state_mutex_);
+  return state_;
+}
+
+std::vector<DeltaChainLink> Engine::delta_chain() const {
+  std::shared_lock lock(state_mutex_);
+  return chain_;
+}
+
+Status Engine::ApplyDelta(const DeltaLog& log, ApplyDeltaResult* result) {
+  // Appliers serialize here; readers keep pinning the pre-swap state via
+  // CurrentState() until the single unique-lock swap below.
+  std::lock_guard apply_lock(apply_mutex_);
+  const std::shared_ptr<const GraphState> old_state = CurrentState();
+
+  CWM_TRACE_SPAN("api.apply_delta", {{"edits", log.edits.size()}});
+  StatusOr<AppliedDelta> applied =
+      ApplyDeltaToGraph(*old_state->graph, log, old_state->hash);
+  if (!applied.ok()) return applied.status();
+  AppliedDelta& a = applied.value();
+
+  ApplyDeltaResult outcome;
+  outcome.old_hash = a.base_hash;
+  outcome.new_hash = a.result_hash;
+  outcome.dirty_nodes = a.dirty_nodes.size();
+  outcome.first_dirty_edge = a.first_dirty_edge;
+  if (options_.cache != nullptr) {
+    outcome.rr = PatchCachedRrEras(*options_.cache, a.graph, a.base_hash,
+                                   a.result_hash, a.dirty_nodes);
+  }
+
+  auto next = std::make_shared<GraphState>();
+  next->owned = std::make_unique<const Graph>(std::move(a.graph));
+  next->graph = next->owned.get();
+  next->hash = a.result_hash;
+  pool_store_.NotifyDelta(*old_state->graph, *next->graph,
+                          a.first_dirty_edge);
+
+  {
+    std::unique_lock lock(state_mutex_);
+    retired_.push_back(state_);
+    state_ = std::move(next);
+    chain_.push_back(DeltaChainLink{a.log_hash, log.edits.size(),
+                                    a.dirty_nodes.size(), a.result_hash});
+  }
+  if (result != nullptr) *result = outcome;
+  return Status::OK();
+}
 
 StatusOr<std::unique_ptr<Engine>> Engine::Open(const NetworkSpec& network,
                                                const ConfigSpec& config,
@@ -90,20 +148,21 @@ Status ValidateRequest(const AllocateRequest& request,
 
 }  // namespace
 
-void Engine::BindRequest(AllocateRequest* request) const {
-  request->graph = graph_;
+void Engine::BindRequest(AllocateRequest* request,
+                         const GraphState& state) const {
+  request->graph = state.graph;
   request->config = config_;
   if (request->params.imm.cache == nullptr) {
     request->params.imm.cache = options_.cache;
   }
   if (request->params.imm.graph_hash == 0) {
-    request->params.imm.graph_hash = graph_hash_;
+    request->params.imm.graph_hash = state.hash;
   }
   if (request->ranking.cache == nullptr) {
     request->ranking.cache = options_.cache;
   }
   if (request->ranking.graph_hash == 0) {
-    request->ranking.graph_hash = graph_hash_;
+    request->ranking.graph_hash = state.hash;
   }
   // Thread the request-level cancellation flag into the sampling and
   // ranking parameter blocks, so the RR pipeline's per-chunk polls and
@@ -143,9 +202,12 @@ Status Engine::Allocate(AllocateRequest request,
   }
   *result = AllocateResult{};
 
+  // Pin the graph state current right now: a concurrent ApplyDelta swap
+  // never retargets an allocation mid-run.
+  const std::shared_ptr<const GraphState> state = CurrentState();
   // Bind the engine's long-lived state into the request, never
   // overriding caller-pinned values.
-  BindRequest(&request);
+  BindRequest(&request, *state);
 
   if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
     return cancelled;
@@ -182,7 +244,7 @@ Status Engine::Allocate(AllocateRequest request,
     ReportProgress(request, "evaluate");
     CWM_TRACE_SPAN("api.evaluate", {{"worlds", request.eval.num_worlds}});
     Timer evaluate_timer;
-    const WelfareEstimator evaluator(*graph_, *config_, request.eval);
+    const WelfareEstimator evaluator(*state->graph, *config_, request.eval);
     const Allocation& sp = FixedOf(request);
     const Allocation deployed = Allocation::Union(
         result->allocation,
@@ -245,7 +307,8 @@ Status Engine::AllocateBatch(AllocateRequest request,
   }
 
   request.budgets = budget_points.front();
-  BindRequest(&request);
+  const std::shared_ptr<const GraphState> state = CurrentState();
+  BindRequest(&request, *state);
   if (Status cancelled = CheckCancelled(request); !cancelled.ok()) {
     return cancelled;
   }
@@ -259,12 +322,12 @@ Status Engine::AllocateBatch(AllocateRequest request,
   std::vector<Allocation> allocations;
   if (request.algo == AlgoKind::kMaxGrd) {
     allocations =
-        MaxGrdBatch(*graph_, *config_, FixedOf(request), request.items,
+        MaxGrdBatch(*state->graph, *config_, FixedOf(request), request.items,
                     budget_points, request.params, &diagnostics);
   } else {
     allocations = SeqGrdBatch(
-        *graph_, *config_, FixedOf(request), request.items, budget_points,
-        request.params,
+        *state->graph, *config_, FixedOf(request), request.items,
+        budget_points, request.params,
         {.marginal_check = request.algo == AlgoKind::kSeqGrd},
         &diagnostics);
   }
@@ -281,7 +344,7 @@ Status Engine::AllocateBatch(AllocateRequest request,
     ReportProgress(request, "evaluate");
     CWM_TRACE_SPAN("api.evaluate", {{"worlds", request.eval.num_worlds}});
     Timer evaluate_timer;
-    const WelfareEstimator evaluator(*graph_, *config_, request.eval);
+    const WelfareEstimator evaluator(*state->graph, *config_, request.eval);
     const Allocation& sp = FixedOf(request);
     const Allocation sp_or_empty =
         sp.num_items() == 0 ? Allocation(config_->num_items()) : sp;

@@ -18,17 +18,26 @@
 // results (artifact cache, snapshot pools).
 //
 // Thread-safety: Allocate is const and safe to call concurrently; the
-// pool store serializes pool construction internally.
+// pool store serializes pool construction internally. ApplyDelta may run
+// concurrently with Allocate calls: each allocation pins the graph state
+// current at its entry and runs to completion on it, while the swap to
+// the post-delta state is atomic (readers never observe a half-applied
+// delta). Retired states are retained for the engine's lifetime, so
+// references handed out before a delta stay valid.
 #ifndef CWM_API_ENGINE_H_
 #define CWM_API_ENGINE_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "api/registry.h"
+#include "delta/delta_log.h"
+#include "delta/overlay.h"
+#include "delta/rr_patch.h"
 #include "scenario/scenario.h"
 #include "simulate/world_pool.h"
 #include "store/artifact_cache.h"
@@ -48,6 +57,18 @@ struct EngineOptions {
   /// Byte budget of the engine's keyed snapshot-pool store
   /// (CWM_SNAPSHOT_BUDGET_MB semantics; 0 streams every world lazily).
   std::size_t snapshot_budget_bytes = 256ull << 20;
+};
+
+/// Outcome of one Engine::ApplyDelta call.
+struct ApplyDeltaResult {
+  uint64_t old_hash = 0;        ///< GraphContentHash before the delta
+  uint64_t new_hash = 0;        ///< GraphContentHash after the delta
+  std::size_t dirty_nodes = 0;  ///< vertices whose in-edge lists changed
+  /// Forward edges below this are unchanged (simulate pools patch by
+  /// prefix copy above it).
+  EdgeId first_dirty_edge = 0;
+  /// RR-era repair outcome (all zero when the engine has no cache).
+  RrPatchStats rr;
 };
 
 /// The facade. Construct over borrowed graph/config (the sweep's cells),
@@ -91,32 +112,68 @@ class Engine {
                        std::span<const BudgetVector> budget_points,
                        std::vector<AllocateResult>* results) const;
 
-  const Graph& graph() const { return *graph_; }
+  /// Applies one delta log to the engine's current graph and atomically
+  /// swaps the composition in: in-flight Allocate calls finish on the
+  /// graph they pinned at entry; calls entering after the swap see the
+  /// new graph. Cached RR eras are re-keyed onto the new graph (dirty
+  /// sets resampled, the rest reused) and the snapshot-pool store is told
+  /// to patch rather than rebuild pools above the dirty-edge watermark.
+  /// Concurrent ApplyDelta calls serialize in arrival order. On failure
+  /// the engine is unchanged. `result` may be null.
+  Status ApplyDelta(const DeltaLog& log, ApplyDeltaResult* result = nullptr);
+
+  const Graph& graph() const { return *CurrentState()->graph; }
   const UtilityConfig& config() const { return *config_; }
-  uint64_t graph_hash() const { return graph_hash_; }
+  uint64_t graph_hash() const { return CurrentState()->hash; }
   ArtifactCache* cache() const { return options_.cache; }
+
+  /// Delta logs applied over the engine's lifetime (provenance of the
+  /// current graph relative to the one the engine opened with).
+  std::vector<DeltaChainLink> delta_chain() const;
 
   /// Keyed snapshot-pool telemetry (engine lifetime).
   WorldPoolStoreStats pool_stats() const { return pool_store_.stats(); }
 
  private:
+  /// One immutable graph identity: the engine swaps whole states on
+  /// ApplyDelta so readers pin a consistent (graph, hash) pair. `owned`
+  /// is null when the engine borrows the caller's graph (the pre-delta
+  /// state of the borrowing constructor).
+  struct GraphState {
+    std::unique_ptr<const Graph> owned;
+    const Graph* graph = nullptr;
+    uint64_t hash = 0;
+  };
+
   Engine(std::unique_ptr<const Graph> owned_graph,
          std::unique_ptr<const UtilityConfig> owned_config,
          EngineOptions options);
 
+  /// The graph state current right now, pinned against concurrent swaps.
+  std::shared_ptr<const GraphState> CurrentState() const;
+
   /// Binds the engine's long-lived state (graph, config, cache, hash,
   /// pool store, cancellation threading, candidate-pool default) into a
   /// request, never overriding caller-pinned values.
-  void BindRequest(AllocateRequest* request) const;
+  void BindRequest(AllocateRequest* request, const GraphState& state) const;
 
   // Owned storage for the Open() path; null when borrowing.
-  std::unique_ptr<const Graph> owned_graph_;
   std::unique_ptr<const UtilityConfig> owned_config_;
-  const Graph* graph_;
   const UtilityConfig* config_;
   EngineOptions options_;
-  uint64_t graph_hash_;
   mutable WorldPoolStore pool_store_;
+
+  /// Guards state_ and chain_ only; ApplyDelta holds apply_mutex_ across
+  /// the whole application so appliers serialize without blocking
+  /// readers.
+  mutable std::shared_mutex state_mutex_;
+  std::shared_ptr<const GraphState> state_;
+  std::mutex apply_mutex_;
+  /// States replaced by deltas, retained so references (and pool-store
+  /// keys) handed out before the swap stay valid for the engine's
+  /// lifetime — a reused heap address must never alias a distinct graph.
+  std::vector<std::shared_ptr<const GraphState>> retired_;
+  std::vector<DeltaChainLink> chain_;
 };
 
 }  // namespace cwm

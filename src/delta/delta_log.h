@@ -1,0 +1,119 @@
+// Binary edge-delta persistence (.cwd): the dynamic-graph change unit.
+//
+// A delta log is an ordered list of edge edits (insert / delete /
+// reweight) against one specific base graph, identified by its
+// GraphContentHash. The file shares the store skeleton of format.h — a
+// fixed 64-byte header (magic, version, endian tag, counts, FNV-1a
+// payload checksum, provenance) followed by a flat array of 16-byte
+// trivially copyable edit records — so the same write-atomically /
+// validate-on-open discipline applies.
+//
+// Semantics, applied in log order (later edits win over earlier ones):
+//   insert    upsert: add the edge, or overwrite its probability
+//   delete    remove the edge if present (no-op otherwise)
+//   reweight  set the probability if the edge is present (no-op otherwise)
+//
+// A log pins num_nodes to the base graph's node count: deltas never grow
+// or shrink the node universe. That pin is what makes per-set RR-era
+// invalidation exact (delta/rr_patch.h) — the sampler's root draw is
+// NextBounded(num_nodes), so an unchanged universe means an unchanged
+// root stream.
+//
+// Unlike graph opens, delta opens always verify the full payload
+// checksum and every record: logs are small (edits, not edges), so the
+// O(num_edits) pass costs nothing and a torn or bit-rotted log can never
+// silently corrupt a composed graph.
+#ifndef CWM_DELTA_DELTA_LOG_H_
+#define CWM_DELTA_DELTA_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "store/format.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// 'CWMD' little-endian magic of a .cwd delta-log file.
+inline constexpr uint32_t kDeltaMagic = 0x444D5743u;
+
+/// Edit kinds; stored as the uint32 `op` of DeltaEdit.
+enum class DeltaOp : uint32_t {
+  kInsert = 0,
+  kDelete = 1,
+  kReweight = 2,
+};
+
+/// One edge edit. The payload section is a raw memory image of this
+/// struct; any change to it is a format change.
+struct DeltaEdit {
+  uint32_t op = 0;  ///< DeltaOp
+  NodeId from = 0;
+  NodeId to = 0;
+  float prob = 0.0f;  ///< insert/reweight probability; 0 for delete
+};
+static_assert(sizeof(DeltaEdit) == 16 &&
+              std::is_trivially_copyable_v<DeltaEdit>);
+
+/// Fixed header of a .cwd delta-log file (64 bytes).
+struct DeltaFileHeader {
+  uint32_t magic = kDeltaMagic;
+  uint16_t version = kFormatVersion;
+  uint16_t endian = kEndianTag;
+  uint64_t num_edits = 0;
+  uint64_t num_nodes = 0;      ///< node universe; must equal the base's
+  uint64_t payload_bytes = 0;  ///< everything after this header
+  uint64_t checksum = 0;       ///< FNV-1a64 of the payload bytes
+  uint64_t base_hash = 0;      ///< GraphContentHash the log applies to
+  /// GraphContentHash after application (0 = not yet applied/recorded);
+  /// when non-zero, appliers cross-check the composed graph against it.
+  uint64_t result_hash = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(DeltaFileHeader) == 64);
+static_assert(std::is_trivially_copyable_v<DeltaFileHeader>);
+
+/// An in-memory delta log: the header provenance plus the edit records.
+struct DeltaLog {
+  uint64_t num_nodes = 0;
+  uint64_t base_hash = 0;
+  uint64_t result_hash = 0;  ///< 0 until recorded by an applier/writer
+  std::vector<DeltaEdit> edits;
+};
+
+/// Content identity of a log: num_nodes, base hash, and the edit bytes
+/// (result_hash excluded — it is derived). This is the per-link value the
+/// delta chain recipe hash folds (delta/overlay.h) and the hash printed
+/// as the log's identity by `cwm_data info`.
+uint64_t DeltaLogHash(const DeltaLog& log);
+
+/// Writes `log` to `path` atomically (temp file + rename). Fails with
+/// InvalidArgument on malformed edits (bad op, endpoint out of range,
+/// self-loop, probability outside [0, 1] on insert/reweight) — the same
+/// checks OpenDeltaFile enforces, so a written log always reopens.
+Status WriteDeltaFile(const DeltaLog& log, const std::string& path);
+
+/// Opens and fully validates a .cwd file: header structure, payload
+/// checksum, and every edit record. Corruption/IOError on any problem.
+StatusOr<DeltaLog> OpenDeltaFile(const std::string& path);
+
+/// Header fields of a .cwd file without validating the payload.
+StatusOr<DeltaFileHeader> ReadDeltaHeader(const std::string& path);
+
+/// Full integrity check; for .cwd this is the same pass Open performs.
+Status VerifyDeltaFile(const std::string& path);
+
+///// Deterministic churn generator: `num_edits` pseudo-random edits against
+/// `base` derived purely from `seed` (inserts of fresh edges, deletes and
+/// reweights of existing ones, roughly balanced). Drives the churn-replay
+/// scenario and `cwm_data gen-delta`; the same (base, seed, num_edits)
+/// always yields byte-identical logs.
+DeltaLog GenerateChurnDelta(const Graph& base, uint64_t seed,
+                            std::size_t num_edits);
+
+}  // namespace cwm
+
+#endif  // CWM_DELTA_DELTA_LOG_H_

@@ -1,0 +1,403 @@
+#include "delta/overlay.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/graph_builder.h"
+#include "store/graph_store.h"
+#include "store/mapped_file.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+namespace {
+
+/// Domain tag folded into every delta chain recipe hash.
+constexpr uint64_t kDeltaChainTag = 0xD317Aull;
+
+/// Final per-(u, v) intent after folding a log's edits in order.
+enum class Intent : uint8_t {
+  kAbsent,    ///< delete: drop the edge if the base has it
+  kPresent,   ///< insert: the edge exists with `prob`, base or not
+  kReweight,  ///< reweight: set `prob` iff the base has the edge
+};
+
+struct FoldedEdit {
+  Intent intent;
+  float prob;
+};
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+StatusOr<AppliedDelta> ApplyDeltaToGraph(const Graph& base,
+                                         const DeltaLog& log,
+                                         uint64_t base_hash) {
+  if (log.num_nodes != base.num_nodes()) {
+    return Status::InvalidArgument(
+        "delta log node universe (" + std::to_string(log.num_nodes) +
+        ") differs from the base graph's (" +
+        std::to_string(base.num_nodes()) + ")");
+  }
+  if (base_hash == 0) base_hash = GraphContentHash(base);
+  if (log.base_hash != 0 && log.base_hash != base_hash) {
+    return Status::InvalidArgument(
+        "delta log targets base " + HashToHex(log.base_hash) +
+        ", not this graph (" + HashToHex(base_hash) + ")");
+  }
+
+  // Fold the edits in log order so later edits win, producing one final
+  // intent per touched (u, v).
+  std::unordered_map<uint64_t, FoldedEdit> folded;
+  folded.reserve(log.edits.size());
+  for (std::size_t i = 0; i < log.edits.size(); ++i) {
+    const DeltaEdit& edit = log.edits[i];
+    if (edit.from >= log.num_nodes || edit.to >= log.num_nodes ||
+        edit.from == edit.to ||
+        edit.op > static_cast<uint32_t>(DeltaOp::kReweight) ||
+        (edit.op != static_cast<uint32_t>(DeltaOp::kDelete) &&
+         !(edit.prob >= 0.0f && edit.prob <= 1.0f))) {
+      return Status::InvalidArgument("malformed delta edit at " +
+                                     std::to_string(i));
+    }
+    const uint64_t key = EdgeKey(edit.from, edit.to);
+    auto [it, inserted] =
+        folded.try_emplace(key, FoldedEdit{Intent::kReweight, edit.prob});
+    FoldedEdit& slot = it->second;
+    switch (static_cast<DeltaOp>(edit.op)) {
+      case DeltaOp::kInsert:
+        slot = FoldedEdit{Intent::kPresent, edit.prob};
+        break;
+      case DeltaOp::kDelete:
+        slot = FoldedEdit{Intent::kAbsent, 0.0f};
+        break;
+      case DeltaOp::kReweight:
+        // A reweight after a delete stays deleted (the edge it would
+        // retune no longer exists); after insert/reweight it just moves
+        // the probability.
+        if (inserted || slot.intent != Intent::kAbsent) slot.prob = edit.prob;
+        break;
+    }
+  }
+
+  // Splice the edited graph out of the base instead of re-running the
+  // sort/dedup builder: only nodes named by an edit have their adjacency
+  // rebuilt (a sorted merge of the old list against the folded edits);
+  // everything else is copied through, with forward EdgeIds in the
+  // reverse arrays re-pointed across the insert/delete shifts. The output
+  // is bit-identical to a GraphBuilder rebuild of the same composition
+  // (tests/delta_test.cc holds a reference implementation as the oracle),
+  // so recipe and content hashes are unaffected by which path built it.
+  const std::size_t n = base.num_nodes();
+  const std::span<const uint64_t> offsets = base.RawOutOffsets();
+  const std::span<const OutEdge> old_out = base.RawOutEdges();
+  AppliedDelta result;
+  result.base_hash = base_hash;
+  result.log_hash = DeltaLogHash(log);
+  result.first_dirty_edge = static_cast<EdgeId>(base.num_edges());
+  // Dirtiness is a property of the composition, not of the log text:
+  // deleting an absent edge or reweighting to the identical probability
+  // leaves both watermarks untouched.
+  auto mark_dirty = [&](NodeId u, NodeId v) {
+    result.dirty_nodes.push_back(v);
+    result.first_dirty_edge = std::min(
+        result.first_dirty_edge, static_cast<EdgeId>(offsets[u]));
+  };
+
+  // Edits ordered by (u, v) so each touched source rebuilds in one merge.
+  std::vector<std::pair<uint64_t, const FoldedEdit*>> items;
+  items.reserve(folded.size());
+  for (const auto& [key, edit] : folded) items.emplace_back(key, &edit);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // An in-list entry that changes content; `erase` distinguishes a
+  // deleted edge from an inserted/reweighted one.
+  struct InEdit {
+    NodeId v;
+    NodeId u;
+    float prob;
+    bool erase;
+  };
+  std::vector<InEdit> in_edits;
+
+  struct TouchedSource {
+    NodeId u;
+    std::size_t rebuilt_begin;  ///< into `rebuilt`
+    std::size_t rebuilt_count;
+  };
+  std::vector<TouchedSource> touched;
+  std::vector<OutEdge> rebuilt;  // concatenated new out-lists
+  std::vector<bool> touched_src(n, false);
+
+  for (std::size_t i = 0; i < items.size();) {
+    const NodeId u = static_cast<NodeId>(items[i].first >> 32);
+    std::size_t end = i;
+    while (end < items.size() &&
+           static_cast<NodeId>(items[end].first >> 32) == u) {
+      ++end;
+    }
+    touched_src[u] = true;
+    const std::size_t begin = rebuilt.size();
+    const std::span<const OutEdge> old_list = base.OutEdges(u);
+    std::size_t a = 0;
+    std::size_t j = i;
+    while (a < old_list.size() || j < end) {
+      const NodeId edit_v = j < end
+                                ? static_cast<NodeId>(items[j].first &
+                                                      0xFFFFFFFFull)
+                                : 0;
+      if (j >= end || (a < old_list.size() && old_list[a].to < edit_v)) {
+        rebuilt.push_back(old_list[a++]);
+        continue;
+      }
+      const FoldedEdit& edit = *items[j].second;
+      if (a >= old_list.size() || edit_v < old_list[a].to) {
+        // No matching base edge: unmatched deletes and reweights are
+        // no-ops; unmatched inserts are the genuinely new edges.
+        if (edit.intent == Intent::kPresent) {
+          rebuilt.push_back({edit_v, edit.prob});
+          mark_dirty(u, edit_v);
+          in_edits.push_back({edit_v, u, edit.prob, false});
+        }
+        ++j;
+        continue;
+      }
+      if (edit.intent == Intent::kAbsent) {
+        mark_dirty(u, old_list[a].to);
+        in_edits.push_back({old_list[a].to, u, 0.0f, true});
+      } else {
+        rebuilt.push_back({old_list[a].to, edit.prob});
+        if (edit.prob != old_list[a].prob) {
+          mark_dirty(u, old_list[a].to);
+          in_edits.push_back({old_list[a].to, u, edit.prob, false});
+        }
+      }
+      ++a;
+      ++j;
+    }
+    touched.push_back({u, begin, rebuilt.size() - begin});
+    i = end;
+  }
+  std::sort(result.dirty_nodes.begin(), result.dirty_nodes.end());
+  result.dirty_nodes.erase(
+      std::unique(result.dirty_nodes.begin(), result.dirty_nodes.end()),
+      result.dirty_nodes.end());
+
+  // Forward CSR: new offsets, then per-node copy (untouched lists are
+  // content-identical; only their base position shifts).
+  std::vector<uint64_t> new_out_offsets(n + 1, 0);
+  {
+    std::size_t t = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const std::size_t degree =
+          (t < touched.size() && touched[t].u == u)
+              ? touched[t++].rebuilt_count
+              : static_cast<std::size_t>(offsets[u + 1] - offsets[u]);
+      new_out_offsets[u + 1] = new_out_offsets[u] + degree;
+    }
+  }
+  std::vector<OutEdge> new_out(new_out_offsets[n]);
+  {
+    std::size_t t = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      OutEdge* dst = new_out.data() + new_out_offsets[u];
+      if (t < touched.size() && touched[t].u == u) {
+        std::copy_n(rebuilt.data() + touched[t].rebuilt_begin,
+                    touched[t].rebuilt_count, dst);
+        ++t;
+      } else {
+        std::copy_n(old_out.data() + offsets[u], offsets[u + 1] - offsets[u],
+                    dst);
+      }
+    }
+  }
+
+  // Forward-id remap for the reverse arrays. Edges of untouched sources
+  // keep their list position, so their id moves by the cumulative
+  // insert/delete shift of touched sources before them (a step function
+  // over old ids); edges of touched sources are looked up in their
+  // rebuilt list directly.
+  struct Shift {
+    uint64_t old_end;  ///< base EdgeId one past the touched source's list
+    int64_t shift;     ///< applies to old ids at or beyond old_end
+  };
+  std::vector<Shift> shifts;
+  shifts.reserve(touched.size());
+  std::unordered_map<uint64_t, EdgeId> spliced_id;
+  {
+    int64_t cum = 0;
+    for (const TouchedSource& src : touched) {
+      cum += static_cast<int64_t>(src.rebuilt_count) -
+             static_cast<int64_t>(offsets[src.u + 1] - offsets[src.u]);
+      shifts.push_back({offsets[src.u + 1], cum});
+      for (std::size_t k = 0; k < src.rebuilt_count; ++k) {
+        spliced_id[EdgeKey(src.u, rebuilt[src.rebuilt_begin + k].to)] =
+            static_cast<EdgeId>(new_out_offsets[src.u] + k);
+      }
+    }
+  }
+  auto remap_id = [&](NodeId from, NodeId to, EdgeId id) -> EdgeId {
+    if (touched_src[from]) return spliced_id.at(EdgeKey(from, to));
+    const auto it = std::upper_bound(
+        shifts.begin(), shifts.end(), static_cast<uint64_t>(id),
+        [](uint64_t value, const Shift& s) { return value < s.old_end; });
+    if (it == shifts.begin()) return id;
+    return static_cast<EdgeId>(static_cast<int64_t>(id) +
+                               std::prev(it)->shift);
+  };
+
+  // Reverse CSR: only the dirty targets' lists change content (their
+  // edits, grouped below, splice in by `from` order — which is how the
+  // builder's forward-id scatter orders them); every other entry copies
+  // through with its id re-pointed.
+  std::sort(in_edits.begin(), in_edits.end(),
+            [](const InEdit& a, const InEdit& b) {
+              return a.v != b.v ? a.v < b.v : a.u < b.u;
+            });
+  const std::span<const uint64_t> old_in_offsets = base.RawInOffsets();
+  const std::span<const InEdge> old_in = base.RawInEdges();
+  std::vector<uint64_t> new_in_offsets(n + 1, 0);
+  std::vector<InEdge> new_in;
+  new_in.reserve(new_out.size());
+  {
+    std::size_t e = 0;  // cursor into in_edits
+    for (NodeId v = 0; v < n; ++v) {
+      const std::span<const InEdge> old_list{
+          old_in.data() + old_in_offsets[v],
+          old_in.data() + old_in_offsets[v + 1]};
+      std::size_t end = e;
+      while (end < in_edits.size() && in_edits[end].v == v) ++end;
+      if (end == e) {
+        for (const InEdge& entry : old_list) {
+          new_in.push_back(
+              {entry.from, entry.prob, remap_id(entry.from, v, entry.id)});
+        }
+      } else {
+        std::size_t a = 0;
+        std::size_t j = e;
+        while (a < old_list.size() || j < end) {
+          if (j >= end ||
+              (a < old_list.size() && old_list[a].from < in_edits[j].u)) {
+            const InEdge& entry = old_list[a++];
+            new_in.push_back(
+                {entry.from, entry.prob, remap_id(entry.from, v, entry.id)});
+            continue;
+          }
+          const InEdit& edit = in_edits[j];
+          if (a >= old_list.size() || edit.u < old_list[a].from) {
+            // Inserted edge: new in-entry.
+            new_in.push_back(
+                {edit.u, edit.prob, spliced_id.at(EdgeKey(edit.u, v))});
+            ++j;
+            continue;
+          }
+          if (!edit.erase) {
+            new_in.push_back(
+                {edit.u, edit.prob, spliced_id.at(EdgeKey(edit.u, v))});
+          }
+          ++a;
+          ++j;
+        }
+        e = end;
+      }
+      new_in_offsets[v + 1] = new_in.size();
+    }
+  }
+
+  result.graph = GraphBuilder::AdoptCsr(
+      std::move(new_out_offsets), std::move(new_out),
+      std::move(new_in_offsets), std::move(new_in));
+  result.result_hash = GraphContentHash(result.graph);
+  if (log.result_hash != 0 && log.result_hash != result.result_hash) {
+    return Status::Corruption(
+        "delta application produced " + HashToHex(result.result_hash) +
+        " but the log records result " + HashToHex(log.result_hash));
+  }
+  return result;
+}
+
+uint64_t DeltaChainRecipeHash(uint64_t base_hash,
+                              std::span<const DeltaChainLink> chain) {
+  uint64_t h = MixHash(kDeltaChainTag, base_hash);
+  for (const DeltaChainLink& link : chain) h = MixHash(h, link.log_hash);
+  return MixHash(h, kFormatVersion);
+}
+
+DeltaOverlay::DeltaOverlay(Graph base, uint64_t base_hash)
+    : graph_(std::move(base)),
+      base_hash_(base_hash != 0 ? base_hash : GraphContentHash(graph_)),
+      content_hash_(base_hash_),
+      last_first_dirty_edge_(static_cast<EdgeId>(graph_.num_edges())) {}
+
+Status DeltaOverlay::Apply(const DeltaLog& log) {
+  StatusOr<AppliedDelta> applied =
+      ApplyDeltaToGraph(graph_, log, content_hash_);
+  if (!applied.ok()) return applied.status();
+  AppliedDelta& a = applied.value();
+  chain_.push_back(DeltaChainLink{a.log_hash, log.edits.size(),
+                                  a.dirty_nodes.size(), a.result_hash});
+  total_edits_ += log.edits.size();
+  graph_ = std::move(a.graph);
+  content_hash_ = a.result_hash;
+  last_dirty_ = std::move(a.dirty_nodes);
+  last_first_dirty_edge_ = a.first_dirty_edge;
+  return Status::OK();
+}
+
+Status DeltaOverlay::Compact(const std::string& out_path) const {
+  return WriteGraphFile(graph_, out_path, recipe_hash(), content_hash_);
+}
+
+Status WriteChainSidecar(const std::string& graph_path,
+                         const DeltaChainFile& chain) {
+  std::ostringstream os;
+  os << "base=" << HashToHex(chain.base_hash) << "\n";
+  for (const DeltaChainLink& link : chain.links) {
+    os << "delta=" << HashToHex(link.log_hash) << " edits=" << link.num_edits
+       << " dirty=" << link.dirty_count
+       << " result=" << HashToHex(link.result_hash) << "\n";
+  }
+  const std::string text = std::move(os).str();
+  const ByteSection section{text.data(), text.size()};
+  return WriteFileAtomic(graph_path + ".chain", {&section, 1});
+}
+
+StatusOr<DeltaChainFile> ReadChainSidecar(const std::string& graph_path) {
+  const std::string path = graph_path + ".chain";
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(path + ": no delta chain sidecar");
+  }
+  DeltaChainFile chain;
+  std::string line;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "base=%16" SCNx64, &chain.base_hash) != 1) {
+    return Status::Corruption(path + ": malformed base line");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    DeltaChainLink link;
+    unsigned long long edits = 0, dirty = 0;
+    if (std::sscanf(line.c_str(),
+                    "delta=%16" SCNx64 " edits=%llu dirty=%llu"
+                    " result=%16" SCNx64,
+                    &link.log_hash, &edits, &dirty, &link.result_hash) != 4) {
+      return Status::Corruption(path + ": malformed chain line");
+    }
+    link.num_edits = edits;
+    link.dirty_count = dirty;
+    chain.links.push_back(link);
+  }
+  return chain;
+}
+
+}  // namespace cwm

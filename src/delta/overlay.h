@@ -1,0 +1,153 @@
+// Delta application: composing a base graph with edit logs.
+//
+// ApplyDeltaToGraph folds one DeltaLog over a base Graph and returns the
+// composed graph together with the *dirty region* the edits induce:
+//
+//   dirty_nodes       the `to` endpoints whose in-edge lists actually
+//                     changed. RR-set sampling is a reverse BFS that only
+//                     ever reads in-edge (from, prob) sequences, so a
+//                     cached RR set touching no dirty node resamples
+//                     bit-identically on the new graph — the exact
+//                     invalidation rule delta/rr_patch.h applies.
+//   first_dirty_edge  the smallest forward EdgeId whose (endpoint, prob,
+//                     position) triple may differ from the base. Every
+//                     edge below it keeps its position, endpoints, and
+//                     probability, so possible-world coins — keyed by
+//                     positional EdgeId (simulate/world.h) — are
+//                     unchanged below the watermark and world snapshots
+//                     can be patched by prefix copy (simulate/world_pool.h).
+//
+// No-op edits (deleting an absent edge, reweighting to the same value)
+// contribute nothing to either: dirtiness is a property of the composed
+// graph, not of the log text.
+//
+// DeltaOverlay carries a base graph through a *chain* of logs: it owns
+// the current composed graph, records one DeltaChainLink per applied log,
+// folds the chain into a recipe hash (provenance for compacted .cwg
+// files and cache keys), and Compact() materializes the composition as a
+// standalone graph artifact. The base .cwg on disk is never rewritten —
+// the overlay composes in memory and only Compact() persists.
+#ifndef CWM_DELTA_OVERLAY_H_
+#define CWM_DELTA_OVERLAY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "delta/delta_log.h"
+#include "graph/graph.h"
+#include "support/status.h"
+
+namespace cwm {
+
+/// One log applied to a base: the composed graph plus its dirty region.
+struct AppliedDelta {
+  Graph graph;
+  /// Sorted, unique `to` endpoints whose in-edge lists changed.
+  std::vector<NodeId> dirty_nodes;
+  /// Forward EdgeIds below this are position-, endpoint-, and
+  /// probability-identical between base and composed graph
+  /// (== base.num_edges() when the log was a no-op).
+  EdgeId first_dirty_edge = 0;
+  uint64_t base_hash = 0;    ///< GraphContentHash of the base
+  uint64_t result_hash = 0;  ///< GraphContentHash of the composition
+  uint64_t log_hash = 0;     ///< DeltaLogHash of the applied log
+};
+
+/// Applies `log` to `base`. `base_hash` skips the O(edges) content-hash
+/// pass when the caller already knows it (0 = compute here). Fails with
+/// InvalidArgument when the log's node universe differs from the base's
+/// or its base_hash names a different graph, and Corruption when the
+/// log's recorded result_hash does not match the composition.
+StatusOr<AppliedDelta> ApplyDeltaToGraph(const Graph& base,
+                                         const DeltaLog& log,
+                                         uint64_t base_hash = 0);
+
+/// Provenance of one applied log in a delta chain.
+struct DeltaChainLink {
+  uint64_t log_hash = 0;     ///< DeltaLogHash of the applied log
+  uint64_t num_edits = 0;    ///< edit records in the log
+  uint64_t dirty_count = 0;  ///< dirty vertices the application produced
+  uint64_t result_hash = 0;  ///< GraphContentHash after this link
+};
+
+/// Recipe hash of a delta chain: the base content hash with every link's
+/// log hash folded in order (plus the format version, like every store
+/// recipe). Two compaction paths that applied the same logs in the same
+/// order to the same base produce the same recipe hash — regardless of
+/// whether they compacted once at the end or re-compacted at every step.
+uint64_t DeltaChainRecipeHash(uint64_t base_hash,
+                              std::span<const DeltaChainLink> chain);
+
+/// A base graph composed with an ordered chain of delta logs; see file
+/// comment. Move-only (owns the composed graph).
+class DeltaOverlay {
+ public:
+  /// Takes ownership of `base`. `base_hash` = 0 computes the content
+  /// hash here.
+  explicit DeltaOverlay(Graph base, uint64_t base_hash = 0);
+
+  DeltaOverlay(DeltaOverlay&&) = default;
+  DeltaOverlay& operator=(DeltaOverlay&&) = default;
+
+  /// Applies one more log to the current composition and appends its
+  /// chain link. On failure the overlay is unchanged.
+  Status Apply(const DeltaLog& log);
+
+  /// The current composed graph (the base when the chain is empty).
+  const Graph& graph() const { return graph_; }
+
+  uint64_t base_hash() const { return base_hash_; }
+  /// GraphContentHash of the current composition.
+  uint64_t content_hash() const { return content_hash_; }
+  /// DeltaChainRecipeHash of base + applied chain.
+  uint64_t recipe_hash() const {
+    return DeltaChainRecipeHash(base_hash_, chain_);
+  }
+  const std::vector<DeltaChainLink>& chain() const { return chain_; }
+
+  /// Dirty region of the most recent Apply (empty/num_edges before any).
+  std::span<const NodeId> last_dirty_nodes() const { return last_dirty_; }
+  EdgeId last_first_dirty_edge() const { return last_first_dirty_edge_; }
+
+  /// Total edit records across the chain (the compaction pressure gauge).
+  std::size_t total_edits() const { return total_edits_; }
+  /// True once the chain carries more edit records than `max_chain_edits`
+  /// — the caller should Compact() and restart the chain from the result.
+  bool ShouldCompact(std::size_t max_chain_edits) const {
+    return total_edits_ > max_chain_edits;
+  }
+
+  /// Materializes the composition as a standalone .cwg at `out_path`,
+  /// with recipe_hash() as provenance. The written bytes depend only on
+  /// (base, chain), never on how many intermediate compositions existed.
+  Status Compact(const std::string& out_path) const;
+
+ private:
+  Graph graph_;
+  uint64_t base_hash_ = 0;
+  uint64_t content_hash_ = 0;
+  std::vector<DeltaChainLink> chain_;
+  std::vector<NodeId> last_dirty_;
+  EdgeId last_first_dirty_edge_ = 0;
+  std::size_t total_edits_ = 0;
+};
+
+/// The `.chain` sidecar of a patched/compacted .cwg: base hash plus one
+/// line per applied log, so `cwm_data info` can print the full delta
+/// ancestry of a graph artifact. Stored next to the graph file at
+/// `<graph_path>.chain` in a line-oriented text format.
+struct DeltaChainFile {
+  uint64_t base_hash = 0;
+  std::vector<DeltaChainLink> links;
+};
+
+Status WriteChainSidecar(const std::string& graph_path,
+                         const DeltaChainFile& chain);
+/// NotFound when the graph has no sidecar (not delta-derived).
+StatusOr<DeltaChainFile> ReadChainSidecar(const std::string& graph_path);
+
+}  // namespace cwm
+
+#endif  // CWM_DELTA_OVERLAY_H_

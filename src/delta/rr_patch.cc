@@ -1,0 +1,95 @@
+#include "delta/rr_patch.h"
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rrset/imm.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_pipeline.h"
+#include "rrset/rr_sampler.h"
+#include "store/rr_store.h"
+#include "support/rng.h"
+
+namespace cwm {
+
+RrPatchStats PatchCachedRrEras(ArtifactCache& cache, const Graph& new_graph,
+                               uint64_t old_hash, uint64_t new_hash,
+                               std::span<const NodeId> dirty_nodes) {
+  static Counter& eras_patched =
+      MetricsRegistry::Global().GetCounter("delta.eras_patched");
+  static Counter& sets_reused =
+      MetricsRegistry::Global().GetCounter("delta.sets_reused");
+  static Counter& sets_resampled =
+      MetricsRegistry::Global().GetCounter("delta.sets_resampled");
+
+  RrPatchStats stats;
+  if (old_hash == new_hash) return stats;
+  const std::size_t n = new_graph.num_nodes();
+  std::vector<bool> dirty(n, false);
+  for (NodeId v : dirty_nodes) {
+    if (v < n) dirty[v] = true;
+  }
+
+  RrSampler sampler(new_graph);
+  std::vector<NodeId> scratch;
+  for (const CacheEntry& entry : cache.List()) {
+    if (entry.is_graph) continue;
+    StatusOr<RrFileHeader> header = ReadRrHeader(entry.path);
+    if (!header.ok()) continue;  // pipeline will quarantine + resample
+    if (header.value().graph_hash != old_hash ||
+        header.value().source_id != kStandardRrSourceId ||
+        header.value().num_nodes != n) {
+      continue;
+    }
+    ++stats.eras_scanned;
+    RrProvenance expect;
+    expect.graph_hash = old_hash;
+    expect.sample_seed = header.value().sample_seed;
+    expect.source_id = header.value().source_id;
+    expect.era_start = header.value().era_start;
+    StatusOr<RrEraData> era = OpenRrFile(entry.path, &expect, n);
+    if (!era.ok()) continue;
+    const RrEraData& data = era.value();
+
+    RrCollection patched(n);
+    for (std::size_t k = 0; k < data.num_sets(); ++k) {
+      const std::span<const NodeId> members = data.members.subspan(
+          data.offsets[k], data.offsets[k + 1] - data.offsets[k]);
+      bool touched = false;
+      for (NodeId v : members) {
+        if (dirty[v]) {
+          touched = true;
+          break;
+        }
+      }
+      if (!touched) {
+        // Clean of every dirty vertex: resampling on the new graph would
+        // walk byte-identical in-edge lists from the same root stream, so
+        // serve the cached members verbatim.
+        patched.Add(members, data.weights[k]);
+        ++stats.sets_reused;
+        continue;
+      }
+      Rng rng(MixHash(expect.sample_seed,
+                      kRrSampleTag ^ (expect.era_start + k)));
+      sampler.SampleStandard(rng, &scratch);
+      patched.Add(scratch, 1.0);
+      ++stats.sets_resampled;
+    }
+
+    RrProvenance fresh = expect;
+    fresh.graph_hash = new_hash;
+    const uint64_t recipe = RrRecipeHash(new_hash, fresh.source_id,
+                                         fresh.sample_seed, fresh.era_start);
+    if (cache.StoreRrEra(recipe, fresh, patched).ok()) {
+      ++stats.eras_patched;
+    }
+  }
+
+  eras_patched.Add(stats.eras_patched);
+  sets_reused.Add(stats.sets_reused);
+  sets_resampled.Add(stats.sets_resampled);
+  return stats;
+}
+
+}  // namespace cwm

@@ -62,4 +62,22 @@ Graph GraphBuilder::Build() && {
   return g;
 }
 
+Graph GraphBuilder::AdoptCsr(std::vector<uint64_t> out_offsets,
+                             std::vector<OutEdge> out_edges,
+                             std::vector<uint64_t> in_offsets,
+                             std::vector<InEdge> in_edges) {
+  CWM_CHECK(!out_offsets.empty() && out_offsets.size() == in_offsets.size());
+  CWM_CHECK(out_offsets.front() == 0 && in_offsets.front() == 0);
+  CWM_CHECK(out_offsets.back() == out_edges.size());
+  CWM_CHECK(in_offsets.back() == in_edges.size());
+  CWM_CHECK(out_edges.size() == in_edges.size());
+  Graph g;
+  g.out_offsets_storage_ = std::move(out_offsets);
+  g.out_edges_storage_ = std::move(out_edges);
+  g.in_offsets_storage_ = std::move(in_offsets);
+  g.in_edges_storage_ = std::move(in_edges);
+  g.RespanOwned();
+  return g;
+}
+
 }  // namespace cwm

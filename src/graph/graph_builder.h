@@ -42,6 +42,18 @@ class GraphBuilder {
   /// the maximum probability. The builder is consumed.
   Graph Build() &&;
 
+  /// Adopts pre-built CSR arrays verbatim as owned storage, bypassing the
+  /// sort/dedup pass. The caller must supply exactly the layout Build()
+  /// would have produced: forward edges sorted by (u, to) with EdgeId ==
+  /// position, reverse edges scattered in forward-id order, both offset
+  /// arrays of size num_nodes + 1. Used by the delta subsystem to splice
+  /// an edited graph out of its base in O(edges) copies instead of a full
+  /// rebuild; the result is bit-identical to the rebuild by construction.
+  static Graph AdoptCsr(std::vector<uint64_t> out_offsets,
+                        std::vector<OutEdge> out_edges,
+                        std::vector<uint64_t> in_offsets,
+                        std::vector<InEdge> in_edges);
+
  private:
   struct PendingEdge {
     NodeId u;

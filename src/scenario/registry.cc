@@ -343,6 +343,32 @@ ScenarioRegistry BuildGlobalRegistry() {
     s.eval_sims = 60;
     add(std::move(s));
   }
+  {
+    // Dynamic-graph replay: the same tiny ER base after a chain of
+    // deterministic churn deltas (delta/delta_log.h). The smoke gate
+    // (scripts/check_churn_replay.sh) rebuilds the chain step by step
+    // through `cwm_data gen-delta`/`patch` and asserts the incremental
+    // artifacts are byte-identical to this from-scratch composition.
+    ScenarioSpec s;
+    s.name = "churn-replay";
+    s.title = "Tiny ER sweep after deterministic churn deltas (dynamic "
+              "graphs; exercised by the delta smoke gate)";
+    NetworkSpec net = Net("erdos-renyi");
+    net.num_nodes = 300;
+    net.degree = 4;
+    net.churn_steps = 3;
+    net.churn_edits = 10;
+    net.churn_seed = 7;
+    s.networks = {std::move(net)};
+    s.configs = {{.name = "C1"}};
+    s.algorithms = {AlgoKind::kSeqGrdNm, AlgoKind::kMaxGrd,
+                    AlgoKind::kRoundRobin};
+    s.budget_points = {{5}};
+    s.seeds = {1};
+    s.sims = 40;
+    s.eval_sims = 60;
+    add(std::move(s));
+  }
 
   return registry;
 }

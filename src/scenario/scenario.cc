@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "delta/delta_log.h"
+#include "delta/overlay.h"
 #include "exp/configs.h"
 #include "exp/networks.h"
 #include "exp/reduction.h"
@@ -53,18 +55,24 @@ bool IsKnownNetworkFamily(std::string_view family) {
 }
 
 std::string NetworkSpec::Label() const {
-  return label.empty() ? family : label;
+  if (!label.empty()) return label;
+  if (churn_steps == 0) return family;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "-churn%zux%zu", churn_steps, churn_edits);
+  return family + buf;
 }
 
 std::string NetworkSpec::CacheRecipe(double scale) const {
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "network;family=%s;n=%zu;deg=%zu;aux=%.17g;seed=%llu;"
-                "prob=%d;pv=%.17g;bfs=%.17g;scale=%.17g;path=%s;v=%u",
+                "prob=%d;pv=%.17g;bfs=%.17g;scale=%.17g;path=%s;"
+                "churn=%zux%zu@%llu;v=%u",
                 family.c_str(), num_nodes, degree, aux,
                 static_cast<unsigned long long>(seed),
                 static_cast<int>(prob), prob_value, bfs_fraction, scale,
-                path.c_str(), kFormatVersion);
+                path.c_str(), churn_steps, churn_edits,
+                static_cast<unsigned long long>(churn_seed), kFormatVersion);
   return buf;
 }
 
@@ -162,6 +170,19 @@ StatusOr<Graph> NetworkSpec::Build(double scale, ArtifactCache* cache,
   if (bfs_fraction < 1.0) {
     topology =
         InducedBfsSubgraph(topology, bfs_fraction, OrDefault64(seed, 99));
+  }
+
+  // Churn replay: fold `churn_steps` deterministic delta logs into the
+  // finished base. Each step's stream is keyed by (churn_seed, step), so
+  // any prefix of the chain is reproducible independently — the smoke
+  // gate replays the same steps through `cwm_data gen-delta`/`patch` and
+  // asserts byte-equality against this composition.
+  for (std::size_t step = 0; step < churn_steps; ++step) {
+    const DeltaLog log = GenerateChurnDelta(
+        topology, MixHash(churn_seed, step), churn_edits);
+    StatusOr<AppliedDelta> applied = ApplyDeltaToGraph(topology, log);
+    if (!applied.ok()) return applied.status();
+    topology = std::move(applied.value().graph);
   }
   return topology;
 }
@@ -261,6 +282,9 @@ Status ScenarioSpec::Validate() const {
     }
     if (net.bfs_fraction <= 0.0 || net.bfs_fraction > 1.0) {
       return Status::InvalidArgument(name + ": bfs_fraction out of (0, 1]");
+    }
+    if (net.churn_steps > 0 && net.churn_edits == 0) {
+      return Status::InvalidArgument(name + ": churn_steps without edits");
     }
   }
 

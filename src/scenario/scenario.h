@@ -61,6 +61,15 @@ struct NetworkSpec {
   ProbModel prob = ProbModel::kWeightedCascade;
   double prob_value = 0.01;   ///< constant-model probability
   double bfs_fraction = 1.0;  ///< induced-BFS subsample (Fig 6(d)); 1 = all
+  /// Dynamic-graph churn replay: > 0 applies this many deterministic
+  /// churn deltas (delta/delta_log.h, `churn_edits` edits each, streams
+  /// derived from `churn_seed`) on top of the generated base before the
+  /// sweep sees the graph. The composed graph is part of the spec's
+  /// recipe, so caching and determinism behave exactly as for any other
+  /// family knob.
+  std::size_t churn_steps = 0;
+  std::size_t churn_edits = 10;
+  uint64_t churn_seed = 1;
   std::string label;          ///< display name; empty = derived from family
 
   /// Display name, e.g. "orkut-like" or "orkut-like-50pct-const".

@@ -63,6 +63,11 @@ std::string NetworkToJson(const NetworkSpec& net) {
   if (net.bfs_fraction < 1.0) {
     os << ",\"bfs_fraction\":" << JsonDouble(net.bfs_fraction);
   }
+  if (net.churn_steps > 0) {
+    os << ",\"churn_steps\":" << net.churn_steps
+       << ",\"churn_edits\":" << net.churn_edits
+       << ",\"churn_seed\":" << net.churn_seed;
+  }
   os << ",\"label\":\"" << JsonEscape(net.Label()) << "\"}";
   return os.str();
 }

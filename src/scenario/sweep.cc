@@ -168,6 +168,10 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
                                const SweepOptions& options) {
   const Status valid = spec.Validate();
   if (!valid.ok()) return valid;
+  if (options.shard_count < 1 ||
+      options.shard_index >= options.shard_count) {
+    return Status::InvalidArgument("shard index out of range");
+  }
 
   Timer total_timer;
 
@@ -286,8 +290,17 @@ StatusOr<SweepResult> RunSweep(const ScenarioSpec& spec,
     }
   }
 
-  const std::vector<ScenarioTask> grid =
+  std::vector<ScenarioTask> grid =
       ExpandGrid(spec, options.run_slow_everywhere);
+  // Shard partition: keep only this process's slice of the grid. Each
+  // task is self-contained (streams keyed by its grid coordinates, cell
+  // seeds by cell id — both survive the filtering below), so the rows a
+  // shard emits are bit-identical to the same rows of an unsharded run.
+  if (options.shard_count > 1) {
+    std::erase_if(grid, [&](const ScenarioTask& task) {
+      return task.index % options.shard_count != options.shard_index;
+    });
+  }
 
   SweepResult result;
   result.spec = spec;

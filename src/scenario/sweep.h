@@ -66,6 +66,16 @@ struct SweepOptions {
   std::string cache_dir;
   /// Run greedyWM / Balance-C on every cell (CWM_GREEDY=1 semantics).
   bool run_slow_everywhere = false;
+  /// Deterministic grid partition for multi-process sweeps (cwm_run
+  /// --shard i/n): this process runs only the grid cells with
+  /// task.index % shard_count == shard_index and emits only those rows,
+  /// each bit-identical to the same row of an unsharded run (every task
+  /// derives its streams from its grid coordinates, never from which
+  /// process runs it). scripts/merge_artifacts.py interleaves shard
+  /// artifacts by the rows' task field back into the exact byte sequence
+  /// of the single-process output.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
   /// Evaluate welfare batches with the word-parallel kernel
   /// (EstimatorOptions::packed_kernel; CWM_PACKED=0 / cwm_run --no-packed
   /// to disable). Never changes results — bit-identical to the scalar

@@ -106,6 +106,65 @@ PackedWorldSet::PackedWorldSet(const Graph& graph, const UtilityConfig& config,
   }
 }
 
+PackedWorldSet::PackedWorldSet(const Graph& graph, const PackedWorldSet& prior,
+                               uint64_t seed, EdgeId first_dirty_edge,
+                               unsigned num_threads)
+    : num_worlds_(prior.num_worlds_) {
+  const std::size_t chunks = prior.chunk_blocks_.size();
+  struct Job {
+    std::size_t chunk;
+    std::size_t block;
+  };
+  std::vector<Job> jobs;
+  chunk_blocks_.resize(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    chunk_blocks_[c].resize(prior.chunk_blocks_[c].size());
+    for (std::size_t b = 0; b < chunk_blocks_[c].size(); ++b) {
+      jobs.push_back({c, b});
+    }
+  }
+
+  const auto edges = graph.RawOutEdges();
+  const std::size_t clean =
+      std::min<std::size_t>(first_dirty_edge, edges.size());
+  ParallelFor(
+      jobs.size(),
+      [&](std::size_t j) {
+        const auto [c, b] = jobs[j];
+        Block& blk = chunk_blocks_[c][b];
+        const Block& old = prior.chunk_blocks_[c][b];
+        blk.lane_count = old.lane_count;
+        blk.lane_mask = old.lane_mask;
+        // The noise-derived planes never read the graph: copy verbatim.
+        blk.utility = old.utility;
+        blk.adopt_plane = old.adopt_plane;
+        blk.adopt_changed = old.adopt_changed;
+        // Edge coins are keyed by positional EdgeId, so every word below
+        // the watermark is identical to the prior's; only the dirty
+        // suffix re-flips.
+        blk.edge_mask.assign(edges.size(), 0);
+        std::copy(old.edge_mask.begin(),
+                  old.edge_mask.begin() + static_cast<std::ptrdiff_t>(clean),
+                  blk.edge_mask.begin());
+        for (int l = 0; l < blk.lane_count; ++l) {
+          const int world = static_cast<int>(
+              c + (b * kPackedLanes + static_cast<std::size_t>(l)) * chunks);
+          const uint64_t bit = uint64_t{1} << l;
+          const EdgeWorld ew{WorldEdgeSeedOf(seed, world)};
+          for (std::size_t e = clean; e < edges.size(); ++e) {
+            if (ew.Live(static_cast<EdgeId>(e), edges[e].prob)) {
+              blk.edge_mask[e] |= bit;
+            }
+          }
+        }
+      },
+      num_threads);
+
+  for (const auto& blocks : chunk_blocks_) {
+    for (const Block& blk : blocks) bytes_ += blk.bytes();
+  }
+}
+
 std::size_t PackedWorldSet::EstimateBytes(const Graph& graph, int num_items,
                                           int num_worlds, std::size_t chunks) {
   const std::size_t pairs = NumPairs(num_items);

@@ -98,6 +98,20 @@ class PackedWorldSet {
                  uint64_t seed, int num_worlds, std::size_t chunks,
                  unsigned num_threads);
 
+  /// Incremental repack after a delta: `prior` is the same identity
+  /// (seed, num_worlds, chunks) packed against the graph `graph` was
+  /// derived from, and every forward edge below `first_dirty_edge` is
+  /// position-, endpoint- and probability-identical between the two
+  /// graphs (delta/overlay.h). Edge-mask words below the watermark are
+  /// copied — the lane coins are keyed by positional EdgeId, so they
+  /// cannot differ — and only edges at or above it re-flip per lane. The
+  /// noise-derived planes (utility, adoption transitions) are
+  /// graph-independent and copy verbatim. Bit-identical to the cold
+  /// constructor on `graph`.
+  PackedWorldSet(const Graph& graph, const PackedWorldSet& prior,
+                 uint64_t seed, EdgeId first_dirty_edge,
+                 unsigned num_threads);
+
   /// The blocks of chunk `c`, in world order.
   std::span<const Block> ChunkBlocks(std::size_t c) const {
     return chunk_blocks_[c];

@@ -32,6 +32,38 @@ WorldSnapshot::WorldSnapshot(const Graph& graph, const UtilityConfig& config,
   targets_.shrink_to_fit();
 }
 
+WorldSnapshot::WorldSnapshot(const Graph& graph, const WorldSnapshot& prior,
+                             uint64_t edge_seed, EdgeId first_dirty_edge,
+                             std::size_t expected_live)
+    : table_(prior.table_) {
+  const EdgeWorld world{edge_seed};
+  const std::size_t n = graph.num_nodes();
+  const std::span<const uint64_t> offsets = graph.RawOutOffsets();
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  targets_.reserve(expected_live);
+  // Nodes whose whole out-range sits below the dirty watermark have
+  // identical (position, endpoint, probability) edges in both graphs, so
+  // their coins — keyed by positional EdgeId — cannot differ: copy their
+  // live targets from the prior world instead of re-flipping.
+  NodeId resume = 0;
+  while (resume < n && offsets[resume + 1] <= first_dirty_edge) ++resume;
+  targets_.insert(targets_.end(), prior.targets_.begin(),
+                  prior.targets_.begin() + prior.offsets_[resume]);
+  std::copy(prior.offsets_.begin() + 1, prior.offsets_.begin() + resume + 1,
+            offsets_.begin() + 1);
+  for (NodeId u = resume; u < n; ++u) {
+    const auto out = graph.OutEdges(u);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      if (world.Live(graph.OutEdgeId(u, k), out[k].prob)) {
+        targets_.push_back(out[k].to);
+      }
+    }
+    offsets_[u + 1] = static_cast<uint32_t>(targets_.size());
+  }
+  targets_.shrink_to_fit();
+}
+
 SnapshotFootprint EstimateSnapshotFootprint(const Graph& graph) {
   // Estimating instead of counting avoids a second full coin-flip pass;
   // the estimate is deterministic, so budget cutoffs derived from it
@@ -81,6 +113,48 @@ WorldPool::WorldPool(const Graph& graph, const UtilityConfig& config,
       num_threads);
 }
 
+WorldPool::WorldPool(const Graph& graph, const UtilityConfig& config,
+                     uint64_t seed, int num_worlds,
+                     std::size_t budget_bytes, unsigned num_threads,
+                     SnapshotFootprint footprint, const WorldPool& prior,
+                     EdgeId first_dirty_edge)
+    : num_worlds_(num_worlds) {
+  if (budget_bytes == 0) return;
+  CWM_TRACE_SPAN("simulate.patch_pool",
+                 {{"worlds", num_worlds},
+                  {"budget_bytes", budget_bytes},
+                  {"first_dirty_edge", first_dirty_edge}});
+  // The prefix cutoff is recomputed on the *new* graph exactly as the
+  // cold constructor computes it, so patched and cold pools materialize
+  // the same worlds; only the per-world construction differs.
+  if (footprint.bytes == 0) footprint = EstimateSnapshotFootprint(graph);
+  const std::size_t live_hint = footprint.live_hint;
+  const std::size_t per_world = footprint.bytes;
+  const std::size_t limit =
+      per_world == 0 ? static_cast<std::size_t>(num_worlds)
+                     : budget_bytes / per_world;
+  const std::size_t prefix =
+      std::min<std::size_t>(static_cast<std::size_t>(num_worlds), limit);
+
+  snapshots_.resize(prefix);
+  if (prefix == 0) return;
+  ParallelFor(
+      prefix,
+      [&](std::size_t w) {
+        const int world = static_cast<int>(w);
+        const WorldSnapshot* prev = prior.Get(world);
+        snapshots_[w] =
+            prev != nullptr
+                ? std::make_unique<WorldSnapshot>(
+                      graph, *prev, WorldEdgeSeedOf(seed, world),
+                      first_dirty_edge, live_hint)
+                : std::make_unique<WorldSnapshot>(
+                      graph, config, WorldEdgeSeedOf(seed, world),
+                      WorldNoiseRngOf(seed, world), live_hint);
+      },
+      num_threads);
+}
+
 WorldPoolStats WorldPool::stats() const {
   WorldPoolStats stats;
   stats.num_worlds = num_worlds_;
@@ -106,6 +180,11 @@ Counter& PoolEvictionsCounter() {
       MetricsRegistry::Global().GetCounter("pool.evictions");
   return counter;
 }
+Counter& PoolPatchesCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("pool.patches");
+  return counter;
+}
 
 }  // namespace
 
@@ -113,6 +192,47 @@ SnapshotFootprint WorldPoolStore::FootprintOf(const Graph& graph) {
   auto [it, inserted] = footprints_.try_emplace(&graph);
   if (inserted) it->second = EstimateSnapshotFootprint(graph);
   return it->second;
+}
+
+void WorldPoolStore::NotifyDelta(const Graph& old_graph,
+                                 const Graph& new_graph,
+                                 EdgeId first_dirty_edge) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Address-reuse insurance: anything memoized under the new graph's
+  // address describes a dead object, never this graph.
+  footprints_.erase(&new_graph);
+  for (auto it = pools_.begin(); it != pools_.end();) {
+    if (it->first.graph == &new_graph &&
+        it->second.ready.load(std::memory_order_relaxed)) {
+      it = pools_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  deltas_[&new_graph] = DeltaHint{&old_graph, first_dirty_edge};
+}
+
+const WorldPoolStore::Entry* WorldPoolStore::FindPatchSource(
+    Key key, EdgeId* watermark) const {
+  // Walk the delta ancestry toward the base until a resident same-identity
+  // entry appears; edits below every hop's watermark left edge positions,
+  // endpoints, and probabilities untouched, so the combined watermark is
+  // the minimum along the walk.
+  EdgeId combined = key.graph == nullptr ? 0 : ~EdgeId{0};
+  const Graph* cursor = key.graph;
+  while (true) {
+    const auto hint = deltas_.find(cursor);
+    if (hint == deltas_.end()) return nullptr;
+    combined = std::min(combined, hint->second.first_dirty_edge);
+    cursor = hint->second.base;
+    key.graph = cursor;
+    if (const auto it = pools_.find(key);
+        it != pools_.end() &&
+        it->second.ready.load(std::memory_order_acquire)) {
+      *watermark = combined;
+      return &it->second;
+    }
+  }
 }
 
 std::size_t WorldPoolStore::EvictFor(std::size_t desired) {
@@ -188,6 +308,15 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
   // outside it. One footprint estimate per graph feeds the reservation,
   // the eviction target, and the pool's own prefix cutoff.
   const SnapshotFootprint footprint = FootprintOf(graph);
+  // A resident pre-delta pool with this identity turns the build into a
+  // prefix-copy patch. Pin it before the eviction scan (the pin also
+  // shields it from being evicted out from under the build).
+  EdgeId watermark = 0;
+  std::shared_ptr<const WorldPool> prior;
+  if (const Entry* source = FindPatchSource(key, &watermark);
+      source != nullptr) {
+    prior = source->pool;
+  }
   const std::size_t desired = std::min(
       budget_bytes_, footprint.bytes * static_cast<std::size_t>(num_worlds));
   const std::size_t resident = EvictFor(desired);
@@ -203,8 +332,15 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
                        std::memory_order_relaxed);
   lock.unlock();
 
-  auto pool = std::make_shared<const WorldPool>(
-      graph, config, seed, num_worlds, remaining, num_threads, footprint);
+  auto pool =
+      prior != nullptr
+          ? std::make_shared<const WorldPool>(graph, config, seed,
+                                              num_worlds, remaining,
+                                              num_threads, footprint, *prior,
+                                              watermark)
+          : std::make_shared<const WorldPool>(graph, config, seed,
+                                              num_worlds, remaining,
+                                              num_threads, footprint);
 
   lock.lock();
   entry.pool = pool;  // the entry cannot be evicted while !ready
@@ -212,6 +348,10 @@ std::shared_ptr<const WorldPool> WorldPoolStore::GetOrBuild(
   entry.ready.store(true, std::memory_order_release);
   PoolBuildsCounter().Add(1);
   pools_built_.fetch_add(1, std::memory_order_relaxed);
+  if (prior != nullptr) {
+    PoolPatchesCounter().Add(1);
+    pools_patched_.fetch_add(1, std::memory_order_relaxed);
+  }
   lock.unlock();
   done.set_value();
   return pool;
@@ -265,6 +405,14 @@ std::shared_ptr<const PackedWorldSet> WorldPoolStore::GetOrBuildPacked(
   const std::size_t desired = PackedWorldSet::EstimateBytes(
       graph, config.num_items(), num_worlds, chunks);
   if (desired > budget_bytes_) return nullptr;
+  // Same patch opportunity as the snapshot path: a resident pre-delta
+  // packed set with this identity is prefix-copied below the watermark.
+  EdgeId watermark = 0;
+  std::shared_ptr<const PackedWorldSet> prior;
+  if (const Entry* source = FindPatchSource(key, &watermark);
+      source != nullptr) {
+    prior = source->packed;
+  }
   const std::size_t resident = EvictFor(desired);
   if (resident + desired > budget_bytes_) return nullptr;
 
@@ -278,8 +426,12 @@ std::shared_ptr<const PackedWorldSet> WorldPoolStore::GetOrBuildPacked(
                        std::memory_order_relaxed);
   lock.unlock();
 
-  auto packed = std::make_shared<const PackedWorldSet>(
-      graph, config, seed, num_worlds, chunks, num_threads);
+  auto packed =
+      prior != nullptr
+          ? std::make_shared<const PackedWorldSet>(graph, *prior, seed,
+                                                   watermark, num_threads)
+          : std::make_shared<const PackedWorldSet>(
+                graph, config, seed, num_worlds, chunks, num_threads);
 
   lock.lock();
   entry.packed = packed;
@@ -287,6 +439,10 @@ std::shared_ptr<const PackedWorldSet> WorldPoolStore::GetOrBuildPacked(
   entry.ready.store(true, std::memory_order_release);
   PoolBuildsCounter().Add(1);
   pools_built_.fetch_add(1, std::memory_order_relaxed);
+  if (prior != nullptr) {
+    PoolPatchesCounter().Add(1);
+    pools_patched_.fetch_add(1, std::memory_order_relaxed);
+  }
   lock.unlock();
   done.set_value();
   return packed;
@@ -298,6 +454,7 @@ WorldPoolStoreStats WorldPoolStore::stats() const {
   stats.pools_built = pools_built_.load(std::memory_order_relaxed);
   stats.pool_reuses = pool_reuses_.load(std::memory_order_relaxed);
   stats.pools_evicted = pools_evicted_.load(std::memory_order_relaxed);
+  stats.pools_patched = pools_patched_.load(std::memory_order_relaxed);
   stats.resident_pools = pools_.size();
   for (const auto& [key, entry] : pools_) stats.resident_bytes += entry.bytes;
   return stats;

@@ -64,6 +64,19 @@ class WorldSnapshot {
                 uint64_t edge_seed, Rng noise_rng,
                 std::size_t expected_live = 0);
 
+  /// Incremental rematerialization after a delta: `prior` is the same
+  /// world of the graph this one was derived from (delta/overlay.h), and
+  /// every forward edge below `first_dirty_edge` is position-, endpoint-
+  /// and probability-identical between the two graphs. The clean node
+  /// prefix's live targets are copied from `prior` (the coins are keyed
+  /// by positional EdgeId, so they cannot differ) and only edges at or
+  /// above the watermark re-flip; the noise table — graph-independent by
+  /// construction — is copied verbatim. Bit-identical to the cold
+  /// constructor on `graph` with the same seeds.
+  WorldSnapshot(const Graph& graph, const WorldSnapshot& prior,
+                uint64_t edge_seed, EdgeId first_dirty_edge,
+                std::size_t expected_live = 0);
+
   /// Live out-neighbours of `u`, in canonical (EdgeId) order — the same
   /// order the lazy EdgeWorld path visits survivors in.
   std::span<const NodeId> LiveOut(NodeId u) const {
@@ -120,6 +133,17 @@ class WorldPool {
             int num_worlds, std::size_t budget_bytes, unsigned num_threads,
             SnapshotFootprint footprint = {});
 
+  /// Incremental rebuild after a delta: worlds materialized by `prior`
+  /// (a pool of the pre-delta graph with the same identity) are patched
+  /// via the prefix-copy snapshot constructor; worlds `prior` never
+  /// materialized build cold. The prefix cutoff is recomputed on `graph`
+  /// exactly as the cold constructor would, so the patched pool is
+  /// bit-identical to a cold build — patching only changes wall time.
+  WorldPool(const Graph& graph, const UtilityConfig& config, uint64_t seed,
+            int num_worlds, std::size_t budget_bytes, unsigned num_threads,
+            SnapshotFootprint footprint, const WorldPool& prior,
+            EdgeId first_dirty_edge);
+
   /// Snapshot of world `w`, or nullptr when `w` fell outside the budget
   /// (the caller streams that world lazily instead).
   const WorldSnapshot* Get(int w) const {
@@ -141,6 +165,8 @@ struct WorldPoolStoreStats {
   uint64_t pools_built = 0;    ///< keys materialized from scratch
   uint64_t pool_reuses = 0;    ///< GetOrBuild calls served by a resident pool
   uint64_t pools_evicted = 0;  ///< unreferenced pools dropped for budget
+  uint64_t pools_patched = 0;  ///< builds served incrementally from a
+                               ///< pre-delta pool (subset of pools_built)
   std::size_t resident_bytes = 0;  ///< snapshot bytes currently resident
   std::size_t resident_pools = 0;  ///< pools currently resident
 };
@@ -190,6 +216,17 @@ class WorldPoolStore {
       const Graph& graph, const UtilityConfig& config, uint64_t seed,
       int num_worlds, std::size_t chunks, unsigned num_threads);
 
+  /// Registers that `new_graph` is `old_graph` composed with a delta
+  /// whose dirty watermark is `first_dirty_edge` (delta/overlay.h). A
+  /// later miss for `new_graph` then *patches* the matching resident
+  /// pool/packed set of `old_graph` (prefix copy below the watermark)
+  /// instead of building cold — bit-identical, proportional to the dirty
+  /// region. Hints chain: after several deltas a miss walks back to the
+  /// nearest resident ancestor with the watermarks combined. Both graphs
+  /// must outlive the store (Engine retains retired graph states).
+  void NotifyDelta(const Graph& old_graph, const Graph& new_graph,
+                   EdgeId first_dirty_edge);
+
   WorldPoolStoreStats stats() const;
 
   std::size_t budget_bytes() const { return budget_bytes_; }
@@ -235,14 +272,26 @@ class WorldPoolStore {
   /// (the O(edges) scan) and memoized. Caller holds the exclusive lock.
   SnapshotFootprint FootprintOf(const Graph& graph);
 
+  /// Delta ancestry recorded by NotifyDelta.
+  struct DeltaHint {
+    const Graph* base = nullptr;
+    EdgeId first_dirty_edge = 0;
+  };
+  /// The nearest resident ancestor entry patchable into `key`, walking
+  /// the delta-hint chain; sets `*watermark` to the combined dirty
+  /// watermark. Caller holds the exclusive lock.
+  const Entry* FindPatchSource(Key key, EdgeId* watermark) const;
+
   const std::size_t budget_bytes_;
   mutable std::shared_mutex mutex_;
   std::atomic<uint64_t> tick_{0};
   std::map<Key, Entry> pools_;
   std::map<const Graph*, SnapshotFootprint> footprints_;
+  std::map<const Graph*, DeltaHint> deltas_;
   std::atomic<uint64_t> pools_built_{0};
   std::atomic<uint64_t> pool_reuses_{0};
   std::atomic<uint64_t> pools_evicted_{0};
+  std::atomic<uint64_t> pools_patched_{0};
 };
 
 }  // namespace cwm

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string_view>
 #include <system_error>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -375,12 +376,49 @@ GcResult ArtifactCache::Gc(uint64_t max_bytes) {
   }
 
   std::vector<CacheEntry> entries = List();
-  std::sort(entries.begin(), entries.end(),
-            [](const CacheEntry& a, const CacheEntry& b) {
-              return a.mtime_seconds != b.mtime_seconds
-                         ? a.mtime_seconds < b.mtime_seconds
-                         : a.path < b.path;
-            });
+
+  // Delta re-keying (delta/rr_patch.h) stores every surviving era under
+  // the *new* graph hash; eras keyed to a graph no cached .cwg carries
+  // are almost certainly its abandoned pre-delta ancestors. Evict those
+  // first when over budget: an orphaned era is dead weight at any
+  // recency, while an old-but-live entry is one warm open away from
+  // paying for itself. (Eras for uncached graph families — gadgets,
+  // transformed edge lists — also match this test; eviction order is a
+  // heuristic, never correctness, so mis-ranking them only costs a
+  // resample under memory pressure.)
+  std::unordered_set<uint64_t> live_graph_hashes;
+  for (const CacheEntry& entry : entries) {
+    if (!entry.is_graph) continue;
+    if (StatusOr<GraphFileHeader> header = ReadGraphHeader(entry.path);
+        header.ok() && header.value().content_hash != 0) {
+      live_graph_hashes.insert(header.value().content_hash);
+    }
+  }
+  auto is_orphaned_era = [&](const CacheEntry& entry) {
+    if (entry.is_graph) return false;
+    const StatusOr<RrFileHeader> header = ReadRrHeader(entry.path);
+    // Unreadable headers are LoadRrEra's (quarantine) problem, not Gc's.
+    return header.ok() &&
+           !live_graph_hashes.contains(header.value().graph_hash);
+  };
+  std::vector<bool> orphaned(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    orphaned[i] = is_orphaned_era(entries[i]);
+  }
+  std::vector<std::size_t> order(entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (orphaned[a] != orphaned[b]) return static_cast<bool>(orphaned[a]);
+    return entries[a].mtime_seconds != entries[b].mtime_seconds
+               ? entries[a].mtime_seconds < entries[b].mtime_seconds
+               : entries[a].path < entries[b].path;
+  });
+  {
+    std::vector<CacheEntry> sorted;
+    sorted.reserve(entries.size());
+    for (const std::size_t i : order) sorted.push_back(std::move(entries[i]));
+    entries = std::move(sorted);
+  }
   for (const CacheEntry& entry : entries) result.bytes_before += entry.bytes;
   result.bytes_after = result.bytes_before;
   for (const CacheEntry& entry : entries) {

@@ -24,6 +24,7 @@ const char* const kFailpointInventory[] = {
     "serve.queue_push",
     "serve.recv",
     "serve.send",
+    "store.delta.validate",
     "store.graph.validate",
     "store.mapped_file.mmap",
     "store.mapped_file.open",

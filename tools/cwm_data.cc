@@ -38,6 +38,23 @@
 //       same self-healing path a running sweep takes — or deleted
 //       outright with --repair.
 //
+//   cwm_data gen-delta BASE.cwg --out OUT.cwd --edits N [--seed S]
+//       Generates a deterministic churn delta log against a base graph
+//       (inserts, deletes, reweights — delta/delta_log.h), recording the
+//       base and result content hashes so application is cross-checked.
+//
+//   cwm_data patch BASE.cwg --delta LOG.cwd [--delta LOG2.cwd ...]
+//                  --out OUT.cwg
+//       Applies one or more delta logs in order and writes the composed
+//       graph plus an OUT.cwg.chain sidecar recording the full delta
+//       ancestry (extending BASE's own sidecar when it has one). `info`
+//       prints the chain.
+//
+//   cwm_data compact GRAPH.cwg [--out OUT.cwg]
+//       Re-baselines a patched graph: rewrites it as a standalone
+//       artifact whose recipe hash folds the delta chain, and drops the
+//       chain sidecar. In place without --out.
+//
 // --cache-dir defaults to $CWM_CACHE_DIR everywhere.
 #include <cctype>
 #include <cerrno>
@@ -47,6 +64,8 @@
 #include <string>
 #include <vector>
 
+#include "delta/delta_log.h"
+#include "delta/overlay.h"
 #include "graph/edge_prob.h"
 #include "graph/loader.h"
 #include "scenario/scenario.h"
@@ -72,7 +91,12 @@ int Usage(int code) {
       "       cwm_data info FILE...\n"
       "       cwm_data verify FILE... | cwm_data verify --cache-dir DIR\n"
       "       cwm_data gc --cache-dir DIR --max-bytes N\n"
-      "       cwm_data doctor [--cache-dir DIR] [--repair]\n");
+      "       cwm_data doctor [--cache-dir DIR] [--repair]\n"
+      "       cwm_data gen-delta BASE.cwg --out OUT.cwd --edits N "
+      "[--seed S]\n"
+      "       cwm_data patch BASE.cwg --delta LOG.cwd [--delta ...] "
+      "--out OUT.cwg\n"
+      "       cwm_data compact GRAPH.cwg [--out OUT.cwg]\n");
   return code;
 }
 
@@ -89,6 +113,14 @@ struct Args {
     }
     return nullptr;
   }
+  /// All values of a repeatable flag (e.g. patch --delta A --delta B).
+  std::vector<std::string> FlagValues(const std::string& name) const {
+    std::vector<std::string> values;
+    for (const auto& [k, v] : flags) {
+      if (k == name) values.push_back(v);
+    }
+    return values;
+  }
   bool Switch(const std::string& name) const {
     for (const std::string& s : switches) {
       if (s == name) return true;
@@ -100,7 +132,8 @@ struct Args {
 const char* kValueFlags[] = {"--out",        "--default-prob", "--prob",
                              "--prob-value", "--seed",         "--nodes",
                              "--degree",     "--aux",          "--scale",
-                             "--cache-dir",  "--max-bytes"};
+                             "--cache-dir",  "--max-bytes",    "--delta",
+                             "--edits"};
 
 bool ParseArgs(int argc, char** argv, Args* out) {
   for (int i = 2; i < argc; ++i) {
@@ -330,6 +363,22 @@ int CmdList(const Args& args) {
 }
 
 int InfoOne(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".cwd") {
+    StatusOr<DeltaFileHeader> header = ReadDeltaHeader(path);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+      return 1;
+    }
+    const DeltaFileHeader& h = header.value();
+    std::printf("%s: delta v%u, %llu edits, %llu nodes, base=%s result=%s\n",
+                path.c_str(), h.version,
+                static_cast<unsigned long long>(h.num_edits),
+                static_cast<unsigned long long>(h.num_nodes),
+                HashToHex(h.base_hash).c_str(),
+                h.result_hash != 0 ? HashToHex(h.result_hash).c_str()
+                                   : "(unrecorded)");
+    return 0;
+  }
   if (path.size() > 4 && path.substr(path.size() - 4) == ".cwr") {
     StatusOr<RrFileHeader> header = ReadRrHeader(path);
     if (!header.ok()) {
@@ -363,13 +412,28 @@ int InfoOne(const std::string& path) {
               HashToHex(h.recipe_hash).c_str(),
               h.content_hash != 0 ? HashToHex(h.content_hash).c_str()
                                   : "(pre-v1.1 file)");
+  // Delta ancestry, when the graph was produced by `patch`.
+  const StatusOr<DeltaChainFile> chain = ReadChainSidecar(path);
+  if (chain.ok()) {
+    std::printf("  delta chain: base=%s\n",
+                HashToHex(chain.value().base_hash).c_str());
+    for (const DeltaChainLink& link : chain.value().links) {
+      std::printf("    delta=%s edits=%llu dirty=%llu result=%s\n",
+                  HashToHex(link.log_hash).c_str(),
+                  static_cast<unsigned long long>(link.num_edits),
+                  static_cast<unsigned long long>(link.dirty_count),
+                  HashToHex(link.result_hash).c_str());
+    }
+  }
   return 0;
 }
 
 int VerifyOne(const std::string& path) {
-  const bool is_rr =
-      path.size() > 4 && path.substr(path.size() - 4) == ".cwr";
-  const Status status = is_rr ? VerifyRrFile(path) : VerifyGraphFile(path);
+  const std::string ext =
+      path.size() > 4 ? path.substr(path.size() - 4) : "";
+  const Status status = ext == ".cwr"   ? VerifyRrFile(path)
+                        : ext == ".cwd" ? VerifyDeltaFile(path)
+                                        : VerifyGraphFile(path);
   if (!status.ok()) {
     std::printf("FAIL  %s: %s\n", path.c_str(), status.ToString().c_str());
     return 1;
@@ -484,6 +548,150 @@ int CmdDoctor(const Args& args) {
   return sick == 0 ? 0 : 1;
 }
 
+int CmdGenDelta(const Args& args) {
+  if (args.positional.size() != 1) return Usage(2);
+  const std::string* out_path = args.Flag("--out");
+  if (out_path == nullptr || args.Flag("--edits") == nullptr) {
+    std::fprintf(stderr,
+                 "gen-delta requires --out OUT.cwd and --edits N\n");
+    return 2;
+  }
+  uint64_t edits = 0, seed = 1;
+  if (!ParseU64Flag(args, "--edits", &edits) ||
+      !ParseU64Flag(args, "--seed", &seed)) {
+    return 2;
+  }
+  const StatusOr<Graph> base = OpenGraphFile(args.positional[0]);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  DeltaLog log = GenerateChurnDelta(base.value(), seed, edits);
+  // Record the composition's hash so every later application of this log
+  // is cross-checked against what the generator saw.
+  const StatusOr<AppliedDelta> applied =
+      ApplyDeltaToGraph(base.value(), log, log.base_hash);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+    return 1;
+  }
+  log.result_hash = applied.value().result_hash;
+  if (const Status written = WriteDeltaFile(log, *out_path); !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu edits, %zu dirty nodes, base=%s result=%s\n",
+              out_path->c_str(), log.edits.size(),
+              applied.value().dirty_nodes.size(),
+              HashToHex(log.base_hash).c_str(),
+              HashToHex(log.result_hash).c_str());
+  return 0;
+}
+
+int CmdPatch(const Args& args) {
+  if (args.positional.size() != 1) return Usage(2);
+  const std::string* out_path = args.Flag("--out");
+  const std::vector<std::string> delta_paths = args.FlagValues("--delta");
+  if (out_path == nullptr || delta_paths.empty()) {
+    std::fprintf(stderr,
+                 "patch requires --delta LOG.cwd (repeatable) and "
+                 "--out OUT.cwg\n");
+    return 2;
+  }
+  uint64_t base_hash = 0;
+  StatusOr<Graph> base = OpenGraphFile(args.positional[0], &base_hash);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  // A base that is itself delta-derived keeps its ancestry: the new
+  // sidecar extends the old chain, so the recipe hash stays the fold of
+  // every log ever applied since the original base.
+  DeltaChainFile chain;
+  chain.base_hash = base_hash;
+  if (const StatusOr<DeltaChainFile> prior =
+          ReadChainSidecar(args.positional[0]);
+      prior.ok()) {
+    chain = prior.value();
+  }
+
+  DeltaOverlay overlay(std::move(base).value(), base_hash);
+  for (const std::string& delta_path : delta_paths) {
+    const StatusOr<DeltaLog> log = OpenDeltaFile(delta_path);
+    if (!log.ok()) {
+      std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+      return 1;
+    }
+    if (const Status applied = overlay.Apply(log.value()); !applied.ok()) {
+      std::fprintf(stderr, "%s: %s\n", delta_path.c_str(),
+                   applied.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu edits, %zu dirty nodes -> %s\n", delta_path.c_str(),
+                log.value().edits.size(), overlay.last_dirty_nodes().size(),
+                HashToHex(overlay.content_hash()).c_str());
+  }
+  chain.links.insert(chain.links.end(), overlay.chain().begin(),
+                     overlay.chain().end());
+
+  const uint64_t recipe =
+      DeltaChainRecipeHash(chain.base_hash, chain.links);
+  if (const Status written = WriteGraphFile(overlay.graph(), *out_path,
+                                            recipe, overlay.content_hash());
+      !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  if (const Status sidecar = WriteChainSidecar(*out_path, chain);
+      !sidecar.ok()) {
+    std::fprintf(stderr, "%s\n", sidecar.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu nodes, %zu edges, content=%s, chain of %zu\n",
+              out_path->c_str(), overlay.graph().num_nodes(),
+              overlay.graph().num_edges(),
+              HashToHex(overlay.content_hash()).c_str(),
+              chain.links.size());
+  return 0;
+}
+
+int CmdCompact(const Args& args) {
+  if (args.positional.size() != 1) return Usage(2);
+  const std::string& in_path = args.positional[0];
+  const std::string* out_flag = args.Flag("--out");
+  const std::string out_path = out_flag != nullptr ? *out_flag : in_path;
+
+  const StatusOr<DeltaChainFile> chain = ReadChainSidecar(in_path);
+  if (!chain.ok()) {
+    std::fprintf(stderr, "%s (nothing to compact)\n",
+                 chain.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t content_hash = 0;
+  StatusOr<Graph> graph = OpenGraphFile(in_path, &content_hash);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t recipe =
+      DeltaChainRecipeHash(chain.value().base_hash, chain.value().links);
+  // An in-place rewrite is safe under the open mapping: the write is
+  // temp + rename, so the mmap keeps referencing the replaced inode.
+  if (const Status written =
+          WriteGraphFile(graph.value(), out_path, recipe, content_hash);
+      !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::remove((in_path + ".chain").c_str());
+  if (out_path != in_path) std::remove((out_path + ".chain").c_str());
+  std::printf("%s: re-baselined (%zu-delta chain folded into recipe %s), "
+              "content=%s\n",
+              out_path.c_str(), chain.value().links.size(),
+              HashToHex(recipe).c_str(), HashToHex(content_hash).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -506,6 +714,9 @@ int main(int argc, char** argv) {
   if (command == "verify") return CmdVerify(args);
   if (command == "gc") return CmdGc(args);
   if (command == "doctor") return CmdDoctor(args);
+  if (command == "gen-delta") return CmdGenDelta(args);
+  if (command == "patch") return CmdPatch(args);
+  if (command == "compact") return CmdCompact(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage(2);
 }

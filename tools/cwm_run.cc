@@ -39,6 +39,12 @@
 //                     of the word-parallel packed kernel (CWM_PACKED=0).
 //                     Bit-identical results either way; packed is just
 //                     faster.
+//   --shard I/N       run only grid cells with task index ≡ I (mod N), for
+//                     multi-process sweeps (I in [0, N)). Every emitted
+//                     row is bit-identical to the same row of an
+//                     unsharded run; scripts/merge_artifacts.py
+//                     interleaves the N shard files back into the exact
+//                     single-process artifact.
 //   --slow            run greedyWM/Balance-C on every cell (CWM_GREEDY=1)
 //   --timing          include wall-clock timing (seconds + the sample_s/
 //                     select_s/estimate_s phase breakdown) in --out/--csv
@@ -87,7 +93,8 @@ int Usage(const char* argv0, int code) {
                "         [--inner-threads N]\n"
                "         [--sims N] [--eval-sims N] [--scale X] [--seed S]\n"
                "         [--snapshot-budget-mb N] [--no-packed]\n"
-               "         [--cache-dir DIR] [--slow] [--timing] [--quiet]\n"
+               "         [--cache-dir DIR] [--shard I/N] [--slow]\n"
+               "         [--timing] [--quiet]\n"
                "         [--trace FILE.json] [--metrics FILE.json]\n",
                argv0, argv0, argv0, argv0);
   return code;
@@ -242,6 +249,25 @@ int main(int argc, char** argv) {
     }
     if (ParseValue(argc, argv, &i, "--cache-dir", &value)) {
       options.cache_dir = value;
+      continue;
+    }
+    if (ParseValue(argc, argv, &i, "--shard", &value)) {
+      char* end = nullptr;
+      const unsigned long index = std::strtoul(value.c_str(), &end, 10);
+      unsigned long count = 0;
+      if (end != value.c_str() && *end == '/') {
+        const char* rest = end + 1;
+        count = std::strtoul(rest, &end, 10);
+        if (end == rest) count = 0;
+      }
+      if (count == 0 || *end != '\0' || index >= count) {
+        std::fprintf(stderr,
+                     "--shard requires I/N with 0 <= I < N, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.shard_index = static_cast<unsigned>(index);
+      options.shard_count = static_cast<unsigned>(count);
       continue;
     }
     if (ParseValue(argc, argv, &i, "--trace", &trace_path)) continue;
